@@ -1,0 +1,55 @@
+// Ablation: PM read-buffer capacity under high concurrency — the
+// physical basis of Eq. 1. RS(28,24) 1 KB at 18 threads needs
+// 18 x 28 x 256 B = 126 KB of concurrently live XPLines: buffers below
+// that thrash (wasted fills, media amplification), larger buffers
+// restore scalability. DIALGA's buffer-friendly mode should stay flat.
+#include <map>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  fig::FigureBench figure(
+      "Ablation  PM read-buffer size @18 threads, RS(28,24) 1KB",
+      {"buffer_KB", "system", "GB/s", "media_amp", "wasted_fills"});
+
+  std::map<std::pair<std::size_t, int>, double> gbps, amp;
+  for (const std::size_t per_channel_kb : {4u, 8u, 16u, 32u, 64u}) {
+    for (const fig::System s : {fig::System::kIsal, fig::System::kDialga}) {
+      simmem::SimConfig cfg;
+      cfg.pm.read_buffer_bytes_per_channel = per_channel_kb * 1024;
+      bench_util::WorkloadConfig wl;
+      wl.k = 28;
+      wl.m = 24;
+      wl.block_size = 1024;
+      wl.threads = 18;
+      wl.total_data_bytes = 48 * fig::kMiB;
+      const auto r = fig::RunEncodeSystem(s, cfg, wl);
+      gbps[{per_channel_kb, static_cast<int>(s)}] = r.gbps;
+      amp[{per_channel_kb, static_cast<int>(s)}] = r.media_amplification();
+      const std::size_t total_kb = per_channel_kb * cfg.pm.channels;
+      figure.point(
+          "ablation_buffer/" + std::string(fig::Name(s)) +
+              "/KB:" + std::to_string(total_kb),
+          {std::to_string(total_kb), fig::Name(s),
+           bench_util::Table::num(r.gbps),
+           bench_util::Table::num(r.media_amplification()),
+           std::to_string(r.pmu.pm_buffer_wasted_fills)},
+          r, {{"media_amp", r.media_amplification()}});
+    }
+  }
+  using fig::System;
+  // Throughput only partially recovers (the write path and media
+  // bandwidth still bind at 18 threads); the clean Eq. 1 signal is the
+  // thrashing itself: amplification collapses once the buffer holds
+  // the 18 x 28-stream working set.
+  figure.check("larger read buffers stop the thrashing (Eq. 1)",
+               amp[{4, static_cast<int>(System::kIsal)}] >
+                   2.0 * amp[{64, static_cast<int>(System::kIsal)}]);
+  figure.check("larger buffers still help ISA-L throughput",
+               gbps[{64, static_cast<int>(System::kIsal)}] >
+                   1.1 * gbps[{4, static_cast<int>(System::kIsal)}]);
+  figure.check("DIALGA's BF mode is insensitive to buffer size (<25%)",
+               gbps[{64, static_cast<int>(System::kDialga)}] <
+                   1.25 * gbps[{4, static_cast<int>(System::kDialga)}]);
+  return figure.run(argc, argv);
+}

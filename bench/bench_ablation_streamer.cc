@@ -1,0 +1,45 @@
+// Ablation: L2 stream-table capacity (Observation 3's cross-generation
+// note). The paper finds Cascade Lake tracks 32 unidirectional streams
+// and Ice Lake and later track 64 — and that even 64 "remains
+// insufficient for wide stripe encoding". Sweep the modelled capacity
+// at several stripe widths to locate the cliff for each generation.
+#include <map>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  fig::FigureBench figure(
+      "Ablation  stream-table capacity vs stripe width (ISA-L, 4KB, PM)",
+      {"streams", "k=16", "k=32", "k=48", "k=64", "k=96", "k=128"});
+
+  std::map<std::pair<std::size_t, std::size_t>, double> gbps;
+  for (const std::size_t cap : {16u, 32u, 64u}) {
+    std::vector<std::string> row{std::to_string(cap)};
+    for (const std::size_t k : {16u, 32u, 48u, 64u, 96u, 128u}) {
+      simmem::SimConfig cfg;
+      cfg.prefetcher.stream_capacity = cap;
+      bench_util::WorkloadConfig wl;
+      wl.k = k;
+      wl.m = 4;
+      wl.block_size = 4096;
+      wl.total_data_bytes = 24 * fig::kMiB;
+      const auto r = fig::RunEncodeSystem(fig::System::kIsal, cfg, wl);
+      gbps[{cap, k}] = r.gbps;
+      row.push_back(bench_util::Table::num(r.gbps));
+      fig::RegisterPoint("ablation_streamer/cap:" + std::to_string(cap) +
+                             "/k:" + std::to_string(k),
+                         [r] {
+                           return std::pair{r,
+                                            std::map<std::string, double>{}};
+                         });
+    }
+    figure.missing(std::move(row));
+  }
+  figure.check("16-stream table collapses already at k=32",
+               gbps[{16, 32}] < 0.5 * gbps[{32, 32}]);
+  figure.check("64-stream table (Ice Lake+) rescues k=48",
+               gbps[{64, 48}] > 2.0 * gbps[{32, 48}]);
+  figure.check("even 64 streams are insufficient for k=96 (paper's note)",
+               gbps[{64, 96}] < 0.5 * gbps[{64, 64}]);
+  return figure.run(argc, argv);
+}

@@ -1,0 +1,63 @@
+// Figure 4: RS(12,8) 1 KB encode throughput across CPU frequencies, for
+// PM vs DRAM and AVX512 vs AVX256.
+//
+// Paper shape: on PM, gains flatten beyond ~2 GHz (cycles are spent
+// waiting on memory); DRAM keeps improving with frequency. The trend is
+// more pronounced under AVX256.
+#include <map>
+#include <tuple>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  fig::FigureBench figure(
+      "Fig.4  RS(12,8) 1KB encode vs CPU frequency",
+      {"GHz", "source", "simd", "GB/s", "gain_vs_prev"});
+
+  std::map<std::tuple<bool, int, int>, double> gbps;  // (pm, simd, dGHz)
+  for (const bool pm : {true, false}) {
+    for (const ec::SimdWidth simd :
+         {ec::SimdWidth::kAvx512, ec::SimdWidth::kAvx256}) {
+      double prev = 0.0;
+      for (const double ghz : {1.2, 1.6, 2.0, 2.4, 2.8, 3.3}) {
+        simmem::SimConfig cfg;
+        cfg.cpu_freq_ghz = ghz;
+        bench_util::WorkloadConfig wl;
+        wl.k = 12;
+        wl.m = 8;
+        wl.block_size = 1024;
+        wl.total_data_bytes = 16 * fig::kMiB;
+        wl.data_kind = pm ? simmem::MemKind::kPm : simmem::MemKind::kDram;
+        wl.parity_kind = wl.data_kind;
+        const auto r = fig::RunEncodeSystem(fig::System::kIsal, cfg, wl, simd);
+        gbps[{pm, static_cast<int>(simd), static_cast<int>(ghz * 10)}] =
+            r.gbps;
+        const std::string src = pm ? "PM" : "DRAM";
+        figure.point(
+            "fig4/" + src + "/" + ec::to_string(simd) + "/GHz:" +
+                bench_util::Table::num(ghz, 1),
+            {bench_util::Table::num(ghz, 1), src, ec::to_string(simd),
+             bench_util::Table::num(r.gbps),
+             prev > 0 ? bench_util::Table::pct(r.gbps / prev - 1.0) : "-"},
+            r, {{"freq_ghz", ghz}});
+        prev = r.gbps;
+      }
+    }
+  }
+  const auto g = [&](bool pm, ec::SimdWidth simd, double ghz) {
+    return gbps[{pm, static_cast<int>(simd), static_cast<int>(ghz * 10)}];
+  };
+  const ec::SimdWidth w512 = ec::SimdWidth::kAvx512;
+  const double pm_tail = g(true, w512, 3.3) / g(true, w512, 2.0) - 1.0;
+  const double dram_tail = g(false, w512, 3.3) / g(false, w512, 2.0) - 1.0;
+  figure.check("PM gains are minimal beyond 2 GHz (<10%)", pm_tail < 0.10);
+  figure.check("DRAM keeps gaining more than PM past 2 GHz",
+               dram_tail > 1.5 * pm_tail);
+  const double pm256 =
+      g(true, ec::SimdWidth::kAvx256, 3.3) /
+      g(true, ec::SimdWidth::kAvx256, 1.2);
+  const double pm512 = g(true, w512, 3.3) / g(true, w512, 1.2);
+  figure.check("the trend is more pronounced under AVX256",
+               pm256 > pm512);
+  return figure.run(argc, argv);
+}

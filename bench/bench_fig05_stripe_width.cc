@@ -1,0 +1,48 @@
+// Figure 5: impact of the number of data blocks k (m = 4, 4 KB blocks,
+// PM): encode throughput, useless-prefetch ratio and L2 prefetch ratio.
+//
+// Paper shape, three stages: (i) k < 16 throughput climbs with the
+// prefetch window; (ii) 16 < k <= 32 moderate gains; (iii) k > 32 the
+// stream table overflows, the L2 prefetch ratio collapses to ~0 and
+// throughput falls off a cliff.
+#include <cmath>
+#include <map>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  fig::FigureBench figure(
+      "Fig.5  k sweep (m=4, 4KB blocks, PM): streamer stages + cliff",
+      {"k", "GB/s", "useless_pf%", "L2_pf_ratio%"});
+
+  std::map<std::size_t, double> gbps, pf_ratio;
+  for (const std::size_t k :
+       {4u, 8u, 12u, 16u, 20u, 24u, 28u, 32u, 36u, 40u, 48u, 56u}) {
+    simmem::SimConfig cfg;
+    bench_util::WorkloadConfig wl;
+    wl.k = k;
+    wl.m = 4;
+    wl.block_size = 4096;
+    wl.total_data_bytes = 32 * fig::kMiB;
+    const auto r = fig::RunEncodeSystem(fig::System::kIsal, cfg, wl);
+    gbps[k] = r.gbps;
+    pf_ratio[k] = r.pmu.l2_prefetch_ratio();
+    figure.point(
+        "fig5/k:" + std::to_string(k),
+        {std::to_string(k), bench_util::Table::num(r.gbps),
+         bench_util::Table::pct(r.pmu.useless_prefetch_ratio()),
+         bench_util::Table::pct(r.pmu.l2_prefetch_ratio())},
+        r,
+        {{"useless_pf_ratio", r.pmu.useless_prefetch_ratio()},
+         {"l2_pf_ratio", r.pmu.l2_prefetch_ratio()}});
+  }
+  figure.check("stage (i): throughput rises from k=4 to k=16",
+               gbps[16] > 1.1 * gbps[4]);
+  figure.check("stage (ii): k=16..32 changes are moderate (<10%)",
+               std::abs(gbps[32] - gbps[16]) < 0.10 * gbps[16]);
+  figure.check("stage (iii): cliff beyond the 32-stream table",
+               gbps[40] < 0.5 * gbps[32]);
+  figure.check("L2 prefetch activity collapses to ~0 past k=32",
+               pf_ratio[48] < 0.05 && pf_ratio[32] > 0.5);
+  return figure.run(argc, argv);
+}

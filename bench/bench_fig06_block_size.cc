@@ -1,0 +1,59 @@
+// Figure 6: RS(28,24) encode throughput and PM media read amplification
+// across block sizes, HW prefetcher off/on.
+//
+// Paper shape: no prefetch effect (and no amplification) at 256/512 B;
+// 1-3 KB gains come with 23-37 % read amplification from end-of-block
+// overshoot; 4 KB is ideal (page-boundary clipping: full gain, no
+// amplification); 5 KB shows mixed behaviour.
+#include <map>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  fig::FigureBench figure(
+      "Fig.6  RS(28,24) block-size sweep on PM: throughput + media "
+      "amplification",
+      {"block_B", "hw_pf", "GB/s", "media_amp", "pf_gain"});
+
+  std::map<std::size_t, double> gain, amp, on_gbps;
+  for (const std::size_t bs :
+       {256u, 512u, 1024u, 2048u, 3072u, 4096u, 5120u}) {
+    double off_gbps = 0.0;
+    for (const bool pf : {false, true}) {
+      simmem::SimConfig cfg;
+      bench_util::WorkloadConfig wl;
+      wl.k = 28;
+      wl.m = 24;
+      wl.block_size = bs;
+      wl.total_data_bytes = 32 * fig::kMiB;
+      const auto r = fig::RunEncodeSystem(fig::System::kIsal, cfg, wl,
+                                          ec::SimdWidth::kAvx512, pf);
+      if (!pf) off_gbps = r.gbps;
+      if (pf) {
+        gain[bs] = r.gbps / off_gbps - 1.0;
+        amp[bs] = r.media_amplification();
+        on_gbps[bs] = r.gbps;
+      }
+      figure.point(
+          "fig6/bs:" + std::to_string(bs) + (pf ? "/pf_on" : "/pf_off"),
+          {std::to_string(bs), pf ? "on" : "off",
+           bench_util::Table::num(r.gbps),
+           bench_util::Table::num(r.media_amplification()),
+           pf ? bench_util::Table::pct(r.gbps / off_gbps - 1.0) : "-"},
+          r, {{"media_amp", r.media_amplification()}});
+    }
+  }
+  figure.check("no prefetch effect at 256/512 B",
+               gain[256] < 0.05 && gain[512] < 0.05);
+  figure.check("no amplification at 256/512 B",
+               amp[256] < 1.02 && amp[512] < 1.02);
+  figure.check("1 KB: prefetch helps with 15-60% read amplification",
+               gain[1024] > 0.2 && amp[1024] > 1.15 && amp[1024] < 1.6);
+  figure.check("4 KB is the most effective block size",
+               on_gbps[4096] > on_gbps[2048] && on_gbps[4096] > on_gbps[5120]);
+  figure.check("4 KB has no amplification (page-clipped)",
+               amp[4096] < 1.02);
+  figure.check("5 KB shows mixed behaviour (some amplification)",
+               amp[5120] > 1.02 && on_gbps[5120] < on_gbps[4096]);
+  return figure.run(argc, argv);
+}

@@ -1,0 +1,51 @@
+// Figure 7: multi-thread scalability of RS(28,24) 1 KB encoding on PM,
+// HW prefetcher on vs off.
+//
+// Paper shape: with the prefetcher on, throughput plateaus (and the PM
+// read buffer thrashes) around 8-12 threads; with it off, scaling is
+// near-linear at lower absolute throughput until the demand working set
+// itself overflows the 96 KB buffer.
+#include <map>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  fig::FigureBench figure(
+      "Fig.7  RS(28,24) 1KB thread scaling on PM, HW prefetch on/off",
+      {"threads", "hw_pf", "GB/s", "media_amp", "buffer_wasted_fills"});
+
+  std::map<std::pair<std::size_t, bool>, double> gbps, amp;
+  for (const std::size_t n : {1u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u, 18u}) {
+    for (const bool pf : {false, true}) {
+      simmem::SimConfig cfg;
+      bench_util::WorkloadConfig wl;
+      wl.k = 28;
+      wl.m = 24;
+      wl.block_size = 1024;
+      wl.threads = n;
+      wl.total_data_bytes = (8 + 3 * n) * fig::kMiB;
+      const auto r = fig::RunEncodeSystem(fig::System::kIsal, cfg, wl,
+                                          ec::SimdWidth::kAvx512, pf);
+      gbps[{n, pf}] = r.gbps;
+      amp[{n, pf}] = r.media_amplification();
+      figure.point(
+          "fig7/threads:" + std::to_string(n) + (pf ? "/pf_on" : "/pf_off"),
+          {std::to_string(n), pf ? "on" : "off",
+           bench_util::Table::num(r.gbps),
+           bench_util::Table::num(r.media_amplification()),
+           std::to_string(r.pmu.pm_buffer_wasted_fills)},
+          r,
+          {{"media_amp", r.media_amplification()},
+           {"threads", static_cast<double>(n)}});
+    }
+  }
+  figure.check("prefetcher-on throughput plateaus by 8-12 threads",
+               gbps[{18, true}] < 1.15 * gbps[{12, true}]);
+  figure.check("prefetcher-off scales near-linearly to 8 threads",
+               gbps[{8, false}] > 3.0 * gbps[{1, false}]);
+  figure.check("high concurrency thrashes the read buffer (amp explodes)",
+               amp[{18, true}] > 1.8 * amp[{1, true}]);
+  figure.check("prefetcher-on beats prefetcher-off at low concurrency",
+               gbps[{1, true}] > gbps[{1, false}]);
+  return figure.run(argc, argv);
+}

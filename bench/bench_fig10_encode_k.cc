@@ -1,0 +1,82 @@
+// Figure 10: encode throughput vs number of data blocks k (1 KB blocks,
+// m = 4, PM) for all five systems.
+//
+// Paper shape: narrow stripes (k < 20): DIALGA > ISA-L > ISA-L-D >
+// Cerasure > Zerasure, DIALGA +53.9-102 % over the best alternative.
+// Wide stripes (k > 32): ISA-L collapses (streamer table overflow),
+// decompose recovers part of it (ISA-L-D above Cerasure), Zerasure has
+// no results, DIALGA leads by ~3x over ISA-L. At k = 32 the streamer
+// peaks and DIALGA's margin is smallest.
+#include <map>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  fig::FigureBench figure(
+      "Fig.10  Encode throughput vs k (m=4, 1KB blocks, PM)",
+      {"k", "ISA-L", "ISA-L-D", "Zerasure", "Cerasure", "DIALGA",
+       "DIALGA/best-other"});
+
+  std::map<std::pair<std::size_t, int>, double> gbps;  // (k, system)
+  for (const std::size_t k : {4u, 8u, 12u, 16u, 20u, 24u, 28u, 32u, 40u,
+                              48u, 56u}) {
+    simmem::SimConfig cfg;
+    bench_util::WorkloadConfig wl;
+    wl.k = k;
+    wl.m = 4;
+    wl.block_size = 1024;
+    wl.total_data_bytes = 24 * fig::kMiB;
+
+    std::vector<std::string> row{std::to_string(k)};
+    double best_other = 0.0;
+    double dialga = 0.0;
+    for (const fig::System s :
+         {fig::System::kIsal, fig::System::kIsalD, fig::System::kZerasure,
+          fig::System::kCerasure, fig::System::kDialga}) {
+      const auto r = fig::RunEncodeSystem(s, cfg, wl);
+      if (r.payload_bytes == 0) {
+        row.push_back("n/a");
+        continue;
+      }
+      gbps[{k, static_cast<int>(s)}] = r.gbps;
+      row.push_back(bench_util::Table::num(r.gbps));
+      if (s == fig::System::kDialga) {
+        dialga = r.gbps;
+      } else {
+        best_other = std::max(best_other, r.gbps);
+      }
+      fig::RegisterPoint(
+          std::string("fig10/") + fig::Name(s) + "/k:" + std::to_string(k),
+          [r] {
+            return std::pair{r, std::map<std::string, double>{}};
+          });
+    }
+    row.push_back(bench_util::Table::num(dialga / best_other) + "x");
+    figure.missing(std::move(row));
+  }
+  const auto g = [&](std::size_t k, fig::System s) {
+    return gbps[{k, static_cast<int>(s)}];
+  };
+  using fig::System;
+  figure.check("narrow: ISA-L beats the XOR codecs",
+               g(12, System::kIsal) > g(12, System::kCerasure) &&
+                   g(12, System::kIsal) > g(12, System::kZerasure));
+  figure.check("wide: ISA-L collapses past k=32",
+               g(48, System::kIsal) < 0.8 * g(32, System::kIsal));
+  figure.check("wide: decompose (ISA-L-D) recovers part of the loss",
+               g(48, System::kIsalD) > 1.2 * g(48, System::kIsal));
+  figure.check("Zerasure has no wide-stripe results",
+               gbps.find({48, static_cast<int>(System::kZerasure)}) ==
+                   gbps.end());
+  bool dialga_wins = true;
+  for (const std::size_t k : {4u, 12u, 24u, 32u, 48u}) {
+    for (const System s : {System::kIsal, System::kIsalD,
+                           System::kCerasure}) {
+      dialga_wins = dialga_wins && g(k, System::kDialga) > g(k, s);
+    }
+  }
+  figure.check("DIALGA wins at every stripe width", dialga_wins);
+  figure.check("DIALGA's wide-stripe margin over ISA-L is ~3x or more",
+               g(48, System::kDialga) > 2.5 * g(48, System::kIsal));
+  return figure.run(argc, argv);
+}

@@ -1,0 +1,78 @@
+// Figure 11: encode throughput vs number of parity blocks m for several
+// stripe widths (1 KB blocks, PM).
+//
+// Paper shape: XOR-based codecs degrade non-linearly as m grows (their
+// XOR count explodes); table-lookup codecs degrade gently; DIALGA wins
+// at every m (+20.1-96.6 % over the best alternative), and on wide
+// stripes its advantage is stable across m (load-dominated).
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  fig::FigureBench figure(
+      "Fig.11  Encode throughput vs m (1KB blocks, PM)",
+      {"k", "m", "ISA-L", "ISA-L-D", "Zerasure", "Cerasure", "DIALGA"});
+
+  std::map<std::tuple<std::size_t, std::size_t, int>, double> gbps;
+  for (const std::size_t k : {8u, 12u, 24u, 52u}) {
+    for (const std::size_t m : {2u, 3u, 4u, 6u, 8u}) {
+      simmem::SimConfig cfg;
+      bench_util::WorkloadConfig wl;
+      wl.k = k;
+      wl.m = m;
+      wl.block_size = 1024;
+      wl.total_data_bytes = 16 * fig::kMiB;
+
+      std::vector<std::string> row{std::to_string(k), std::to_string(m)};
+      for (const fig::System s :
+           {fig::System::kIsal, fig::System::kIsalD, fig::System::kZerasure,
+            fig::System::kCerasure, fig::System::kDialga}) {
+        const auto r = fig::RunEncodeSystem(s, cfg, wl);
+        if (r.payload_bytes == 0) {
+          row.push_back("n/a");
+          continue;
+        }
+        gbps[{k, m, static_cast<int>(s)}] = r.gbps;
+        row.push_back(bench_util::Table::num(r.gbps));
+        fig::RegisterPoint(std::string("fig11/") + fig::Name(s) +
+                               "/k:" + std::to_string(k) +
+                               "/m:" + std::to_string(m),
+                           [r] {
+                             return std::pair{
+                                 r, std::map<std::string, double>{}};
+                           });
+      }
+      figure.missing(std::move(row));
+    }
+  }
+  using fig::System;
+  const auto g = [&](std::size_t k, std::size_t m, System s) {
+    return gbps[{k, m, static_cast<int>(s)}];
+  };
+  figure.check("XOR codecs degrade faster with m than table codecs",
+               g(12, 2, System::kCerasure) / g(12, 8, System::kCerasure) >
+                   g(12, 2, System::kIsal) / g(12, 8, System::kIsal));
+  bool wins = true;
+  for (const std::size_t m : {2u, 4u, 8u}) {
+    wins = wins && g(12, m, System::kDialga) > g(12, m, System::kIsal) &&
+           g(12, m, System::kDialga) > g(12, m, System::kCerasure);
+  }
+  figure.check("DIALGA wins at every m", wins);
+  // Paper: "For wide stripes such as RS(52,48), DIALGA maintains a
+  // performance advantage with minimal degradation as m varies" — the
+  // claim is about the sustained advantage (load-dominated bottleneck),
+  // checked as a >2x margin over the best alternative at every m.
+  bool wide_margin = true;
+  for (const std::size_t m : {2u, 4u, 8u}) {
+    const double best_other =
+        std::max({g(52, m, System::kIsal), g(52, m, System::kIsalD),
+                  g(52, m, System::kCerasure)});
+    wide_margin = wide_margin && g(52, m, System::kDialga) > 2.0 * best_other;
+  }
+  figure.check("wide stripes: DIALGA keeps a >2x margin at every m",
+               wide_margin);
+  return figure.run(argc, argv);
+}

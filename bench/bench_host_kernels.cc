@@ -1,0 +1,97 @@
+// Host microbenchmarks of the FUNCTIONAL GF kernels (real wall-clock
+// time, unlike every other bench in this directory, which reports
+// simulated time). Useful when adopting the library to protect real
+// data: shows what the scalar/SSSE3/AVX2 dispatch is worth on the
+// build host.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "ec/isal.h"
+#include "gf/gf65536.h"
+#include "gf/gf_simd.h"
+
+namespace {
+
+std::vector<std::byte> RandomBytes(std::size_t n) {
+  std::mt19937_64 rng(1);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng());
+  return v;
+}
+
+void BM_Gf8MulAcc(benchmark::State& state) {
+  const auto level = static_cast<gf::IsaLevel>(state.range(0));
+  if (static_cast<int>(level) > static_cast<int>(gf::best_isa())) {
+    state.SkipWithError("host lacks this ISA");
+    return;
+  }
+  const gf::IsaLevel prev = gf::active_isa();
+  gf::set_active_isa(level);
+  const std::size_t n = 64 * 1024;
+  const auto src = RandomBytes(n);
+  std::vector<std::byte> dst(n, std::byte{0});
+  for (auto _ : state) {
+    gf::mul_acc(0x53, src.data(), dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n));
+  gf::set_active_isa(prev);
+}
+BENCHMARK(BM_Gf8MulAcc)
+    ->Arg(static_cast<int>(gf::IsaLevel::kScalar))
+    ->Arg(static_cast<int>(gf::IsaLevel::kSsse3))
+    ->Arg(static_cast<int>(gf::IsaLevel::kAvx2));
+
+void BM_Gf16MulAcc(benchmark::State& state) {
+  const std::size_t n = 64 * 1024;
+  const auto src = RandomBytes(n);
+  std::vector<std::byte> dst(n, std::byte{0});
+  for (auto _ : state) {
+    gf16::mul_acc(0x1B2D, src.data(), dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_Gf16MulAcc);
+
+void BM_XorAcc(benchmark::State& state) {
+  const std::size_t n = 64 * 1024;
+  const auto src = RandomBytes(n);
+  std::vector<std::byte> dst(n, std::byte{0});
+  for (auto _ : state) {
+    gf::xor_acc(src.data(), dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_XorAcc);
+
+void BM_FunctionalEncode(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 4, bs = 4096;
+  const ec::IsalCodec codec(k, m);
+  std::vector<std::vector<std::byte>> blocks(k + m);
+  std::vector<const std::byte*> data;
+  std::vector<std::byte*> parity;
+  for (std::size_t i = 0; i < k; ++i) {
+    blocks[i] = RandomBytes(bs);
+    data.push_back(blocks[i].data());
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    blocks[k + j].resize(bs);
+    parity.push_back(blocks[k + j].data());
+  }
+  for (auto _ : state) {
+    codec.encode(bs, data, parity);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * k * bs));
+}
+BENCHMARK(BM_FunctionalEncode)->Arg(4)->Arg(12)->Arg(28);
+
+}  // namespace
+
+BENCHMARK_MAIN();

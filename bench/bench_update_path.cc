@@ -1,0 +1,93 @@
+// Extension: small-write parity updates on PM (the workload the
+// paper's related work — CodePM, TVARAK, Vilamb — addresses; section
+// 4.1 notes DIALGA's scheduling applies to coding tasks beyond full
+// encode). Two questions:
+//
+//  1. Where is the crossover between delta updates (RMW of 1+m blocks
+//     over the touched lines) and a full stripe re-encode?
+//  2. How much does prefetch scheduling help the (load-dominated) RMW
+//     path itself?
+#include <numeric>
+#include <random>
+
+#include "ec/update.h"
+#include "fig_common.h"
+
+namespace {
+
+/// Timed run of `updates` delta updates of `len` bytes each, at random
+/// aligned offsets of random stripes.
+bench_util::RunResult RunUpdates(const simmem::SimConfig& cfg,
+                                 std::size_t k, std::size_t m,
+                                 std::size_t bs, std::size_t len,
+                                 const ec::IsalPlanOptions& opts) {
+  const ec::IsalCodec codec(k, m);
+  const ec::UpdateEngine engine(codec);
+
+  bench_util::WorkloadConfig wl;
+  wl.k = k;
+  wl.m = m;
+  wl.block_size = bs;
+  wl.total_data_bytes = 4 * fig::kMiB;  // number of stripes touched
+  bench_util::Workload workload = bench_util::BuildWorkload(wl);
+
+  simmem::MemorySystem mem(cfg, 1);
+  std::mt19937_64 rng(9);
+  std::uint64_t payload = 0;
+  for (const auto& stripe : workload.work[0].stripes) {
+    const std::size_t max_off = bs - len;
+    const std::size_t offset =
+        max_off == 0 ? 0
+                     : (rng() % (max_off / simmem::kCacheLineBytes + 1)) *
+                           simmem::kCacheLineBytes;
+    const ec::EncodePlan plan =
+        engine.update_plan(bs, offset, len, cfg.cost, opts);
+    // Slot 0 = a random data block of the stripe, slots 1..m = parity.
+    std::vector<std::uint64_t> slots;
+    slots.push_back(stripe[rng() % k]);
+    for (std::size_t j = 0; j < m; ++j) slots.push_back(stripe[k + j]);
+    ec::RunPlan(mem, 0, plan, ec::SlotBinding{slots, {}});
+    payload += len;
+  }
+  mem.flush_pm_writes();
+  bench_util::RunResult r;
+  r.payload_bytes = payload;
+  r.sim_seconds = mem.max_clock() * 1e-9;
+  r.gbps = payload / mem.max_clock();
+  r.pmu = mem.pmu();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fig::FigureBench figure(
+      "Extension  small-write update path, RS(12,4) 1KB blocks on PM",
+      {"update_B", "plain GB/s", "DIALGA GB/s", "gain",
+       "vs_reencode_traffic", "media_write_amp"});
+
+  simmem::SimConfig cfg;
+  const std::size_t k = 12, m = 4, bs = 1024;
+
+  for (const std::size_t len : {64u, 128u, 256u, 512u, 1024u}) {
+    const auto plain = RunUpdates(cfg, k, m, bs, len, {});
+    ec::IsalPlanOptions dialga_opts;
+    dialga_opts.prefetch_distance = 1 + m;  // one RMW row ahead
+    dialga_opts.xpline_first_distance = 1 + m + 4;
+    const auto tuned = RunUpdates(cfg, k, m, bs, len, dialga_opts);
+
+    const double traffic_ratio =
+        static_cast<double>(ec::UpdateEngine::update_traffic_bytes(len, m)) /
+        static_cast<double>(
+            ec::UpdateEngine::reencode_traffic_bytes(bs, k, m));
+    figure.point(
+        "update/len:" + std::to_string(len),
+        {std::to_string(len), bench_util::Table::num(plain.gbps, 3),
+         bench_util::Table::num(tuned.gbps, 3),
+         bench_util::Table::pct(tuned.gbps / plain.gbps - 1.0),
+         bench_util::Table::pct(traffic_ratio),
+         bench_util::Table::num(tuned.pmu.media_write_amplification())},
+        tuned, {{"plain_GBps", plain.gbps}});
+  }
+  return figure.run(argc, argv);
+}

@@ -1,0 +1,52 @@
+// Extension: VAST-class stripe widths beyond GF(2^8)'s 256-block limit,
+// using the GF(2^16) codec. The paper cites VAST's k = 154 as the
+// motivating wide-stripe system (Observation 3); production systems
+// pushing past k + m = 256 must move to 16-bit symbols. The streamer
+// is long dead at these widths — this measures how far pipelined
+// software prefetching carries, and what the doubled GF(2^16) compute
+// costs on top.
+#include "ec/rs16.h"
+#include "fig_common.h"
+
+namespace {
+
+bench_util::RunResult RunRs16(const simmem::SimConfig& cfg,
+                              bench_util::WorkloadConfig wl,
+                              const ec::IsalPlanOptions& opts) {
+  const ec::Rs16Codec codec(wl.k, wl.m);
+  ec::FixedPlanProvider provider(
+      codec.encode_plan_with(wl.block_size, cfg.cost, opts));
+  return bench_util::RunTimed(cfg, wl, provider);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fig::FigureBench figure(
+      "Extension  GF(2^16) wide stripes (m=4, 1KB blocks, PM)",
+      {"k", "plain GB/s", "prefetched GB/s", "gain", "note"});
+
+  simmem::SimConfig cfg;
+  for (const std::size_t k : {64u, 128u, 154u, 256u, 400u, 512u}) {
+    bench_util::WorkloadConfig wl;
+    wl.k = k;
+    wl.m = 4;
+    wl.block_size = 1024;
+    wl.total_data_bytes = 24 * fig::kMiB;
+
+    const auto plain = RunRs16(cfg, wl, {});
+    ec::IsalPlanOptions opts;
+    opts.prefetch_distance = std::min<std::size_t>(k, 192);
+    opts.xpline_first_distance = opts.prefetch_distance + 4;
+    const auto tuned = RunRs16(cfg, wl, opts);
+
+    figure.point(
+        "vast/k:" + std::to_string(k),
+        {std::to_string(k), bench_util::Table::num(plain.gbps),
+         bench_util::Table::num(tuned.gbps),
+         bench_util::Table::num(tuned.gbps / plain.gbps) + "x",
+         k == 154 ? "VAST's width" : (k > 252 ? "needs GF(2^16)" : "")},
+        tuned, {{"plain_GBps", plain.gbps}});
+  }
+  return figure.run(argc, argv);
+}

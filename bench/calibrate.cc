@@ -1,0 +1,141 @@
+// Developer calibration tool: prints the key observation shapes the
+// model must reproduce before the figure benches mean anything.
+// Not part of the figure suite; kept for re-tuning SimConfig constants.
+#include <iostream>
+
+#include "bench_util/runner.h"
+#include "bench_util/table.h"
+#include "dialga/dialga.h"
+#include "ec/isal.h"
+
+using bench_util::RunEncode;
+using bench_util::RunTimed;
+using bench_util::Table;
+using bench_util::WorkloadConfig;
+
+namespace {
+
+constexpr std::size_t kMiB = 1ull << 20;
+
+void Fig3Shape() {
+  std::cout << "\n== Fig.3 shape: RS(12,8) 1KB, load source x HW pf ==\n";
+  Table t({"source", "hw_pf", "GB/s", "llc_miss_stall/load(ns)"});
+  for (const bool pm : {false, true}) {
+    for (const bool pf : {false, true}) {
+      simmem::SimConfig cfg;
+      WorkloadConfig wl;
+      wl.k = 12;
+      wl.m = 8;
+      wl.block_size = 1024;
+      wl.total_data_bytes = 16 * kMiB;
+      wl.data_kind = pm ? simmem::MemKind::kPm : simmem::MemKind::kDram;
+      wl.parity_kind = wl.data_kind;
+      ec::IsalCodec codec(wl.k, wl.m);
+      const auto r = RunEncode(cfg, wl, codec, pf);
+      t.row({pm ? "PM" : "DRAM", pf ? "on" : "off", Table::num(r.gbps),
+             Table::num(r.pmu.llc_miss_stall_ns /
+                        static_cast<double>(r.pmu.loads))});
+    }
+  }
+  t.print(std::cout);
+}
+
+void Fig5Shape() {
+  std::cout << "\n== Fig.5 shape: k sweep (m=4, 4KB blocks, PM) ==\n";
+  Table t({"k", "GB/s", "useless_pf%", "l2_pf_ratio%"});
+  for (const std::size_t k : {4u, 8u, 12u, 16u, 24u, 32u, 40u, 48u}) {
+    simmem::SimConfig cfg;
+    WorkloadConfig wl;
+    wl.k = k;
+    wl.m = 4;
+    wl.block_size = 4096;
+    wl.total_data_bytes = 32 * kMiB;
+    ec::IsalCodec codec(k, 4);
+    const auto r = RunEncode(cfg, wl, codec, true);
+    t.row({std::to_string(k), Table::num(r.gbps),
+           Table::pct(r.pmu.useless_prefetch_ratio()),
+           Table::pct(r.pmu.l2_prefetch_ratio())});
+  }
+  t.print(std::cout);
+}
+
+void Fig6Shape() {
+  std::cout << "\n== Fig.6 shape: RS(28,24) block-size sweep, PM ==\n";
+  Table t({"block", "pf", "GB/s", "media_amp"});
+  for (const std::size_t bs : {256u, 512u, 1024u, 2048u, 3072u, 4096u, 5120u}) {
+    for (const bool pf : {false, true}) {
+      simmem::SimConfig cfg;
+      WorkloadConfig wl;
+      wl.k = 28;
+      wl.m = 24;
+      wl.block_size = bs;
+      wl.total_data_bytes = 32 * kMiB;
+      ec::IsalCodec codec(28, 24);
+      const auto r = RunEncode(cfg, wl, codec, pf);
+      t.row({std::to_string(bs), pf ? "on" : "off", Table::num(r.gbps),
+             Table::num(r.media_amplification())});
+    }
+  }
+  t.print(std::cout);
+}
+
+void Fig7Shape() {
+  std::cout << "\n== Fig.7 shape: RS(28,24) 1KB thread scaling, PM ==\n";
+  Table t({"threads", "pf", "GB/s", "media_amp", "wasted_fills"});
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 12u, 16u, 18u}) {
+    for (const bool pf : {false, true}) {
+      simmem::SimConfig cfg;
+      WorkloadConfig wl;
+      wl.k = 28;
+      wl.m = 24;
+      wl.block_size = 1024;
+      wl.threads = n;
+      wl.total_data_bytes = (16 + 4 * n) * kMiB;
+      ec::IsalCodec codec(28, 24);
+      const auto r = RunEncode(cfg, wl, codec, pf);
+      t.row({std::to_string(n), pf ? "on" : "off", Table::num(r.gbps),
+             Table::num(r.media_amplification()),
+             std::to_string(r.pmu.pm_buffer_wasted_fills)});
+    }
+  }
+  t.print(std::cout);
+}
+
+void DialgaVsIsal() {
+  std::cout << "\n== DIALGA vs ISA-L: RS(12,4) 1KB single-thread, PM ==\n";
+  Table t({"system", "GB/s", "sw_pf", "sw_hits", "samples"});
+  simmem::SimConfig cfg;
+  WorkloadConfig wl;
+  wl.k = 12;
+  wl.m = 4;
+  wl.block_size = 1024;
+  wl.total_data_bytes = 32 * kMiB;
+
+  {
+    ec::IsalCodec isal(12, 4);
+    const auto r = RunEncode(cfg, wl, isal, true);
+    t.row({"ISA-L", Table::num(r.gbps), "0", "0", "-"});
+  }
+  {
+    dialga::DialgaCodec dlg(12, 4);
+    auto provider = dlg.make_encode_provider(
+        {wl.k, wl.m, wl.block_size, wl.threads}, cfg);
+    const auto r = RunTimed(cfg, wl, *provider, true);
+    t.row({"DIALGA", Table::num(r.gbps),
+           std::to_string(r.pmu.sw_prefetches_issued),
+           std::to_string(r.pmu.sw_prefetch_hits),
+           std::to_string(provider->coordinator().samples_taken())});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  Fig3Shape();
+  Fig5Shape();
+  Fig6Shape();
+  Fig7Shape();
+  DialgaVsIsal();
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Shared scaffolding for the per-figure benchmark binaries.
+//
+// Each figure binary registers one google-benchmark entry per plotted
+// point. The simulated duration is reported through SetIterationTime
+// (UseManualTime), so the benchmark's time column and bytes/second ARE
+// simulated quantities, not host time; figure-specific metrics ride
+// along as counters. Every binary prints the paper-shape series and is
+// what EXPERIMENTS.md records.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_util/runner.h"
+#include "bench_util/table.h"
+#include "bench_util/workload.h"
+#include "dialga/dialga.h"
+#include "ec/isal.h"
+#include "ec/isal_decompose.h"
+#include "ec/lrc.h"
+#include "ec/xor_codec.h"
+
+namespace fig {
+
+inline constexpr std::size_t kMiB = 1ull << 20;
+
+/// The five systems of the evaluation section.
+enum class System { kIsal, kIsalD, kZerasure, kCerasure, kDialga };
+
+inline const char* Name(System s) {
+  switch (s) {
+    case System::kIsal:
+      return "ISA-L";
+    case System::kIsalD:
+      return "ISA-L-D";
+    case System::kZerasure:
+      return "Zerasure";
+    case System::kCerasure:
+      return "Cerasure";
+    case System::kDialga:
+      return "DIALGA";
+  }
+  return "?";
+}
+
+/// Build a baseline codec; nullptr when the system has no result for
+/// these parameters (Zerasure beyond k = 32). DIALGA is handled by
+/// RunSystem directly (it needs the adaptive provider).
+inline std::unique_ptr<ec::Codec> MakeBaseline(
+    System s, std::size_t k, std::size_t m,
+    ec::SimdWidth simd = ec::SimdWidth::kAvx512) {
+  switch (s) {
+    case System::kIsal:
+      return std::make_unique<ec::IsalCodec>(k, m, simd);
+    case System::kIsalD:
+      return std::make_unique<ec::IsalDecomposeCodec>(k, m, 16, simd);
+    case System::kZerasure:
+      return ec::MakeZerasure(k, m);  // AVX256 by construction
+    case System::kCerasure:
+      return ec::MakeCerasure(k, m);
+    case System::kDialga:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+/// Timed encode of any system (adaptive provider for DIALGA).
+inline bench_util::RunResult RunEncodeSystem(
+    System s, const simmem::SimConfig& cfg, bench_util::WorkloadConfig wl,
+    ec::SimdWidth simd = ec::SimdWidth::kAvx512, bool hw_prefetch = true) {
+  if (s == System::kDialga) {
+    const dialga::DialgaCodec codec(wl.k, wl.m, simd);
+    auto provider = codec.make_encode_provider(
+        {wl.k, wl.m, wl.block_size, wl.threads}, cfg);
+    return bench_util::RunTimed(cfg, wl, *provider, hw_prefetch);
+  }
+  const auto codec = MakeBaseline(s, wl.k, wl.m, simd);
+  if (!codec) return {};  // no result (search did not converge)
+  return bench_util::RunEncode(cfg, wl, *codec, hw_prefetch);
+}
+
+/// Timed decode of any system.
+inline bench_util::RunResult RunDecodeSystem(
+    System s, const simmem::SimConfig& cfg, bench_util::WorkloadConfig wl,
+    std::span<const std::size_t> erasures,
+    ec::SimdWidth simd = ec::SimdWidth::kAvx512) {
+  if (s == System::kDialga) {
+    const dialga::DialgaCodec codec(wl.k, wl.m, simd);
+    auto provider = codec.make_decode_provider(
+        {wl.k, wl.m, wl.block_size, wl.threads}, cfg,
+        {erasures.begin(), erasures.end()});
+    return bench_util::RunTimed(cfg, wl, *provider);
+  }
+  const auto codec = MakeBaseline(s, wl.k, wl.m, simd);
+  if (!codec) return {};
+  return bench_util::RunDecode(cfg, wl, *codec, erasures);
+}
+
+/// Register one plotted point as a google-benchmark entry whose time is
+/// the SIMULATED duration and whose counters carry figure metrics.
+inline void RegisterPoint(
+    const std::string& name,
+    std::function<std::pair<bench_util::RunResult,
+                            std::map<std::string, double>>()>
+        point) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [point = std::move(point)](benchmark::State& state) {
+        for (auto _ : state) {
+          auto [r, extra] = point();
+          state.SetIterationTime(r.sim_seconds > 0 ? r.sim_seconds : 1e-9);
+          state.counters["sim_GBps"] = r.gbps;
+          for (const auto& [key, v] : extra) state.counters[key] = v;
+          state.SetBytesProcessed(
+              static_cast<std::int64_t>(r.payload_bytes));
+        }
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace fig
+
+namespace fig {
+
+/// Collects a figure's points: prints the paper-shape table on stdout,
+/// then replays every point through google-benchmark (cached results,
+/// simulated time) so the standard bench tooling sees them too.
+class FigureBench {
+ public:
+  FigureBench(std::string title, std::vector<std::string> headers)
+      : title_(std::move(title)), table_(std::move(headers)) {}
+
+  void point(const std::string& bench_name,
+             std::vector<std::string> row_cells,
+             const bench_util::RunResult& r,
+             std::map<std::string, double> extras = {}) {
+    table_.row(std::move(row_cells));
+    RegisterPoint(bench_name, [r, extras] { return std::pair{r, extras}; });
+  }
+
+  /// Row for a configuration with no result (e.g. Zerasure, k > 32).
+  void missing(std::vector<std::string> row_cells) {
+    table_.row(std::move(row_cells));
+  }
+
+  /// Record a paper-shape assertion; the checklist is printed after the
+  /// series so a figure run is self-validating against the paper's
+  /// qualitative claims.
+  void check(const std::string& claim, bool holds) {
+    checks_.emplace_back(claim, holds);
+  }
+
+  int run(int argc, char** argv) {
+    std::cout << "\n=== " << title_ << " ===\n";
+    table_.print(std::cout);
+    if (!checks_.empty()) {
+      std::cout << "\npaper-shape checks:\n";
+      std::size_t passed = 0;
+      for (const auto& [claim, ok] : checks_) {
+        std::cout << "  [" << (ok ? "PASS" : "FAIL") << "] " << claim
+                  << "\n";
+        passed += ok ? 1 : 0;
+      }
+      std::cout << "  " << passed << "/" << checks_.size()
+                << " shape checks hold\n";
+    }
+    std::cout << std::endl;
+    write_csv(argc > 0 ? argv[0] : "figure");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+
+ private:
+  /// With DIALGA_CSV_DIR set, drop the series as <dir>/<binary>.csv so
+  /// plotting scripts can pick every figure up.
+  void write_csv(const std::string& argv0) const {
+    const char* dir = std::getenv("DIALGA_CSV_DIR");
+    if (dir == nullptr) return;
+    std::string stem = argv0;
+    if (const auto slash = stem.find_last_of('/');
+        slash != std::string::npos) {
+      stem = stem.substr(slash + 1);
+    }
+    std::ofstream out(std::string(dir) + "/" + stem + ".csv");
+    if (out) table_.print_csv(out);
+  }
+
+  std::string title_;
+  bench_util::Table table_;
+  std::vector<std::pair<std::string, bool>> checks_;
+};
+
+}  // namespace fig

@@ -1,0 +1,33 @@
+#include <iostream>
+#include "bench_util/runner.h"
+#include "bench_util/table.h"
+#include "dialga/dialga.h"
+#include "ec/isal.h"
+#include "ec/isal_decompose.h"
+#include "ec/xor_codec.h"
+
+using namespace bench_util;
+
+static void run_k(std::size_t k, std::size_t m) {
+  std::cout << "\n== k=" << k << " m=" << m << " 1KB PM single-thread ==\n";
+  simmem::SimConfig cfg;
+  WorkloadConfig wl;
+  wl.k = k; wl.m = m; wl.block_size = 1024; wl.total_data_bytes = 16ull<<20;
+  Table t({"system", "GB/s", "xors"});
+  { ec::IsalCodec c(k, m); auto r = RunEncode(cfg, wl, c); t.row({"ISA-L", Table::num(r.gbps), "-"}); }
+  { ec::IsalDecomposeCodec c(k, m); auto r = RunEncode(cfg, wl, c); t.row({"ISA-L-D", Table::num(r.gbps), "-"}); }
+  if (auto z = ec::MakeZerasure(k, m)) { auto r = RunEncode(cfg, wl, *z); t.row({"Zerasure", Table::num(r.gbps), std::to_string(z->schedule_xor_count())}); }
+  else t.row({"Zerasure", "n/a", "-"});
+  { auto c = ec::MakeCerasure(k, m); auto r = RunEncode(cfg, wl, *c); t.row({"Cerasure", Table::num(r.gbps), std::to_string(c->schedule_xor_count())}); }
+  { dialga::DialgaCodec d(k, m);
+    auto p = d.make_encode_provider({k, m, wl.block_size, 1}, cfg);
+    auto r = RunTimed(cfg, wl, *p); t.row({"DIALGA", Table::num(r.gbps), "-"}); }
+  t.print(std::cout);
+}
+
+int main() {
+  run_k(12, 4);
+  run_k(28, 4);
+  run_k(48, 4);
+  return 0;
+}

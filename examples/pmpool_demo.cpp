@@ -1,0 +1,78 @@
+// pmpool demo: an erasure-coded object pool on simulated PM — put
+// objects, overwrite ranges in place (delta parity updates), inject
+// media faults, scrub, and watch the storage-overhead accounting.
+#include <iostream>
+#include <random>
+
+#include "bench_util/table.h"
+#include "pmpool/pool.h"
+
+int main() {
+  pmpool::PoolConfig cfg;
+  cfg.k = 8;
+  cfg.m = 3;
+  cfg.block_size = 1024;
+  pmpool::Pool pool(cfg);
+
+  std::cout << "pmpool: RS(" << cfg.k << "," << cfg.m << ") object pool, "
+            << cfg.block_size << " B blocks, "
+            << cfg.stripe_payload() / 1024 << " KiB payload per stripe\n\n";
+
+  // --- store a handful of objects ------------------------------------
+  std::mt19937_64 rng(1);
+  std::vector<std::pair<pmpool::Pool::ObjectId, std::vector<std::byte>>>
+      objects;
+  for (const std::size_t size : {300u, 5000u, 20000u, 44000u}) {
+    std::vector<std::byte> v(size);
+    for (auto& b : v) b = static_cast<std::byte>(rng());
+    objects.emplace_back(pool.put(v), std::move(v));
+    std::cout << "put object " << objects.back().first << " (" << size
+              << " B)\n";
+  }
+
+  // --- overwrite a range in place (delta parity update) --------------
+  {
+    auto& [id, golden] = objects[2];
+    std::vector<std::byte> patch(3000, std::byte{0xAB});
+    const std::size_t at = 7000;
+    pool.update(id, at, patch);
+    std::copy(patch.begin(), patch.end(), golden.begin() + at);
+    std::cout << "updated object " << id << ": 3000 B at offset " << at
+              << " (parity maintained via delta RMW)\n";
+  }
+
+  // --- inject media faults and scrub ----------------------------------
+  pool.inject_fault(objects[1].first, 0, 2, 17);
+  pool.inject_fault(objects[2].first, 1, 9, 500);   // a parity block
+  pool.inject_fault(objects[3].first, 3, 0, 1023);
+  const pmpool::ScrubReport report = pool.scrub();
+  std::cout << "\nscrub: " << report.blocks_checked << " blocks checked, "
+            << report.blocks_damaged << " damaged, "
+            << report.blocks_repaired << " repaired, "
+            << report.objects_lost << " lost\n";
+  if (!report.clean()) {
+    std::cerr << "scrub failed to repair everything!\n";
+    return 1;
+  }
+
+  // --- verify all objects ---------------------------------------------
+  for (const auto& [id, golden] : objects) {
+    if (pool.get(id) != golden) {
+      std::cerr << "object " << id << " corrupted after repair!\n";
+      return 1;
+    }
+  }
+  std::cout << "all objects verified bit-exact after repair\n\n";
+
+  const pmpool::PoolStats st = pool.stats();
+  bench_util::Table t({"objects", "stripes", "payload B", "raw PM B",
+                       "overhead"});
+  t.row({std::to_string(st.objects), std::to_string(st.stripes),
+         std::to_string(st.payload_bytes), std::to_string(st.pm_bytes),
+         bench_util::Table::num(st.storage_overhead()) + "x"});
+  t.print(std::cout);
+  std::cout << "\n(the (k+m)/k = " << bench_util::Table::num(
+                   static_cast<double>(cfg.k + cfg.m) / cfg.k)
+            << "x floor plus padding of partially-filled stripes)\n";
+  return 0;
+}

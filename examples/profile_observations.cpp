@@ -1,0 +1,81 @@
+// Reproduce the paper's section-3 profiling workflow on the simulator:
+// run an RS(12,8) encode of 1 KB stripes while sampling PMU counters at
+// 1 kHz (simulated time), toggling the hardware prefetcher mid-run.
+// The printed timeline shows the latency/traffic regimes the paper's
+// Observations 1 and 4 are built on — the same analysis a developer
+// would do with `perf` on real PM.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util/table.h"
+#include "bench_util/workload.h"
+#include "ec/executor.h"
+#include "ec/isal.h"
+#include "simmem/sampler.h"
+
+int main() {
+  constexpr std::size_t kK = 12, kM = 8, kBlock = 1024;
+  simmem::SimConfig cfg;
+
+  bench_util::WorkloadConfig wl;
+  wl.k = kK;
+  wl.m = kM;
+  wl.block_size = kBlock;
+  wl.total_data_bytes = 24ull << 20;
+  bench_util::Workload workload = bench_util::BuildWorkload(wl);
+
+  const ec::IsalCodec codec(kK, kM);
+  ec::FixedPlanProvider provider(codec.encode_plan(kBlock, cfg.cost));
+  for (auto& w : workload.work) w.provider = &provider;
+
+  simmem::MemorySystem mem(cfg, 1);
+  simmem::Sampler sampler(/*interval_ns=*/1.0e6);  // 1 kHz
+
+  // Phase 1: prefetcher on. Phase 2: off (the BIOS-level experiment of
+  // Fig. 3). Run stripes one by one so we can sample and toggle.
+  const auto& stripes = workload.work[0].stripes;
+  const std::size_t half = stripes.size() / 2;
+  for (std::size_t s = 0; s < stripes.size(); ++s) {
+    if (s == half) mem.set_hw_prefetcher_enabled(false);
+    ec::RunPlan(mem, 0, provider.plan(),
+                ec::SlotBinding{stripes[s], workload.work[0].scratch});
+    sampler.poll(mem);
+  }
+  sampler.flush(mem);
+
+  std::cout << "PMU timeline: RS(" << kK << "," << kM << ") " << kBlock
+            << " B encode on simulated PM; HW prefetcher switched OFF at "
+            << "t=" << std::fixed << std::setprecision(2)
+            << mem.max_clock() / 2e6 << " ms\n\n";
+
+  bench_util::Table table({"t (ms)", "avg load latency (ns)",
+                           "L2 pf/1k loads", "media amp", "GB/s"});
+  // Aggregate into ~12 display rows.
+  const auto& windows = sampler.windows();
+  const std::size_t stride = std::max<std::size_t>(1, windows.size() / 12);
+  for (std::size_t i = 0; i < windows.size(); i += stride) {
+    simmem::PmuCounters agg;
+    double t0 = windows[i].t_begin_ns, t1 = t0;
+    for (std::size_t j = i; j < std::min(i + stride, windows.size()); ++j) {
+      agg += windows[j].delta;
+      t1 = windows[j].t_end_ns;
+    }
+    const double gbps =
+        static_cast<double>(agg.encode_read_bytes) / (t1 - t0);
+    table.row(
+        {bench_util::Table::num(t1 / 1e6, 2),
+         bench_util::Table::num(agg.avg_load_latency_ns(), 1),
+         bench_util::Table::num(
+             1000.0 * static_cast<double>(agg.hw_prefetches_issued) /
+                 static_cast<double>(std::max<std::uint64_t>(1, agg.loads)),
+             1),
+         bench_util::Table::num(agg.media_read_amplification()),
+         bench_util::Table::num(gbps)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading the timeline: when the prefetcher goes off, the "
+               "average load\nlatency jumps and throughput drops "
+               "(Observation 1), while the media\namplification from "
+               "prefetch overshoot disappears (Observation 4).\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: protect a buffer with DIALGA's Reed-Solomon codec,
+// corrupt some blocks, and repair them.
+//
+// DIALGA's public API is a drop-in erasure codec (ec::Codec): encode()
+// computes parity, decode() reconstructs erased blocks in place. The
+// adaptive prefetcher scheduling is exercised by the timed/benchmark
+// path (see examples/adaptive_tuning.cpp); functional output is
+// bit-identical to ISA-L.
+#include <cstddef>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "dialga/dialga.h"
+
+int main() {
+  constexpr std::size_t kData = 10;     // k data blocks
+  constexpr std::size_t kParity = 4;    // m parity blocks
+  constexpr std::size_t kBlock = 4096;  // bytes per block
+
+  // 1. A stripe: k data blocks + m (initially empty) parity blocks.
+  std::vector<std::vector<std::byte>> blocks(
+      kData + kParity, std::vector<std::byte>(kBlock));
+  std::mt19937_64 rng(2025);
+  for (std::size_t i = 0; i < kData; ++i) {
+    for (auto& b : blocks[i]) b = static_cast<std::byte>(rng());
+  }
+
+  // 2. Encode.
+  const dialga::DialgaCodec codec(kData, kParity);
+  {
+    std::vector<const std::byte*> data;
+    std::vector<std::byte*> parity;
+    for (std::size_t i = 0; i < kData; ++i) data.push_back(blocks[i].data());
+    for (std::size_t j = 0; j < kParity; ++j)
+      parity.push_back(blocks[kData + j].data());
+    codec.encode(kBlock, data, parity);
+  }
+  std::cout << "encoded RS(" << kData << "," << kParity << "), "
+            << kBlock << " B blocks\n";
+
+  // 3. Lose up to m blocks (here: two data blocks and one parity).
+  const std::vector<std::size_t> lost{1, 7, 11};
+  const auto golden1 = blocks[1];
+  const auto golden7 = blocks[7];
+  for (const std::size_t e : lost) {
+    std::fill(blocks[e].begin(), blocks[e].end(), std::byte{0});
+  }
+  std::cout << "erased blocks 1, 7 (data) and 11 (parity)\n";
+
+  // 4. Repair in place.
+  std::vector<std::byte*> all;
+  for (auto& b : blocks) all.push_back(b.data());
+  if (!codec.decode(kBlock, all, lost)) {
+    std::cerr << "decode failed!\n";
+    return 1;
+  }
+  const bool ok = blocks[1] == golden1 && blocks[7] == golden7;
+  std::cout << (ok ? "repair verified: data restored bit-exactly\n"
+                   : "repair MISMATCH\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Wide-stripe archival encoding — the VAST-style RS(k+m, k) with very
+// large k that motivates Observation 3 (the paper cites VAST's k = 154
+// against the L2 streamer's 32-stream tracking capacity).
+//
+// The demo archives a dataset under three codecs (plain ISA-L, ISA-L-D
+// decompose, DIALGA) at several stripe widths and reports the simulated
+// PM encode throughput of each, showing the streamer cliff at k > 32
+// and how software prefetch scheduling removes it. It also verifies the
+// archive functionally: encode, erase m random blocks, restore.
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "bench_util/runner.h"
+#include "bench_util/table.h"
+#include "dialga/dialga.h"
+#include "ec/isal.h"
+#include "ec/isal_decompose.h"
+
+namespace {
+
+bool VerifyRoundTrip(const ec::Codec& codec, std::size_t bs,
+                     std::uint64_t seed) {
+  const auto [k, m] = codec.params();
+  std::mt19937_64 rng(seed);
+  std::vector<std::vector<std::byte>> blocks(k + m,
+                                             std::vector<std::byte>(bs));
+  for (std::size_t i = 0; i < k; ++i)
+    for (auto& b : blocks[i]) b = static_cast<std::byte>(rng());
+
+  std::vector<const std::byte*> data;
+  std::vector<std::byte*> parity, all;
+  for (std::size_t i = 0; i < k; ++i) data.push_back(blocks[i].data());
+  for (std::size_t j = 0; j < m; ++j) parity.push_back(blocks[k + j].data());
+  for (auto& b : blocks) all.push_back(b.data());
+  codec.encode(bs, data, parity);
+  const auto golden = blocks;
+
+  std::vector<std::size_t> idx(k + m);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::shuffle(idx.begin(), idx.end(), rng);
+  const std::vector<std::size_t> lost(idx.begin(), idx.begin() + m);
+  for (const std::size_t e : lost)
+    std::fill(blocks[e].begin(), blocks[e].end(), std::byte{0});
+  if (!codec.decode(bs, all, lost)) return false;
+  return blocks == golden;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kBlock = 1024;
+  constexpr std::size_t kParity = 4;
+
+  bench_util::Table table({"k", "ISA-L GB/s", "ISA-L-D GB/s",
+                           "DIALGA GB/s", "DIALGA gain", "restore"});
+
+  for (const std::size_t k : {16u, 32u, 48u, 64u, 96u}) {
+    simmem::SimConfig cfg;
+    bench_util::WorkloadConfig wl;
+    wl.k = k;
+    wl.m = kParity;
+    wl.block_size = kBlock;
+    wl.total_data_bytes = 16ull << 20;
+
+    const ec::IsalCodec isal(k, kParity);
+    const ec::IsalDecomposeCodec isal_d(k, kParity);
+    const dialga::DialgaCodec dlg(k, kParity);
+
+    const auto r_isal = bench_util::RunEncode(cfg, wl, isal);
+    const auto r_d = bench_util::RunEncode(cfg, wl, isal_d);
+    auto provider = dlg.make_encode_provider({k, kParity, kBlock, 1}, cfg);
+    const auto r_dlg = bench_util::RunTimed(cfg, wl, *provider);
+
+    const bool ok = VerifyRoundTrip(dlg, kBlock, 1000 + k);
+    const double best = std::max(r_isal.gbps, r_d.gbps);
+    table.row({std::to_string(k), bench_util::Table::num(r_isal.gbps),
+               bench_util::Table::num(r_d.gbps),
+               bench_util::Table::num(r_dlg.gbps),
+               bench_util::Table::num(r_dlg.gbps / best) + "x",
+               ok ? "ok" : "FAIL"});
+    if (!ok) {
+      std::cerr << "restore failed at k=" << k << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "Wide-stripe archival encode on simulated PM ("
+            << "m=" << kParity << ", " << kBlock << " B blocks)\n\n";
+  table.print(std::cout);
+  std::cout << "\nNote the ISA-L cliff beyond k=32 (L2 streamer table "
+               "overflow) and how\ndecompose only partially recovers it "
+               "while DIALGA's pipelined software\nprefetch keeps "
+               "scaling to VAST-class stripe widths.\n";
+  return 0;
+}

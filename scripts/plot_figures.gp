@@ -1,0 +1,16 @@
+# Gnuplot helper: after
+#   mkdir -p csv && DIALGA_CSV_DIR=csv scripts/run_figures.sh
+# render the headline figure (Fig. 10) with:
+#   gnuplot -e "csvdir='csv'" scripts/plot_figures.gp
+csvdir = exists("csvdir") ? csvdir : "csv"
+set datafile separator comma
+set key outside
+set xlabel "k (data blocks per stripe)"
+set ylabel "simulated encode throughput (GB/s)"
+set term pngcairo size 900,540
+set output "fig10_encode_k.png"
+f = csvdir . "/bench_fig10_encode_k.csv"
+plot f using 1:2 with linespoints title "ISA-L", \
+     f using 1:3 with linespoints title "ISA-L-D", \
+     f using 1:5 with linespoints title "Cerasure", \
+     f using 1:6 with linespoints title "DIALGA"

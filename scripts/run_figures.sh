@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure (and the extension benches), teeing the
+# tables to bench_output.txt and, if DIALGA_CSV_DIR is set, per-figure
+# CSVs for plotting.
+set -euo pipefail
+BUILD="${1:-build}"
+OUT="${2:-bench_output.txt}"
+: > "$OUT"
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "##### $b" | tee -a "$OUT"
+  "$b" 2>/dev/null | tee -a "$OUT"
+done
+echo "wrote $OUT"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Re-run a subset of bench binaries and splice their sections into an
+# existing bench_output.txt (sections delimited by "##### <path>").
+set -euo pipefail
+OUT="${1:?usage: splice_bench.sh bench_output.txt binary...}"
+shift
+for b in "$@"; do
+  tmp="$(mktemp)"
+  { echo "##### $b"; "$b" 2>/dev/null; } > "$tmp"
+  python3 - "$OUT" "$b" "$tmp" <<'PY'
+import sys
+out, name, tmp = sys.argv[1:4]
+text = open(out).read()
+fresh = open(tmp).read()
+marker = f"##### {name}\n"
+start = text.find(marker)
+if start < 0:
+    text = text.rstrip("\n") + "\n" + fresh
+else:
+    nxt = text.find("##### ", start + len(marker))
+    end = nxt if nxt >= 0 else len(text)
+    text = text[:start] + fresh + text[end:]
+open(out, "w").write(text)
+PY
+  rm -f "$tmp"
+done

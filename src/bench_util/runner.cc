@@ -1,0 +1,53 @@
+#include "bench_util/runner.h"
+
+#include <cassert>
+
+namespace bench_util {
+
+RunResult RunTimed(const simmem::SimConfig& sim_cfg,
+                   const WorkloadConfig& wl_cfg, ec::PlanProvider& provider,
+                   bool hw_prefetch) {
+  Workload wl = BuildWorkload(wl_cfg);
+  simmem::MemorySystem mem(sim_cfg, wl_cfg.threads);
+  mem.set_hw_prefetcher_enabled(hw_prefetch);
+  for (ec::ThreadWork& w : wl.work) w.provider = &provider;
+
+  RunResult r;
+  r.payload_bytes = ec::RunThreads(mem, wl.work);
+  mem.flush_pm_writes();  // account write-combining residue
+  r.sim_seconds = mem.max_clock() * 1e-9;
+  r.gbps = r.sim_seconds > 0.0
+               ? static_cast<double>(r.payload_bytes) / mem.max_clock()
+               : 0.0;  // bytes/ns == GB/s
+  r.pmu = mem.pmu();
+  return r;
+}
+
+RunResult RunEncode(const simmem::SimConfig& sim_cfg, WorkloadConfig wl_cfg,
+                    const ec::Codec& codec, bool hw_prefetch) {
+  assert(codec.params().k == wl_cfg.k);
+  ec::FixedPlanProvider provider(
+      codec.encode_plan(wl_cfg.block_size, sim_cfg.cost));
+  wl_cfg.scratch_blocks =
+      std::max(wl_cfg.scratch_blocks, provider.plan().num_scratch);
+  // The Codec interface reports every parity block in params().m; the
+  // workload splits them as m + extra the same way.
+  wl_cfg.m = provider.plan().num_parity;
+  wl_cfg.extra_parity = 0;
+  return RunTimed(sim_cfg, wl_cfg, provider, hw_prefetch);
+}
+
+RunResult RunDecode(const simmem::SimConfig& sim_cfg, WorkloadConfig wl_cfg,
+                    const ec::Codec& codec,
+                    std::span<const std::size_t> erasures, bool hw_prefetch) {
+  assert(codec.params().k == wl_cfg.k);
+  ec::FixedPlanProvider provider(
+      codec.decode_plan(wl_cfg.block_size, sim_cfg.cost, erasures));
+  wl_cfg.scratch_blocks =
+      std::max(wl_cfg.scratch_blocks, provider.plan().num_scratch);
+  wl_cfg.m = provider.plan().num_parity;
+  wl_cfg.extra_parity = 0;
+  return RunTimed(sim_cfg, wl_cfg, provider, hw_prefetch);
+}
+
+}  // namespace bench_util

@@ -1,0 +1,44 @@
+// Timed-run orchestration shared by all figure benchmarks.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bench_util/workload.h"
+#include "ec/codec.h"
+#include "ec/executor.h"
+#include "simmem/memory_system.h"
+
+namespace bench_util {
+
+struct RunResult {
+  double sim_seconds = 0.0;        ///< simulated wall time (max core clock)
+  double gbps = 0.0;               ///< payload GB/s at simulated time
+  std::uint64_t payload_bytes = 0;
+  simmem::PmuCounters pmu;
+
+  /// Media-layer read amplification vs. the encode layer (Fig. 6/19).
+  double media_amplification() const {
+    return pmu.media_read_amplification();
+  }
+};
+
+/// Run a full timed encode/decode with one shared PlanProvider (DIALGA's
+/// coordinator is global, matching the paper). `hw_prefetch` is the
+/// machine-level streamer switch used by the observation experiments.
+RunResult RunTimed(const simmem::SimConfig& sim_cfg,
+                   const WorkloadConfig& wl_cfg, ec::PlanProvider& provider,
+                   bool hw_prefetch = true);
+
+/// Convenience: timed encode of a static codec (fixed plan). Scratch
+/// blocks are sized from the plan automatically.
+RunResult RunEncode(const simmem::SimConfig& sim_cfg, WorkloadConfig wl_cfg,
+                    const ec::Codec& codec, bool hw_prefetch = true);
+
+/// Convenience: timed decode of a static codec with the given erasures.
+RunResult RunDecode(const simmem::SimConfig& sim_cfg, WorkloadConfig wl_cfg,
+                    const ec::Codec& codec,
+                    std::span<const std::size_t> erasures,
+                    bool hw_prefetch = true);
+
+}  // namespace bench_util

@@ -1,0 +1,37 @@
+#include "bench_util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bench_util {
+
+Stats Summarize(std::span<const double> samples) {
+  Stats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  double sq = 0.0;
+  for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+  // Sample standard deviation (n-1), matching what a benchmark harness
+  // reports over repeated runs.
+  s.stdev = s.n > 1 ? std::sqrt(sq / static_cast<double>(s.n - 1)) : 0.0;
+  return s;
+}
+
+Stats RunEncodeRepeated(const simmem::SimConfig& sim_cfg,
+                        WorkloadConfig wl_cfg, const ec::Codec& codec,
+                        std::size_t runs, bool hw_prefetch) {
+  std::vector<double> gbps;
+  gbps.reserve(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    wl_cfg.seed = 1 + r;
+    gbps.push_back(RunEncode(sim_cfg, wl_cfg, codec, hw_prefetch).gbps);
+  }
+  return Summarize(gbps);
+}
+
+}  // namespace bench_util

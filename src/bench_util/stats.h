@@ -1,0 +1,34 @@
+// Multi-run statistics, mirroring the paper's methodology of averaging
+// results across 10 runs. The simulator is deterministic for a fixed
+// seed; run-to-run variance comes from re-seeding the random stripe
+// placement, which is exactly the variance a re-run on real hardware
+// with fresh allocations would see.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bench_util/runner.h"
+
+namespace bench_util {
+
+struct Stats {
+  double mean = 0.0;
+  double stdev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+
+  /// Coefficient of variation (stdev / mean).
+  double cv() const { return mean == 0.0 ? 0.0 : stdev / mean; }
+};
+
+Stats Summarize(std::span<const double> samples);
+
+/// Run a timed encode `runs` times with distinct workload seeds and
+/// summarize the simulated throughput.
+Stats RunEncodeRepeated(const simmem::SimConfig& sim_cfg,
+                        WorkloadConfig wl_cfg, const ec::Codec& codec,
+                        std::size_t runs = 10, bool hw_prefetch = true);
+
+}  // namespace bench_util

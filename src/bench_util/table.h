@@ -1,0 +1,34 @@
+// Minimal aligned-column table printer for the figure benchmarks: each
+// bench binary prints the same rows/series the paper's figure plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bench_util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double ratio, int precision = 1);  // 0.37 -> "37.0%"
+
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bench_util

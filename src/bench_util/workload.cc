@@ -1,0 +1,63 @@
+#include "bench_util/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace bench_util {
+
+Workload BuildWorkload(const WorkloadConfig& cfg) {
+  assert(cfg.k > 0 && cfg.block_size >= simmem::kCacheLineBytes);
+  Workload wl;
+
+  const std::size_t parities = cfg.m + cfg.extra_parity;
+  const std::size_t stripe_payload = cfg.k * cfg.block_size;
+  const std::size_t num_stripes =
+      std::max<std::size_t>(cfg.threads, cfg.total_data_bytes / stripe_payload);
+  wl.num_stripes = num_stripes;
+
+  // Pre-filled data pool: blocks are sampled block-aligned within it.
+  // The pool is much larger than the LLC (the paper pre-fills 1 GB) so
+  // random stripes see no incidental cache reuse; it costs nothing to
+  // oversize because timed regions carry no host backing.
+  const std::size_t pool_bytes = std::max<std::size_t>(
+      {cfg.total_data_bytes, stripe_payload, 1ull << 30});
+  const simmem::Region pool =
+      wl.space.alloc(cfg.data_kind, pool_bytes, simmem::kPageBytes);
+  const std::size_t slots_in_pool = pool_bytes / cfg.block_size;
+
+  const simmem::Region parity_region = wl.space.alloc(
+      cfg.parity_kind, num_stripes * parities * cfg.block_size,
+      simmem::kPageBytes);
+
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_int_distribution<std::size_t> slot_dist(0, slots_in_pool - 1);
+
+  wl.work.resize(cfg.threads);
+  for (std::size_t t = 0; t < cfg.threads; ++t) {
+    if (cfg.scratch_blocks > 0) {
+      const simmem::Region scratch = wl.space.alloc(
+          simmem::MemKind::kDram, cfg.scratch_blocks * cfg.block_size,
+          simmem::kPageBytes);
+      for (std::size_t s = 0; s < cfg.scratch_blocks; ++s) {
+        wl.work[t].scratch.push_back(scratch.base + s * cfg.block_size);
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < num_stripes; ++s) {
+    std::vector<std::uint64_t> slots;
+    slots.reserve(cfg.k + parities);
+    for (std::size_t i = 0; i < cfg.k; ++i) {
+      slots.push_back(pool.base + slot_dist(rng) * cfg.block_size);
+    }
+    for (std::size_t j = 0; j < parities; ++j) {
+      slots.push_back(parity_region.base +
+                      (s * parities + j) * cfg.block_size);
+    }
+    wl.work[s % cfg.threads].stripes.push_back(std::move(slots));
+  }
+  return wl;
+}
+
+}  // namespace bench_util

@@ -1,0 +1,140 @@
+#include "dialga/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dialga {
+
+namespace {
+/// Distance search bounds: searching below 4 is pointless (no latency
+/// left to hide) and beyond 256 the cache footprint dwarfs any gain.
+constexpr std::size_t kMinDistance = 4;
+constexpr std::size_t kMaxDistance = 256;
+}  // namespace
+
+Coordinator::Coordinator(const PatternInfo& pattern, const Features& features,
+                         const Thresholds& thresholds,
+                         std::size_t pm_buffer_bytes)
+    : pattern_(pattern),
+      feat_(features),
+      thr_(thresholds),
+      pm_buffer_bytes_(pm_buffer_bytes),
+      climber_(std::clamp(pattern.k, kMinDistance, kMaxDistance),
+               kMinDistance, kMaxDistance) {
+  decide();
+}
+
+const Strategy& Coordinator::strategy(const simmem::MemorySystem& mem) {
+  const double now = mem.max_clock();
+  if (now - last_sample_time_ >= thr_.sample_interval_ns) {
+    sample(mem, now);
+  }
+  return strat_;
+}
+
+void Coordinator::sample(const simmem::MemorySystem& mem, double now) {
+  const simmem::PmuCounters delta = mem.pmu() - last_pmu_;
+  const double elapsed = now - last_sample_time_;
+  last_pmu_ = mem.pmu();
+  last_sample_time_ = now;
+  ++samples_;
+  if (delta.loads == 0 || elapsed <= 0.0) return;
+
+  const double window_latency = delta.load_stall_ns /
+                                static_cast<double>(delta.loads);
+  const double window_useless = static_cast<double>(delta.hw_prefetches_useless);
+  const double window_gbps =
+      static_cast<double>(delta.encode_read_bytes) / elapsed;
+
+  // Low-pressure baselines: the least-contended window seen so far
+  // (the paper calibrates them in a dedicated low-pressure phase).
+  if (baseline_latency_ns_ < 0.0 || window_latency < baseline_latency_ns_) {
+    baseline_latency_ns_ = window_latency;
+  }
+  if (baseline_useless_ < 0.0 || window_useless < baseline_useless_) {
+    baseline_useless_ = window_useless;
+  }
+
+  contention_ =
+      window_latency > thr_.latency_contention_ratio * baseline_latency_ns_;
+  inefficient_ = window_useless > thr_.useless_prefetch_ratio *
+                                      std::max(baseline_useless_, 16.0);
+
+  if (feat_.sw_prefetch && feat_.adaptive) {
+    // Throughput fluctuation restarts the distance search (paper: 10 %).
+    if (last_window_gbps_ > 0.0 && climber_.converged()) {
+      const double swing =
+          std::abs(window_gbps - last_window_gbps_) / last_window_gbps_;
+      if (swing > thr_.perf_fluctuation) climber_.restart(climber_.current());
+    }
+    climber_.observe(window_latency);
+  }
+  last_window_gbps_ = window_gbps;
+
+  decide();
+}
+
+void Coordinator::decide() {
+  Strategy s;
+
+  // --- Hardware prefetcher -------------------------------------------
+  if (!feat_.hw_prefetch) {
+    s.hw_prefetch = false;
+  } else if (pattern_.k > thr_.wide_stripe_k) {
+    // Wide stripes exceed the streamer's tracking capacity; it loses
+    // confidence and shuts down on its own — no need to pay the
+    // shuffle overhead to manage it.
+    s.hw_prefetch = true;
+  } else if (pattern_.nthreads > thr_.thread_threshold) {
+    s.hw_prefetch = false;  // Eq. 1 says the read buffer will thrash
+  } else if (contention_ && inefficient_) {
+    s.hw_prefetch = false;
+  } else {
+    // Narrow stripes / small blocks prefetch inefficiently, but the
+    // amplified traffic does not hurt under low pressure — leave it on.
+    s.hw_prefetch = true;
+  }
+
+  // --- Software prefetch distance -------------------------------------
+  if (feat_.sw_prefetch) {
+    std::size_t d = feat_.adaptive
+                        ? climber_.current()
+                        : std::clamp(pattern_.k, kMinDistance, kMaxDistance);
+    const bool high_pressure =
+        pattern_.nthreads > thr_.thread_threshold || contention_;
+    // 4 KiB-aligned blocks on trackable stripes: the streamer covers the
+    // whole block at peak efficiency and never crosses the page, so
+    // software prefetching only adds issue overhead and traffic
+    // (section 4.1 "I/O Access Pattern"; Fig. 12's limited 4 KiB gains).
+    const bool streamer_at_peak =
+        s.hw_prefetch && pattern_.k <= thr_.wide_stripe_k &&
+        pattern_.block_size >= thr_.large_block_bytes &&
+        pattern_.block_size % thr_.large_block_bytes == 0;
+    if (streamer_at_peak && !high_pressure) {
+      strat_ = s;  // hw-only strategy
+      return;
+    }
+    // Blocks beyond 4 KiB that are not 4 KiB multiples: the streamer
+    // covers the aligned prefix; prefetch only the unaligned tail.
+    if (s.hw_prefetch && pattern_.k <= thr_.wide_stripe_k &&
+        pattern_.block_size > thr_.large_block_bytes && !high_pressure) {
+      s.sw_tail_offset =
+          pattern_.block_size / thr_.large_block_bytes *
+          thr_.large_block_bytes;
+    }
+    if (feat_.buffer_friendly && high_pressure) {
+      d = std::min(d, MaxDistanceForBuffer(pattern_.nthreads, pattern_.k,
+                                           pattern_.m, pm_buffer_bytes_));
+      s.widen_to_xpline = true;
+    } else if (feat_.buffer_friendly) {
+      // Low pressure: pull XPLine-opening lines in earlier (initially
+      // k+4, then tracking the adapted distance).
+      s.xpline_first_distance = d + 4;
+    }
+    s.sw_distance = d;
+  }
+
+  strat_ = s;
+}
+
+}  // namespace dialga

@@ -1,0 +1,78 @@
+// DIALGA's adaptive coordinator (section 4.1).
+//
+// At every sampling tick (1 kHz of simulated time) the coordinator
+// reads the PMU counters the way the paper samples Perf/PEBS, computes
+// the window deltas, and re-decides the scheduling strategy:
+//
+//  * read-traffic contention  <=> window load latency > 110 % of the
+//    low-pressure average;
+//  * HW-prefetcher inefficiency <=> useless-L2-prefetch delta > 150 %
+//    of the low-pressure window;
+//  * both detected, or more than 12 concurrent threads => defeat the HW
+//    prefetcher (via the shuffle mapping);
+//  * wide stripes (k > 32) are left alone — the streamer self-disables;
+//  * blocks >= 4 KiB keep the HW prefetcher on;
+//  * the software prefetch distance is tuned by hill climbing on the
+//    window's average load latency, restarted when throughput
+//    fluctuates by more than 10 %;
+//  * buffer-friendly mode splits distances under low pressure and
+//    widens the loop + caps the distance by Eq. 1 under high pressure.
+#pragma once
+
+#include "dialga/hill_climb.h"
+#include "dialga/policy.h"
+#include "simmem/memory_system.h"
+
+namespace dialga {
+
+/// Workload shape collected "via the ISA-L library interface".
+struct PatternInfo {
+  std::size_t k = 0;
+  std::size_t m = 0;
+  std::size_t block_size = 0;
+  std::size_t nthreads = 1;
+};
+
+class Coordinator {
+ public:
+  Coordinator(const PatternInfo& pattern, const Features& features,
+              const Thresholds& thresholds, std::size_t pm_buffer_bytes);
+
+  /// Strategy to use for the next stripe. Samples the PMU when the
+  /// simulated clock has advanced past the sampling interval.
+  const Strategy& strategy(const simmem::MemorySystem& mem);
+
+  /// Strategy chosen from the static pattern alone, before any
+  /// sampling (what the first stripe runs with).
+  const Strategy& initial_strategy() const { return strat_; }
+
+  // Introspection (tests, EXPERIMENTS.md traces).
+  std::size_t samples_taken() const { return samples_; }
+  bool contention() const { return contention_; }
+  bool prefetcher_inefficient() const { return inefficient_; }
+  const HillClimber& climber() const { return climber_; }
+
+ private:
+  void sample(const simmem::MemorySystem& mem, double now);
+  void decide();
+
+  PatternInfo pattern_;
+  Features feat_;
+  Thresholds thr_;
+  std::size_t pm_buffer_bytes_;
+
+  Strategy strat_;
+  HillClimber climber_;
+
+  // Sampling state.
+  double last_sample_time_ = 0.0;
+  simmem::PmuCounters last_pmu_;
+  std::size_t samples_ = 0;
+  double baseline_latency_ns_ = -1.0;   // low-pressure average
+  double baseline_useless_ = -1.0;      // low-pressure useless-pf delta
+  double last_window_gbps_ = -1.0;
+  bool contention_ = false;
+  bool inefficient_ = false;
+};
+
+}  // namespace dialga

@@ -1,0 +1,65 @@
+#include "dialga/hill_climb.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dialga {
+
+HillClimber::HillClimber(std::size_t init, std::size_t lo, std::size_t hi,
+                         std::size_t neighborhood)
+    : lo_(lo), hi_(hi), neighborhood_(std::max<std::size_t>(2, neighborhood)) {
+  assert(lo_ <= hi_);
+  restart(init);
+}
+
+void HillClimber::restart(std::size_t init) {
+  best_ = std::clamp(init, lo_, hi_);
+  have_best_objective_ = false;
+  probing_ = true;
+  rounds_ = 0;
+  begin_round(best_);
+}
+
+void HillClimber::begin_round(std::size_t center) {
+  queue_.clear();
+  // Probe the incumbent first, then the neighbourhood around it:
+  // center +-1, +-2, ... until `neighborhood_` candidates are queued.
+  queue_.push_back(center);
+  for (std::size_t step = 1; queue_.size() < neighborhood_ + 1; ++step) {
+    const std::size_t up = center + step;
+    if (up <= hi_) queue_.push_back(up);
+    if (center >= lo_ + step) queue_.push_back(center - step);
+    if (up > hi_ && center < lo_ + step) break;  // range exhausted
+  }
+  round_has_best_ = false;
+  candidate_ = queue_.front();
+  queue_.erase(queue_.begin());
+  ++rounds_;
+}
+
+void HillClimber::observe(double objective) {
+  if (!probing_) return;
+  if (!round_has_best_ || objective < round_best_obj_) {
+    round_best_ = candidate_;
+    round_best_obj_ = objective;
+    round_has_best_ = true;
+  }
+  if (!queue_.empty()) {
+    candidate_ = queue_.front();
+    queue_.erase(queue_.begin());
+    return;
+  }
+  // Round complete: move to the best candidate or lock in.
+  if (round_best_ == best_ && have_best_objective_) {
+    probing_ = false;
+    return;
+  }
+  best_ = round_best_;
+  best_objective_ = round_best_obj_;
+  have_best_objective_ = true;
+  // A round centered on the incumbent that still elects the incumbent
+  // terminates next time around.
+  begin_round(best_);
+}
+
+}  // namespace dialga

@@ -1,0 +1,59 @@
+// Hill-climbing search for the software prefetch distance (section
+// 4.1.2): start at d = k, explore a neighbourhood of 16 candidates
+// around the current distance, move to the best, and lock once the
+// current distance is a local optimum. The search restarts when the
+// coordinator observes a throughput fluctuation above 10 %.
+//
+// The objective fed to observe() is a latency (lower is better) — the
+// paper uses the latency of 128 B sub-tasks; the coordinator feeds the
+// per-load stall average of the sampling window.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dialga {
+
+class HillClimber {
+ public:
+  /// Search in [lo, hi], starting at `init`, probing `neighborhood`
+  /// candidates around the incumbent per round.
+  HillClimber(std::size_t init, std::size_t lo, std::size_t hi,
+              std::size_t neighborhood = 16);
+
+  /// Distance to use for the next measurement window.
+  std::size_t current() const { return probing_ ? candidate_ : best_; }
+
+  /// Feed the objective measured with current(); advances the search.
+  void observe(double objective);
+
+  /// True once a local optimum is locked in.
+  bool converged() const { return !probing_; }
+
+  /// Restart the search around `init` (coordinator calls this on a
+  /// >10 % throughput fluctuation, per the paper).
+  void restart(std::size_t init);
+
+  std::size_t rounds() const { return rounds_; }
+
+ private:
+  void begin_round(std::size_t center);
+
+  std::size_t lo_;
+  std::size_t hi_;
+  std::size_t neighborhood_;
+
+  std::size_t best_ = 0;
+  double best_objective_ = 0.0;
+  bool have_best_objective_ = false;
+
+  bool probing_ = true;
+  std::vector<std::size_t> queue_;  // candidates left in this round
+  std::size_t candidate_ = 0;
+  std::size_t round_best_ = 0;
+  double round_best_obj_ = 0.0;
+  bool round_has_best_ = false;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace dialga

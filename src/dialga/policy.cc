@@ -1,0 +1,20 @@
+#include "dialga/policy.h"
+
+#include <algorithm>
+
+#include "simmem/config.h"
+
+namespace dialga {
+
+std::size_t MaxDistanceForBuffer(std::size_t nthreads, std::size_t k,
+                                 std::size_t m, std::size_t buffer_bytes) {
+  constexpr std::size_t kFloor = 8;
+  const std::size_t per_wrap = nthreads * k * simmem::kXpLineBytes;
+  if (per_wrap == 0) return kFloor;
+  // ceil(d / (k+m)) <= buffer / per_wrap  =>  d <= (k+m) * floor(...)
+  const std::size_t wraps = buffer_bytes / per_wrap;
+  const std::size_t cap = (k + m) * wraps;
+  return std::max(kFloor, cap);
+}
+
+}  // namespace dialga

@@ -1,0 +1,84 @@
+#include "ec/codec_util.h"
+
+#include <cassert>
+#include <vector>
+
+#include "gf/gf_simd.h"
+
+namespace ec {
+
+void SystematicEncode(const gf::Matrix& gen, std::size_t k, std::size_t m,
+                      std::size_t block_size,
+                      std::span<const std::byte* const> data,
+                      std::span<std::byte* const> parity) {
+  assert(data.size() == k && parity.size() == m);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const gf::u8 c = gen.at(k + j, i);
+      if (i == 0) {
+        gf::mul_set(c, data[i], parity[j], block_size);
+      } else {
+        gf::mul_acc(c, data[i], parity[j], block_size);
+      }
+    }
+  }
+}
+
+bool SystematicDecode(const gf::Matrix& gen, std::size_t k, std::size_t m,
+                      std::size_t block_size,
+                      std::span<std::byte* const> blocks,
+                      std::span<const std::size_t> erasures) {
+  assert(blocks.size() == k + m);
+  if (erasures.size() > m) return false;
+
+  std::vector<bool> erased(k + m, false);
+  for (const std::size_t e : erasures) {
+    assert(e < k + m);
+    if (erased[e]) return false;
+    erased[e] = true;
+  }
+
+  std::vector<std::size_t> present;
+  present.reserve(k);
+  for (std::size_t i = 0; i < k + m && present.size() < k; ++i) {
+    if (!erased[i]) present.push_back(i);
+  }
+  if (present.size() < k) return false;
+
+  std::vector<std::size_t> erased_data;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (erased[i]) erased_data.push_back(i);
+  }
+
+  if (!erased_data.empty()) {
+    const auto dm = gf::decode_matrix(gen, present, erased_data);
+    if (!dm) return false;
+    for (std::size_t r = 0; r < erased_data.size(); ++r) {
+      std::byte* out = blocks[erased_data[r]];
+      for (std::size_t c = 0; c < k; ++c) {
+        const gf::u8 coef = dm->at(r, c);
+        if (c == 0) {
+          gf::mul_set(coef, blocks[present[c]], out, block_size);
+        } else {
+          gf::mul_acc(coef, blocks[present[c]], out, block_size);
+        }
+      }
+    }
+  }
+
+  for (std::size_t j = 0; j < m; ++j) {
+    if (!erased[k + j]) continue;
+    std::byte* out = blocks[k + j];
+    for (std::size_t i = 0; i < k; ++i) {
+      const gf::u8 c = gen.at(k + j, i);
+      if (i == 0) {
+        gf::mul_set(c, blocks[i], out, block_size);
+      } else {
+        gf::mul_acc(c, blocks[i], out, block_size);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ec

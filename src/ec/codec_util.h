@@ -1,0 +1,25 @@
+// Shared functional encode/decode over a systematic GF(2^8) generator,
+// used by every codec's correctness path.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "gf/matrix.h"
+
+namespace ec {
+
+/// parity[j] = sum_i gen(k+j, i) * data[i], region-wise.
+void SystematicEncode(const gf::Matrix& gen, std::size_t k, std::size_t m,
+                      std::size_t block_size,
+                      std::span<const std::byte* const> data,
+                      std::span<std::byte* const> parity);
+
+/// Reconstruct erased blocks in place (blocks = k data then m parity).
+/// Returns false when unrecoverable.
+bool SystematicDecode(const gf::Matrix& gen, std::size_t k, std::size_t m,
+                      std::size_t block_size,
+                      std::span<std::byte* const> blocks,
+                      std::span<const std::size_t> erasures);
+
+}  // namespace ec

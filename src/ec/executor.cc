@@ -1,0 +1,96 @@
+#include "ec/executor.h"
+
+#include <cassert>
+#include <limits>
+
+namespace ec {
+
+namespace {
+
+inline void ExecOp(simmem::MemorySystem& mem, std::size_t tid,
+                   const PlanOp& op, const SlotBinding& slots,
+                   std::size_t stripe_blocks) {
+  switch (op.kind) {
+    case PlanOp::Kind::kLoad:
+      mem.load(tid, slots.base(op.block, stripe_blocks) + op.offset);
+      break;
+    case PlanOp::Kind::kStore:
+      mem.store_nt(tid, slots.base(op.block, stripe_blocks) + op.offset);
+      break;
+    case PlanOp::Kind::kStoreCached:
+      mem.store_cached(tid, slots.base(op.block, stripe_blocks) + op.offset);
+      break;
+    case PlanOp::Kind::kPrefetch:
+      mem.sw_prefetch(tid, slots.base(op.block, stripe_blocks) + op.offset);
+      break;
+    case PlanOp::Kind::kCompute:
+      mem.compute_cycles(tid, op.cycles);
+      break;
+    case PlanOp::Kind::kFence:
+      mem.fence(tid);
+      break;
+  }
+}
+
+}  // namespace
+
+void RunPlan(simmem::MemorySystem& mem, std::size_t tid,
+             const EncodePlan& plan, const SlotBinding& slots) {
+  const std::size_t stripe_blocks = plan.num_data + plan.num_parity;
+  assert(slots.stripe.size() >= stripe_blocks);
+  assert(slots.scratch.size() >= plan.num_scratch);
+  for (const PlanOp& op : plan.ops) {
+    ExecOp(mem, tid, op, slots, stripe_blocks);
+  }
+}
+
+std::uint64_t RunThreads(simmem::MemorySystem& mem,
+                         std::span<ThreadWork> work) {
+  assert(work.size() <= mem.num_threads());
+
+  struct Cursor {
+    std::size_t stripe = 0;
+    std::size_t op = 0;
+    const EncodePlan* plan = nullptr;
+    bool done = false;
+  };
+  std::vector<Cursor> cur(work.size());
+  std::uint64_t payload = 0;
+
+  for (std::size_t t = 0; t < work.size(); ++t) {
+    if (work[t].stripes.empty()) cur[t].done = true;
+  }
+
+  while (true) {
+    // Pick the live core with the smallest clock.
+    std::size_t best = work.size();
+    double best_clock = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < work.size(); ++t) {
+      if (!cur[t].done && mem.clock(t) < best_clock) {
+        best_clock = mem.clock(t);
+        best = t;
+      }
+    }
+    if (best == work.size()) break;
+
+    Cursor& c = cur[best];
+    ThreadWork& w = work[best];
+    if (c.plan == nullptr) {
+      c.plan = &w.provider->next_plan(best, mem);
+      c.op = 0;
+      assert(c.plan->num_scratch <= w.scratch.size());
+    }
+    const EncodePlan& plan = *c.plan;
+    const SlotBinding slots{w.stripes[c.stripe], w.scratch};
+    ExecOp(mem, best, plan.ops[c.op], slots,
+           plan.num_data + plan.num_parity);
+    if (++c.op == plan.ops.size()) {
+      payload += plan.data_bytes();
+      c.plan = nullptr;
+      if (++c.stripe == w.stripes.size()) c.done = true;
+    }
+  }
+  return payload;
+}
+
+}  // namespace ec

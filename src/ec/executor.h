@@ -1,0 +1,75 @@
+// Timed plan execution on the simulated memory hierarchy.
+//
+// RunPlan replays one stripe's plan for one simulated core. RunThreads
+// drives many cores smallest-clock-first at single-op granularity, so
+// accesses to shared resources (LLC, PM read buffer, channel bandwidth)
+// interleave in time order — the mechanism behind the multi-thread
+// scalability figures (7, 13, 19).
+//
+// A PlanProvider is consulted at every stripe boundary, which is the
+// hook DIALGA's adaptive coordinator uses to switch strategies during a
+// run; static codecs use FixedPlanProvider.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ec/plan.h"
+#include "simmem/memory_system.h"
+
+namespace ec {
+
+/// Slot -> simulated-address binding for one stripe execution.
+struct SlotBinding {
+  /// Base addresses of the stripe's data+parity blocks (k then m).
+  std::span<const std::uint64_t> stripe;
+  /// Base addresses of this thread's scratch blocks.
+  std::span<const std::uint64_t> scratch;
+
+  std::uint64_t base(std::size_t slot, std::size_t stripe_blocks) const {
+    return slot < stripe_blocks ? stripe[slot]
+                                : scratch[slot - stripe_blocks];
+  }
+};
+
+/// Replay `plan` once on core `tid`.
+void RunPlan(simmem::MemorySystem& mem, std::size_t tid,
+             const EncodePlan& plan, const SlotBinding& slots);
+
+class PlanProvider {
+ public:
+  virtual ~PlanProvider() = default;
+  /// Plan for the next stripe on core `tid`. Called at stripe start;
+  /// the reference must stay valid until the next call for that core.
+  virtual const EncodePlan& next_plan(std::size_t tid,
+                                      simmem::MemorySystem& mem) = 0;
+};
+
+class FixedPlanProvider : public PlanProvider {
+ public:
+  explicit FixedPlanProvider(EncodePlan plan) : plan_(std::move(plan)) {}
+  const EncodePlan& next_plan(std::size_t, simmem::MemorySystem&) override {
+    return plan_;
+  }
+  const EncodePlan& plan() const { return plan_; }
+
+ private:
+  EncodePlan plan_;
+};
+
+/// One simulated core's job queue.
+struct ThreadWork {
+  PlanProvider* provider = nullptr;
+  /// Per stripe: base addresses of its data+parity blocks.
+  std::vector<std::vector<std::uint64_t>> stripes;
+  /// Scratch block base addresses for this core.
+  std::vector<std::uint64_t> scratch;
+};
+
+/// Execute all jobs, interleaving ops smallest-clock-first. Returns the
+/// total payload (data) bytes processed.
+std::uint64_t RunThreads(simmem::MemorySystem& mem,
+                         std::span<ThreadWork> work);
+
+}  // namespace ec

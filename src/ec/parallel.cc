@@ -1,0 +1,62 @@
+#include "ec/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ec {
+
+namespace {
+
+std::size_t WorkerCount(std::size_t requested, std::size_t jobs) {
+  std::size_t n = requested != 0 ? requested
+                                 : std::max(1u, std::thread::hardware_concurrency());
+  return std::min(n, std::max<std::size_t>(1, jobs));
+}
+
+template <typename Fn>
+void RunWorkers(std::size_t threads, std::size_t jobs, Fn&& body) {
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < jobs; i = next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace
+
+void ParallelEncode(const Codec& codec, std::size_t block_size,
+                    std::span<const StripeBuffers> stripes,
+                    std::size_t threads) {
+  RunWorkers(WorkerCount(threads, stripes.size()), stripes.size(),
+             [&](std::size_t i) {
+               codec.encode(block_size, stripes[i].data, stripes[i].parity);
+             });
+}
+
+std::size_t ParallelDecode(const Codec& codec, std::size_t block_size,
+                           std::span<const DecodeJob> jobs,
+                           std::size_t threads) {
+  std::atomic<std::size_t> failures{0};
+  RunWorkers(WorkerCount(threads, jobs.size()), jobs.size(),
+             [&](std::size_t i) {
+               if (!codec.decode(block_size, jobs[i].blocks,
+                                 jobs[i].erasures)) {
+                 failures.fetch_add(1, std::memory_order_relaxed);
+               }
+             });
+  return failures.load();
+}
+
+}  // namespace ec

@@ -1,0 +1,39 @@
+// Host-parallel functional encoding: spread stripes across std::thread
+// workers. This is real-wall-clock parallelism for library users
+// protecting actual data (the shard store, the PM pool) — unrelated to
+// the simulator's modelled cores, which exist to reproduce the paper's
+// scalability figures deterministically.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "ec/codec.h"
+
+namespace ec {
+
+/// One stripe's functional buffers.
+struct StripeBuffers {
+  std::span<const std::byte* const> data;  // k pointers
+  std::span<std::byte* const> parity;      // m pointers
+};
+
+/// Encode every stripe with `threads` workers (0 = hardware
+/// concurrency). The codec must be safe for concurrent encode() calls
+/// with distinct buffers — all codecs in this library are (encode is
+/// const and touches only its arguments).
+void ParallelEncode(const Codec& codec, std::size_t block_size,
+                    std::span<const StripeBuffers> stripes,
+                    std::size_t threads = 0);
+
+/// Parallel scrub-style decode: repairs each stripe's erasures in
+/// place. Returns the number of stripes that failed to decode.
+struct DecodeJob {
+  std::span<std::byte* const> blocks;        // k + m pointers
+  std::span<const std::size_t> erasures;
+};
+std::size_t ParallelDecode(const Codec& codec, std::size_t block_size,
+                           std::span<const DecodeJob> jobs,
+                           std::size_t threads = 0);
+
+}  // namespace ec

@@ -1,0 +1,22 @@
+#include "ec/plan.h"
+
+namespace ec {
+
+const char* to_string(SimdWidth w) {
+  return w == SimdWidth::kAvx512 ? "AVX512" : "AVX256";
+}
+
+std::size_t EncodePlan::count(PlanOp::Kind kind) const {
+  std::size_t n = 0;
+  for (const PlanOp& op : ops) n += op.kind == kind ? 1 : 0;
+  return n;
+}
+
+double EncodePlan::total_compute_cycles() const {
+  double c = 0.0;
+  for (const PlanOp& op : ops)
+    if (op.kind == PlanOp::Kind::kCompute) c += op.cycles;
+  return c;
+}
+
+}  // namespace ec

@@ -1,0 +1,82 @@
+// Encode/decode plans: the single source of truth for a codec's memory
+// access pattern.
+//
+// A plan is the per-stripe sequence of primitive operations (64 B loads,
+// non-temporal stores, software prefetches, compute bursts) expressed
+// against *block slots* rather than addresses. The timed executor
+// (ec/executor.h) binds slots to simulated addresses and replays the
+// plan through simmem::MemorySystem; throughput, PMU counters and all
+// paper figures derive from that replay. Slot layout:
+//
+//   [0, num_data)                         data blocks
+//   [num_data, num_data+num_parity)       parity blocks
+//   [num_data+num_parity, ... +scratch)   per-thread scratch blocks
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ec {
+
+/// SIMD width of the modelled kernel (Fig. 15). Functional correctness
+/// always uses the host's best ISA; this only affects modelled cycles.
+enum class SimdWidth : std::uint8_t { kAvx256, kAvx512 };
+
+const char* to_string(SimdWidth w);
+
+struct PlanOp {
+  enum class Kind : std::uint8_t {
+    kLoad,
+    kStore,        // non-temporal streaming store (final parity)
+    kStoreCached,  // write-allocate store (scratch: partials, temps)
+    kPrefetch,
+    kCompute,
+    kFence  // sfence: wait for this core's posted NT stores to drain
+  };
+  Kind kind = Kind::kLoad;
+  std::uint16_t block = 0;   ///< block slot index
+  std::uint32_t offset = 0;  ///< byte offset within the block
+  float cycles = 0.0f;       ///< kCompute only
+};
+
+struct EncodePlan {
+  std::vector<PlanOp> ops;
+  std::size_t num_data = 0;
+  std::size_t num_parity = 0;
+  std::size_t num_scratch = 0;
+  std::size_t block_size = 0;
+
+  std::size_t num_slots() const { return num_data + num_parity + num_scratch; }
+  /// Payload bytes this plan processes (for throughput accounting).
+  std::size_t data_bytes() const { return num_data * block_size; }
+
+  void load(std::size_t block, std::size_t offset) {
+    ops.push_back({PlanOp::Kind::kLoad, static_cast<std::uint16_t>(block),
+                   static_cast<std::uint32_t>(offset), 0.0f});
+  }
+  void store(std::size_t block, std::size_t offset) {
+    ops.push_back({PlanOp::Kind::kStore, static_cast<std::uint16_t>(block),
+                   static_cast<std::uint32_t>(offset), 0.0f});
+  }
+  void store_cached(std::size_t block, std::size_t offset) {
+    ops.push_back({PlanOp::Kind::kStoreCached,
+                   static_cast<std::uint16_t>(block),
+                   static_cast<std::uint32_t>(offset), 0.0f});
+  }
+  void prefetch(std::size_t block, std::size_t offset) {
+    ops.push_back({PlanOp::Kind::kPrefetch, static_cast<std::uint16_t>(block),
+                   static_cast<std::uint32_t>(offset), 0.0f});
+  }
+  void compute(double cycles) {
+    ops.push_back(
+        {PlanOp::Kind::kCompute, 0, 0, static_cast<float>(cycles)});
+  }
+  void fence() { ops.push_back({PlanOp::Kind::kFence, 0, 0, 0.0f}); }
+
+  /// Totals for sanity checks in tests.
+  std::size_t count(PlanOp::Kind kind) const;
+  double total_compute_cycles() const;
+};
+
+}  // namespace ec

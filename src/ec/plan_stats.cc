@@ -1,0 +1,135 @@
+#include "ec/plan_stats.h"
+
+#include <map>
+#include <sstream>
+
+namespace ec {
+
+PlanStats AnalyzePlan(const EncodePlan& plan) {
+  PlanStats st;
+
+  // Pass 1: index every load by (slot, line) in task order.
+  std::map<std::pair<std::uint16_t, std::uint32_t>,
+           std::vector<std::size_t>>
+      load_tasks;
+  std::size_t load_index = 0;
+  for (const PlanOp& op : plan.ops) {
+    switch (op.kind) {
+      case PlanOp::Kind::kLoad: {
+        const auto key = std::make_pair(op.block, op.offset / 64u);
+        auto [it, inserted] = load_tasks.try_emplace(key);
+        if (!inserted) ++st.repeat_loads;
+        it->second.push_back(load_index++);
+        ++st.loads;
+        break;
+      }
+      case PlanOp::Kind::kStore:
+        ++st.stores_nt;
+        break;
+      case PlanOp::Kind::kStoreCached:
+        ++st.stores_cached;
+        break;
+      case PlanOp::Kind::kPrefetch:
+        ++st.prefetches;
+        break;
+      case PlanOp::Kind::kCompute:
+        st.compute_cycles += op.cycles;
+        break;
+      case PlanOp::Kind::kFence:
+        ++st.fences;
+        break;
+    }
+  }
+  st.distinct_lines_loaded = load_tasks.size();
+
+  // Pass 2: prefetch leads — distance (in load tasks) from each
+  // prefetch to the next demand load of the same line.
+  std::size_t task = 0;
+  double lead_sum = 0.0;
+  std::size_t lead_count = 0;
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind == PlanOp::Kind::kLoad) {
+      ++task;
+      continue;
+    }
+    if (op.kind != PlanOp::Kind::kPrefetch) continue;
+    const auto key = std::make_pair(op.block, op.offset / 64u);
+    const auto it = load_tasks.find(key);
+    bool matched = false;
+    if (it != load_tasks.end()) {
+      for (const std::size_t t : it->second) {
+        if (t >= task) {
+          const std::size_t lead = t - task;
+          st.prefetch_lead_min = lead_count == 0
+                                     ? lead
+                                     : std::min(st.prefetch_lead_min, lead);
+          st.prefetch_lead_max = std::max(st.prefetch_lead_max, lead);
+          lead_sum += static_cast<double>(lead);
+          ++lead_count;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) ++st.orphan_prefetches;
+  }
+  st.prefetch_lead_avg =
+      lead_count == 0 ? 0.0 : lead_sum / static_cast<double>(lead_count);
+  return st;
+}
+
+std::string FormatPlanStats(const EncodePlan& plan, const PlanStats& st) {
+  std::ostringstream os;
+  os << "plan: " << plan.num_data << " data + " << plan.num_parity
+     << " parity + " << plan.num_scratch << " scratch slots, "
+     << plan.block_size << " B blocks, " << plan.ops.size() << " ops\n";
+  os << "  loads:          " << st.loads << " (" << st.distinct_lines_loaded
+     << " distinct lines, " << static_cast<int>(
+            st.repeat_load_fraction() * 100)
+     << "% repeats)\n";
+  os << "  stores:         " << st.stores_nt << " NT + " << st.stores_cached
+     << " cached\n";
+  os << "  prefetches:     " << st.prefetches;
+  if (st.prefetches > 0) {
+    os << " (lead min/avg/max = " << st.prefetch_lead_min << "/"
+       << st.prefetch_lead_avg << "/" << st.prefetch_lead_max
+       << " tasks, orphans " << st.orphan_prefetches << ")";
+  }
+  os << "\n";
+  os << "  compute:        " << st.compute_cycles << " cycles\n";
+  os << "  traffic/stripe: " << st.read_bytes() << " B read, "
+     << st.write_bytes() << " B written, fences " << st.fences << "\n";
+  return os.str();
+}
+
+std::string PlanToString(const EncodePlan& plan) {
+  std::ostringstream os;
+  bool first = true;
+  for (const PlanOp& op : plan.ops) {
+    if (!first) os << ' ';
+    first = false;
+    switch (op.kind) {
+      case PlanOp::Kind::kLoad:
+        os << 'L' << op.block << '+' << op.offset;
+        break;
+      case PlanOp::Kind::kStore:
+        os << 'S' << op.block << '+' << op.offset;
+        break;
+      case PlanOp::Kind::kStoreCached:
+        os << 's' << op.block << '+' << op.offset;
+        break;
+      case PlanOp::Kind::kPrefetch:
+        os << 'P' << op.block << '+' << op.offset;
+        break;
+      case PlanOp::Kind::kCompute:
+        os << 'C';  // cycles pinned separately (float formatting)
+        break;
+      case PlanOp::Kind::kFence:
+        os << 'F';
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ec

@@ -1,0 +1,54 @@
+// Static analysis of encode/decode plans: op counts, traffic, repeat-
+// load fractions and prefetch lead distances. Used by tests (structural
+// assertions), the plan_inspect tool, and anyone debugging why a
+// codec's access pattern behaves the way it does on the simulator.
+#pragma once
+
+#include <string>
+
+#include "ec/plan.h"
+
+namespace ec {
+
+struct PlanStats {
+  // Op counts.
+  std::size_t loads = 0;
+  std::size_t stores_nt = 0;
+  std::size_t stores_cached = 0;
+  std::size_t prefetches = 0;
+  std::size_t fences = 0;
+  double compute_cycles = 0.0;
+
+  // Line-level structure.
+  std::size_t distinct_lines_loaded = 0;
+  /// Loads hitting a line already loaded earlier in the plan (cache-
+  /// friendly reuse for XOR codecs, 0 for the table codecs).
+  std::size_t repeat_loads = 0;
+
+  // Prefetch timeliness (in load-task units).
+  std::size_t prefetch_lead_min = 0;
+  std::size_t prefetch_lead_max = 0;
+  double prefetch_lead_avg = 0.0;
+  /// Prefetches whose line is never demanded afterwards (should be 0
+  /// for a correct pipelined schedule).
+  std::size_t orphan_prefetches = 0;
+
+  double repeat_load_fraction() const {
+    return loads == 0 ? 0.0
+                      : static_cast<double>(repeat_loads) /
+                            static_cast<double>(loads);
+  }
+  std::size_t read_bytes() const { return loads * 64; }
+  std::size_t write_bytes() const { return (stores_nt + stores_cached) * 64; }
+};
+
+PlanStats AnalyzePlan(const EncodePlan& plan);
+
+/// Multi-line human-readable rendering.
+std::string FormatPlanStats(const EncodePlan& plan, const PlanStats& stats);
+
+/// Compact one-op-per-token serialization ("L0+0 C L1+0 ... S4+0 F"),
+/// used by golden snapshot tests to pin a codec's exact access pattern.
+std::string PlanToString(const EncodePlan& plan);
+
+}  // namespace ec

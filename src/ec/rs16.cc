@@ -1,0 +1,128 @@
+#include "ec/rs16.h"
+
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+namespace ec {
+
+Rs16Codec::Rs16Codec(std::size_t k, std::size_t m, SimdWidth simd)
+    : k_(k), m_(m), simd_(simd), gen_(gf16::cauchy_generator(k, m)) {
+  assert(k > 0 && m > 0 && k + m <= gf16::kFieldSize);
+}
+
+void Rs16Codec::encode(std::size_t block_size,
+                       std::span<const std::byte* const> data,
+                       std::span<std::byte* const> parity) const {
+  assert(data.size() == k_ && parity.size() == m_);
+  assert(block_size % 2 == 0);
+  for (std::size_t j = 0; j < m_; ++j) {
+    for (std::size_t i = 0; i < k_; ++i) {
+      const gf16::u16 c = gen_.at(k_ + j, i);
+      if (i == 0) {
+        gf16::mul_set(c, data[i], parity[j], block_size);
+      } else {
+        gf16::mul_acc(c, data[i], parity[j], block_size);
+      }
+    }
+  }
+}
+
+bool Rs16Codec::decode(std::size_t block_size,
+                       std::span<std::byte* const> blocks,
+                       std::span<const std::size_t> erasures) const {
+  assert(blocks.size() == k_ + m_);
+  if (erasures.size() > m_) return false;
+
+  std::vector<bool> erased(k_ + m_, false);
+  for (const std::size_t e : erasures) {
+    assert(e < k_ + m_);
+    if (erased[e]) return false;
+    erased[e] = true;
+  }
+  std::vector<std::size_t> present;
+  for (std::size_t i = 0; i < k_ + m_ && present.size() < k_; ++i) {
+    if (!erased[i]) present.push_back(i);
+  }
+  if (present.size() < k_) return false;
+
+  std::vector<std::size_t> erased_data;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (erased[i]) erased_data.push_back(i);
+  }
+
+  if (!erased_data.empty()) {
+    const auto dm = gf16::decode_matrix(gen_, present, erased_data);
+    if (!dm) return false;
+    for (std::size_t r = 0; r < erased_data.size(); ++r) {
+      std::byte* out = blocks[erased_data[r]];
+      for (std::size_t c = 0; c < k_; ++c) {
+        const gf16::u16 coef = dm->at(r, c);
+        if (c == 0) {
+          gf16::mul_set(coef, blocks[present[c]], out, block_size);
+        } else {
+          gf16::mul_acc(coef, blocks[present[c]], out, block_size);
+        }
+      }
+    }
+  }
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (!erased[k_ + j]) continue;
+    std::byte* out = blocks[k_ + j];
+    for (std::size_t i = 0; i < k_; ++i) {
+      const gf16::u16 c = gen_.at(k_ + j, i);
+      if (i == 0) {
+        gf16::mul_set(c, blocks[i], out, block_size);
+      } else {
+        gf16::mul_acc(c, blocks[i], out, block_size);
+      }
+    }
+  }
+  return true;
+}
+
+double Rs16Codec::cycles_per_line(const simmem::ComputeCost& cost,
+                                  std::size_t targets) const {
+  const double per_parity_8 = simd_ == SimdWidth::kAvx512
+                                  ? cost.avx512_cycles_per_line_parity
+                                  : cost.avx256_cycles_per_line_parity;
+  // 16-bit split-table multiply needs two nibble passes per byte pair:
+  // twice the GF(2^8) lookup work per line.
+  return cost.per_line_overhead_cycles +
+         static_cast<double>(targets) * 2.0 * per_parity_8;
+}
+
+EncodePlan Rs16Codec::encode_plan(std::size_t block_size,
+                                  const simmem::ComputeCost& cost) const {
+  return encode_plan_with(block_size, cost, IsalPlanOptions{});
+}
+
+EncodePlan Rs16Codec::encode_plan_with(std::size_t block_size,
+                                       const simmem::ComputeCost& cost,
+                                       const IsalPlanOptions& opts) const {
+  std::vector<std::size_t> sources(k_);
+  std::iota(sources.begin(), sources.end(), 0);
+  std::vector<std::size_t> targets(m_);
+  std::iota(targets.begin(), targets.end(), k_);
+  return BuildRowPlan(block_size, sources, targets, k_, m_,
+                      cycles_per_line(cost, m_), opts);
+}
+
+EncodePlan Rs16Codec::decode_plan(std::size_t block_size,
+                                  const simmem::ComputeCost& cost,
+                                  std::span<const std::size_t> erasures)
+    const {
+  assert(erasures.size() <= m_);
+  std::vector<bool> erased(k_ + m_, false);
+  for (const std::size_t e : erasures) erased[e] = true;
+  std::vector<std::size_t> sources;
+  for (std::size_t i = 0; i < k_ + m_ && sources.size() < k_; ++i) {
+    if (!erased[i]) sources.push_back(i);
+  }
+  std::vector<std::size_t> targets(erasures.begin(), erasures.end());
+  return BuildRowPlan(block_size, sources, targets, k_, m_,
+                      cycles_per_line(cost, targets.size()),
+                      IsalPlanOptions{});
+}
+
+}  // namespace ec

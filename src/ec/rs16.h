@@ -1,0 +1,56 @@
+// Reed-Solomon over GF(2^16): stripes beyond the 256-block limit of
+// GF(2^8) — the word size production wide-stripe systems (VAST-class,
+// the paper's motivating citation for Observation 3) need once
+// k + m > 256.
+//
+// The memory access pattern is identical to the GF(2^8) table-lookup
+// codec (one pass over k data blocks, m accumulated parities, NT
+// stores), so DIALGA's prefetcher scheduling applies unchanged via the
+// same plan options; only the modelled compute per line doubles
+// (16-bit table lookups need two split-table passes per byte pair).
+#pragma once
+
+#include "ec/codec.h"
+#include "ec/isal.h"
+#include "gf/gf65536.h"
+
+namespace ec {
+
+class Rs16Codec : public Codec {
+ public:
+  Rs16Codec(std::size_t k, std::size_t m,
+            SimdWidth simd = SimdWidth::kAvx512);
+
+  std::string name() const override { return "RS16"; }
+  CodeParams params() const override { return {k_, m_}; }
+  SimdWidth simd() const override { return simd_; }
+
+  void encode(std::size_t block_size, std::span<const std::byte* const> data,
+              std::span<std::byte* const> parity) const override;
+  bool decode(std::size_t block_size, std::span<std::byte* const> blocks,
+              std::span<const std::size_t> erasures) const override;
+
+  EncodePlan encode_plan(std::size_t block_size,
+                         const simmem::ComputeCost& cost) const override;
+  EncodePlan decode_plan(std::size_t block_size,
+                         const simmem::ComputeCost& cost,
+                         std::span<const std::size_t> erasures) const override;
+
+  /// DIALGA's entry point: plan with explicit scheduling options.
+  EncodePlan encode_plan_with(std::size_t block_size,
+                              const simmem::ComputeCost& cost,
+                              const IsalPlanOptions& opts) const;
+
+  const gf16::Matrix& generator() const { return gen_; }
+
+ private:
+  double cycles_per_line(const simmem::ComputeCost& cost,
+                         std::size_t targets) const;
+
+  std::size_t k_;
+  std::size_t m_;
+  SimdWidth simd_;
+  gf16::Matrix gen_;
+};
+
+}  // namespace ec

@@ -1,0 +1,580 @@
+#include "ec/xor_codec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <numeric>
+#include <random>
+
+#include "ec/codec_util.h"
+#include "gf/gf_simd.h"
+#include "simmem/config.h"
+
+namespace ec {
+
+namespace {
+
+constexpr std::size_t kW = gf::kBitsPerWord;  // 8 sub-rows per block
+
+/// Ones in the 8x8 bit-matrix block of a field element — the XOR-cost
+/// contribution the matrix searches minimize.
+std::size_t BlockPopcount(gf::u8 e) {
+  std::size_t ones = 0;
+  gf::u8 col = e;
+  for (std::size_t c = 0; c < kW; ++c) {
+    ones += static_cast<std::size_t>(__builtin_popcount(col));
+    col = gf::mul(col, 2);
+  }
+  return ones;
+}
+
+/// Scale each parity row so its first coefficient becomes 1 (an 8x8
+/// identity block): Zerasure's "bitmatrix normalization". Row scaling
+/// preserves the code.
+void NormalizeRows(gf::Matrix* parity) {
+  for (std::size_t i = 0; i < parity->rows(); ++i) {
+    const gf::u8 head = parity->at(i, 0);
+    if (head == 0 || head == 1) continue;
+    const gf::u8 scale = gf::inv(head);
+    for (std::size_t j = 0; j < parity->cols(); ++j) {
+      parity->at(i, j) = gf::mul(scale, parity->at(i, j));
+    }
+  }
+}
+
+gf::Matrix SystematicFromParity(const gf::Matrix& parity, std::size_t k,
+                                std::size_t m) {
+  gf::Matrix gen(k + m, k);
+  for (std::size_t i = 0; i < k; ++i) gen.at(i, i) = 1;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j) gen.at(k + i, j) = parity.at(i, j);
+  return gen;
+}
+
+double XorCyclesPerPacket(const simmem::ComputeCost& cost, SimdWidth simd,
+                          std::size_t packet_bytes) {
+  const double lines = static_cast<double>(packet_bytes) /
+                       static_cast<double>(simmem::kCacheLineBytes);
+  const double width_scale = simd == SimdWidth::kAvx256 ? 2.0 : 1.0;
+  return cost.xor_cycles_per_line * lines * width_scale;
+}
+
+}  // namespace
+
+std::size_t XorPacketBytes(std::size_t block_size) {
+  const std::size_t sub = block_size / kW;
+  return sub % simmem::kCacheLineBytes == 0 ? simmem::kCacheLineBytes : sub;
+}
+
+std::size_t XorCodec::packet_for(std::size_t block_size) const {
+  const std::size_t sub = block_size / kW;
+  if (packet_bytes_ != 0 && packet_bytes_ <= sub &&
+      sub % packet_bytes_ == 0) {
+    return packet_bytes_;
+  }
+  return XorPacketBytes(block_size);
+}
+
+XorCodec::XorCodec(std::size_t k, std::size_t m, gf::Matrix gen,
+                   std::string name, std::size_t decompose_group,
+                   SimdWidth simd, std::size_t packet_bytes)
+    : k_(k),
+      m_(m),
+      name_(std::move(name)),
+      simd_(simd),
+      group_(decompose_group == 0 ? k : std::min(decompose_group, k)),
+      packet_bytes_(packet_bytes),
+      gen_(std::move(gen)) {
+  assert(gen_.rows() == k + m && gen_.cols() == k);
+  for (std::size_t first = 0; first < k_; first += group_) {
+    const std::size_t width = std::min(group_, k_ - first);
+    // Column-slice of the parity submatrix for this group.
+    gf::Matrix parity(m_, width);
+    for (std::size_t i = 0; i < m_; ++i)
+      for (std::size_t j = 0; j < width; ++j)
+        parity.at(i, j) = gen_.at(k_ + i, first + j);
+    const gf::BitMatrix bm = gf::to_bitmatrix(parity, width, m_);
+    GroupSchedule gs;
+    gs.first_col = first;
+    gs.width = width;
+    gs.schedule = gf::optimize_cse(gf::naive_schedule(bm, width, m_), 48);
+    groups_.push_back(std::move(gs));
+  }
+}
+
+void XorCodec::encode(std::size_t block_size,
+                      std::span<const std::byte* const> data,
+                      std::span<std::byte* const> parity) const {
+  encode_via_schedule(block_size, data, parity);
+}
+
+namespace {
+
+/// Execute a packet schedule with arbitrary operand resolution. The
+/// resolver maps (operand id, packet offset) to a pointer; temps are
+/// handled by the caller's resolver.
+template <typename Resolver>
+void RunPacketSchedule(const gf::XorSchedule& sched, std::size_t sub,
+                       std::size_t packet, Resolver&& operand) {
+  for (std::size_t off = 0; off < sub; off += packet) {
+    for (const gf::XorOp& op : sched.ops) {
+      std::byte* dst = operand(op.target, off);
+      const std::byte* src = operand(op.source, off);
+      if (op.is_copy) {
+        std::memcpy(dst, src, packet);
+      } else {
+        gf::xor_acc(src, dst, packet);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool XorCodec::decode(std::size_t block_size,
+                      std::span<std::byte* const> blocks,
+                      std::span<const std::size_t> erasures) const {
+  // Bitmatrix codes operate on bit-sliced symbols (each GF element's
+  // bits live in the 8 sub-row packets), so decode must run in the
+  // same domain: derive the GF decode matrix, expand it to bits, and
+  // execute the packet schedule over the survivors.
+  assert(blocks.size() == k_ + m_);
+  if (erasures.size() > m_) return false;
+
+  std::vector<bool> erased(k_ + m_, false);
+  for (const std::size_t e : erasures) {
+    assert(e < k_ + m_);
+    if (erased[e]) return false;
+    erased[e] = true;
+  }
+
+  std::vector<std::size_t> present;
+  for (std::size_t i = 0; i < k_ + m_ && present.size() < k_; ++i)
+    if (!erased[i]) present.push_back(i);
+  if (present.size() < k_) return false;
+
+  std::vector<std::size_t> erased_data;
+  for (std::size_t i = 0; i < k_; ++i)
+    if (erased[i]) erased_data.push_back(i);
+
+  const std::size_t sub = block_size / kW;
+  const std::size_t packet = XorPacketBytes(block_size);
+
+  if (!erased_data.empty()) {
+    const auto dm = gf::decode_matrix(gen_, present, erased_data);
+    if (!dm) return false;
+    const gf::BitMatrix bm = gf::to_bitmatrix(*dm, k_, erased_data.size());
+    const gf::XorSchedule sched =
+        gf::naive_schedule(bm, k_, erased_data.size());
+    RunPacketSchedule(sched, sub, packet,
+                      [&](std::uint32_t id, std::size_t off) -> std::byte* {
+                        if (id < k_ * kW) {
+                          return blocks[present[id / kW]] +
+                                 (id % kW) * sub + off;
+                        }
+                        const std::uint32_t pid =
+                            id - static_cast<std::uint32_t>(k_ * kW);
+                        return blocks[erased_data[pid / kW]] +
+                               (pid % kW) * sub + off;
+                      });
+  }
+
+  // Re-encode erased parity rows from the (now complete) data.
+  std::vector<std::size_t> erased_parity;
+  for (std::size_t j = 0; j < m_; ++j)
+    if (erased[k_ + j]) erased_parity.push_back(j);
+  if (!erased_parity.empty()) {
+    gf::Matrix rows(erased_parity.size(), k_);
+    for (std::size_t r = 0; r < erased_parity.size(); ++r)
+      for (std::size_t c = 0; c < k_; ++c)
+        rows.at(r, c) = gen_.at(k_ + erased_parity[r], c);
+    const gf::BitMatrix bm = gf::to_bitmatrix(rows, k_, erased_parity.size());
+    const gf::XorSchedule sched =
+        gf::naive_schedule(bm, k_, erased_parity.size());
+    RunPacketSchedule(sched, sub, packet,
+                      [&](std::uint32_t id, std::size_t off) -> std::byte* {
+                        if (id < k_ * kW) {
+                          return blocks[id / kW] + (id % kW) * sub + off;
+                        }
+                        const std::uint32_t pid =
+                            id - static_cast<std::uint32_t>(k_ * kW);
+                        return blocks[k_ + erased_parity[pid / kW]] +
+                               (pid % kW) * sub + off;
+                      });
+  }
+  return true;
+}
+
+void XorCodec::encode_via_schedule(std::size_t block_size,
+                                   std::span<const std::byte* const> data,
+                                   std::span<std::byte* const> parity) const {
+  assert(block_size % kW == 0);
+  const std::size_t sub = block_size / kW;
+  const std::size_t packet = packet_for(block_size);
+  const bool combine = groups_.size() > 1;
+
+  // Partial parity for the current group (accumulated into `parity`).
+  std::vector<std::byte> partial(combine ? m_ * block_size : 0);
+  std::vector<std::byte> temps;
+
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    const GroupSchedule& g = groups_[gi];
+    temps.assign(g.schedule.num_temps * packet, std::byte{0});
+    std::byte* pbase = combine ? partial.data() : nullptr;
+
+    auto operand = [&](std::uint32_t id, std::size_t off) -> std::byte* {
+      if (id < g.width * kW) {
+        // const-cast confined here: sources are only ever read.
+        return const_cast<std::byte*>(data[g.first_col + id / kW]) +
+               (id % kW) * sub + off;
+      }
+      if (id < (g.width + m_) * kW) {
+        const std::uint32_t pid = id - static_cast<std::uint32_t>(g.width * kW);
+        std::byte* base = combine ? pbase + (pid / kW) * block_size
+                                  : parity[pid / kW];
+        return base + (pid % kW) * sub + off;
+      }
+      const std::uint32_t t = id - static_cast<std::uint32_t>((g.width + m_) * kW);
+      return temps.data() + t * packet;
+    };
+
+    for (std::size_t off = 0; off < sub; off += packet) {
+      for (const gf::XorOp& op : g.schedule.ops) {
+        std::byte* dst = operand(op.target, off);
+        const std::byte* src = operand(op.source, off);
+        if (op.is_copy) {
+          std::memcpy(dst, src, packet);
+        } else {
+          gf::xor_acc(src, dst, packet);
+        }
+      }
+    }
+
+    if (combine) {
+      for (std::size_t j = 0; j < m_; ++j) {
+        const std::byte* part = partial.data() + j * block_size;
+        if (gi == 0) {
+          std::memcpy(parity[j], part, block_size);
+        } else {
+          gf::xor_acc(part, parity[j], block_size);
+        }
+      }
+    }
+  }
+}
+
+std::size_t XorCodec::schedule_xor_count() const {
+  std::size_t n = 0;
+  for (const GroupSchedule& g : groups_) n += g.schedule.xor_count();
+  return n;
+}
+
+EncodePlan XorCodec::plan_from_schedules(
+    std::size_t block_size, const simmem::ComputeCost& cost) const {
+  const std::size_t sub = block_size / kW;
+  const std::size_t packet = packet_for(block_size);
+  const bool combine = groups_.size() > 1;
+
+  std::size_t max_temps = 0;
+  for (const GroupSchedule& g : groups_)
+    max_temps = std::max(max_temps, g.schedule.num_temps);
+
+  EncodePlan plan;
+  plan.block_size = block_size;
+  plan.num_data = k_;
+  plan.num_parity = m_;
+  // Scratch slots: per-group partial parities (when decomposing), then
+  // one slot per temporary (reused across groups).
+  const std::size_t partial_base = k_ + m_;
+  const std::size_t num_partials = combine ? groups_.size() * m_ : 0;
+  const std::size_t temp_base = partial_base + num_partials;
+  plan.num_scratch = num_partials + max_temps;
+
+  const double xor_cycles = XorCyclesPerPacket(cost, simd_, packet);
+  const std::size_t lines_per_packet =
+      std::max<std::size_t>(1, packet / simmem::kCacheLineBytes);
+
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    const GroupSchedule& g = groups_[gi];
+
+    // slot/offset of an operand id at packet offset `off`.
+    auto place = [&](std::uint32_t id,
+                     std::size_t off) -> std::pair<std::size_t, std::size_t> {
+      if (id < g.width * kW) {
+        return {g.first_col + id / kW, (id % kW) * sub + off};
+      }
+      if (id < (g.width + m_) * kW) {
+        const std::uint32_t pid = id - static_cast<std::uint32_t>(g.width * kW);
+        const std::size_t slot =
+            combine ? partial_base + gi * m_ + pid / kW : k_ + pid / kW;
+        return {slot, (pid % kW) * sub + off};
+      }
+      const std::uint32_t t = id - static_cast<std::uint32_t>((g.width + m_) * kW);
+      return {temp_base + t, 0};
+    };
+
+    for (std::size_t off = 0; off < sub; off += packet) {
+      // Ops are grouped in per-target runs (naive_schedule/optimize_cse
+      // emit them that way): a run is one register-accumulation —
+      // load each source, then store the target once.
+      std::size_t i = 0;
+      const auto& ops = g.schedule.ops;
+      while (i < ops.size()) {
+        const std::uint32_t target = ops[i].target;
+        std::size_t run_end = i;
+        while (run_end < ops.size() && ops[run_end].target == target)
+          ++run_end;
+        for (std::size_t o = i; o < run_end; ++o) {
+          const auto [slot, offset] = place(ops[o].source, off);
+          for (std::size_t l = 0; l < lines_per_packet; ++l) {
+            plan.load(slot, offset + l * simmem::kCacheLineBytes);
+          }
+          plan.compute(xor_cycles);
+        }
+        const auto [tslot, toffset] = place(target, off);
+        const bool scratch_target = tslot >= k_ + m_;
+        for (std::size_t l = 0; l < lines_per_packet; ++l) {
+          // Scratch (partials, temps) stays cache-resident; only final
+          // parity blocks are streamed out with NT stores.
+          if (scratch_target) {
+            plan.store_cached(tslot, toffset + l * simmem::kCacheLineBytes);
+          } else {
+            plan.store(tslot, toffset + l * simmem::kCacheLineBytes);
+          }
+        }
+        i = run_end;
+      }
+    }
+  }
+
+  if (combine) {
+    // Final pass: parity[j] = XOR of the per-group partials, row-wise.
+    const std::size_t rows = block_size / simmem::kCacheLineBytes;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < m_; ++j) {
+        for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+          plan.load(partial_base + gi * m_ + j, r * simmem::kCacheLineBytes);
+          plan.compute(XorCyclesPerPacket(cost, simd_,
+                                          simmem::kCacheLineBytes));
+        }
+        plan.store(k_ + j, r * simmem::kCacheLineBytes);
+      }
+    }
+  }
+  plan.fence();
+  return plan;
+}
+
+EncodePlan XorCodec::encode_plan(std::size_t block_size,
+                                 const simmem::ComputeCost& cost) const {
+  return plan_from_schedules(block_size, cost);
+}
+
+EncodePlan XorCodec::decode_plan(std::size_t block_size,
+                                 const simmem::ComputeCost& cost,
+                                 std::span<const std::size_t> erasures)
+    const {
+  // The decode bit-matrix is derived from the generator and — unlike the
+  // encode matrix — cannot be optimized (section 5.4), so it is executed
+  // with a naive (un-CSE'd) schedule over the k survivors.
+  assert(erasures.size() <= m_);
+  std::vector<bool> erased(k_ + m_, false);
+  for (const std::size_t e : erasures) erased[e] = true;
+
+  std::vector<std::size_t> present;
+  for (std::size_t i = 0; i < k_ + m_ && present.size() < k_; ++i)
+    if (!erased[i]) present.push_back(i);
+
+  std::vector<std::size_t> erased_data;
+  for (std::size_t i = 0; i < k_; ++i)
+    if (erased[i]) erased_data.push_back(i);
+
+  // Recovery rows: decode-matrix rows for erased data, then plain
+  // generator rows for erased parity (re-encoded from the survivors,
+  // which include every data block whenever parity is erased). Each
+  // row's operands map onto the survivor list below.
+  std::vector<std::size_t> target_blocks = erased_data;
+  gf::Matrix rec(erasures.size(), k_);
+  if (!erased_data.empty()) {
+    const auto dm = gf::decode_matrix(gen_, present, erased_data);
+    assert(dm.has_value());
+    for (std::size_t r = 0; r < erased_data.size(); ++r)
+      for (std::size_t c = 0; c < k_; ++c) rec.at(r, c) = dm->at(r, c);
+  }
+  std::size_t row = erased_data.size();
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (!erased[k_ + j]) continue;
+    // Express the parity row over the survivor list: survivor c holds
+    // data block `present[c]` (all data survive when only parity needs
+    // re-encoding; mixed cases route data recovery above first, so this
+    // is exact whenever the survivors are the k data blocks and a
+    // conservative single-pass approximation otherwise). Rows that end
+    // up empty (no surviving data operands) are dropped — their real
+    // cost is covered by the data-recovery rows.
+    bool nonzero = false;
+    for (std::size_t c = 0; c < k_; ++c) {
+      const gf::u8 coef =
+          present[c] < k_ ? gen_.at(k_ + j, present[c]) : gf::u8{0};
+      rec.at(row, c) = coef;
+      nonzero = nonzero || coef != 0;
+    }
+    if (!nonzero) {
+      for (std::size_t c = 0; c < k_; ++c) rec.at(row, c) = 0;
+      continue;
+    }
+    target_blocks.push_back(k_ + j);
+    ++row;
+  }
+  // Trim unused rows (dropped all-zero parity rows).
+  if (row < rec.rows()) {
+    gf::Matrix trimmed(row, k_);
+    for (std::size_t r = 0; r < row; ++r)
+      for (std::size_t c = 0; c < k_; ++c) trimmed.at(r, c) = rec.at(r, c);
+    rec = trimmed;
+  }
+
+  const gf::BitMatrix bm = gf::to_bitmatrix(rec, k_, target_blocks.size());
+  const gf::XorSchedule sched =
+      gf::naive_schedule(bm, k_, target_blocks.size());
+
+  const std::size_t sub = block_size / kW;
+  const std::size_t packet = XorPacketBytes(block_size);
+  const std::size_t lines_per_packet =
+      std::max<std::size_t>(1, packet / simmem::kCacheLineBytes);
+  const double xor_cycles = XorCyclesPerPacket(cost, simd_, packet);
+
+  EncodePlan plan;
+  plan.block_size = block_size;
+  plan.num_data = k_;
+  plan.num_parity = m_;
+
+  auto place = [&](std::uint32_t id,
+                   std::size_t off) -> std::pair<std::size_t, std::size_t> {
+    if (id < k_ * kW) {
+      // Source sub-row over the survivor list.
+      return {present[id / kW], (id % kW) * sub + off};
+    }
+    const std::uint32_t pid = id - static_cast<std::uint32_t>(k_ * kW);
+    return {target_blocks[pid / kW], (pid % kW) * sub + off};
+  };
+
+  for (std::size_t off = 0; off < sub; off += packet) {
+    std::size_t i = 0;
+    while (i < sched.ops.size()) {
+      const std::uint32_t target = sched.ops[i].target;
+      std::size_t run_end = i;
+      while (run_end < sched.ops.size() && sched.ops[run_end].target == target)
+        ++run_end;
+      for (std::size_t o = i; o < run_end; ++o) {
+        const auto [slot, offset] = place(sched.ops[o].source, off);
+        for (std::size_t l = 0; l < lines_per_packet; ++l) {
+          plan.load(slot, offset + l * simmem::kCacheLineBytes);
+        }
+        plan.compute(xor_cycles);
+      }
+      const auto [tslot, toffset] = place(target, off);
+      for (std::size_t l = 0; l < lines_per_packet; ++l) {
+        plan.store(tslot, toffset + l * simmem::kCacheLineBytes);
+      }
+      i = run_end;
+    }
+  }
+  return plan;
+}
+
+std::unique_ptr<XorCodec> MakeZerasure(std::size_t k, std::size_t m,
+                                       std::size_t trials,
+                                       std::uint64_t seed) {
+  if (k > 32) return nullptr;  // search does not converge (Fig. 10)
+
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dist(0, 255);
+
+  gf::Matrix best_parity(m, k);
+  std::size_t best_cost = SIZE_MAX;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Random disjoint Cauchy point sets.
+    std::vector<gf::u8> points(256);
+    std::iota(points.begin(), points.end(), 0);
+    std::shuffle(points.begin(), points.end(), rng);
+    gf::Matrix parity(m, k);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < k; ++j)
+        parity.at(i, j) =
+            gf::inv(static_cast<gf::u8>(points[i] ^ points[m + j]));
+    NormalizeRows(&parity);
+
+    std::size_t cost = 0;
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < k; ++j) cost += BlockPopcount(parity.at(i, j));
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_parity = parity;
+    }
+  }
+  return std::make_unique<XorCodec>(
+      k, m, SystematicFromParity(best_parity, k, m), "Zerasure");
+}
+
+std::unique_ptr<XorCodec> MakeCerasure(std::size_t k, std::size_t m,
+                                       std::size_t decompose_width) {
+  // Greedy Cauchy point selection: pick the m parity points then the k
+  // data points one at a time, each minimizing the added bit-matrix
+  // ones against the points chosen so far. Cauchy structure keeps the
+  // code MDS for any disjoint point sets.
+  std::vector<gf::u8> xs;  // parity points
+  std::vector<gf::u8> ys;  // data points
+  std::vector<bool> used(256, false);
+
+  auto cost_with = [&](gf::u8 cand, bool is_x) {
+    std::size_t c = 0;
+    const auto& others = is_x ? ys : xs;
+    for (const gf::u8 o : others)
+      c += BlockPopcount(gf::inv(static_cast<gf::u8>(cand ^ o)));
+    return c;
+  };
+
+  // Seed: x0 = 0 (arbitrary); every later choice is greedy.
+  xs.push_back(0);
+  used[0] = true;
+  for (std::size_t j = 0; j < k; ++j) {
+    std::size_t best_cost = SIZE_MAX;
+    int best = -1;
+    for (int cand = 0; cand < 256; ++cand) {
+      if (used[cand]) continue;
+      const std::size_t c = cost_with(static_cast<gf::u8>(cand), false);
+      if (c < best_cost) {
+        best_cost = c;
+        best = cand;
+      }
+    }
+    ys.push_back(static_cast<gf::u8>(best));
+    used[best] = true;
+  }
+  for (std::size_t i = 1; i < m; ++i) {
+    std::size_t best_cost = SIZE_MAX;
+    int best = -1;
+    for (int cand = 0; cand < 256; ++cand) {
+      if (used[cand]) continue;
+      const std::size_t c = cost_with(static_cast<gf::u8>(cand), true);
+      if (c < best_cost) {
+        best_cost = c;
+        best = cand;
+      }
+    }
+    xs.push_back(static_cast<gf::u8>(best));
+    used[best] = true;
+  }
+
+  gf::Matrix parity(m, k);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      parity.at(i, j) = gf::inv(static_cast<gf::u8>(xs[i] ^ ys[j]));
+
+  const std::size_t group = k > 32 ? decompose_width : 0;
+  return std::make_unique<XorCodec>(
+      k, m, SystematicFromParity(parity, k, m), "Cerasure", group);
+}
+
+}  // namespace ec

@@ -1,0 +1,113 @@
+// XOR/bit-matrix erasure codec — the family Zerasure and Cerasure
+// belong to (Fig. 2 right).
+//
+// Encoding follows a packet-based XOR schedule derived from the
+// bit-matrix expansion of a GF(2^8) generator: each block is split into
+// 8 sub-rows; parity sub-rows are XOR combinations of data sub-rows,
+// processed packet by packet for cache locality (the classic
+// jerasure-style "packetsize" loop). Compared with the table-lookup
+// approach this trades fewer/simpler ALU ops for many more loads and
+// stores and a scattered access pattern — exactly the memory-access
+// weakness the paper demonstrates on PM. Both baselines are modelled as
+// AVX256-only, as stated in section 5.1.
+//
+// Bitmatrix codes operate on bit-sliced symbols: each GF(2^8) element's
+// bits live across the block's 8 sub-row packets. Parity bytes are
+// therefore NOT byte-compatible with the table-lookup codecs (true of
+// the real libraries as well); encode and decode are self-consistent
+// within the same bit-sliced domain. Plans replay the real packet loop
+// of the schedule.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "ec/codec.h"
+#include "gf/bitmatrix.h"
+#include "gf/matrix.h"
+
+namespace ec {
+
+class XorCodec : public Codec {
+ public:
+  /// `gen` is a (k+m) x k systematic generator. `decompose_group` > 0
+  /// splits encoding into column groups of that size with partial
+  /// parities combined at the end (Cerasure's wide-stripe strategy).
+  /// `packet_bytes` overrides the jerasure-style packet size (0 = one
+  /// cacheline, the cache-friendly default); larger packets grow the
+  /// per-pass working set — the classic packetsize/cache trade-off
+  /// Zerasure tunes (see bench_ablation_packetsize).
+  XorCodec(std::size_t k, std::size_t m, gf::Matrix gen, std::string name,
+           std::size_t decompose_group = 0,
+           SimdWidth simd = SimdWidth::kAvx256,
+           std::size_t packet_bytes = 0);
+
+  std::string name() const override { return name_; }
+  CodeParams params() const override { return {k_, m_}; }
+  SimdWidth simd() const override { return simd_; }
+
+  void encode(std::size_t block_size, std::span<const std::byte* const> data,
+              std::span<std::byte* const> parity) const override;
+  bool decode(std::size_t block_size, std::span<std::byte* const> blocks,
+              std::span<const std::size_t> erasures) const override;
+
+  EncodePlan encode_plan(std::size_t block_size,
+                         const simmem::ComputeCost& cost) const override;
+  EncodePlan decode_plan(std::size_t block_size,
+                         const simmem::ComputeCost& cost,
+                         std::span<const std::size_t> erasures) const override;
+
+  /// The schedule executor backing encode(), exposed for tests that
+  /// compare decomposition variants.
+  void encode_via_schedule(std::size_t block_size,
+                           std::span<const std::byte* const> data,
+                           std::span<std::byte* const> parity) const;
+
+  /// Total XORs per full-stripe encode sub-row pass (the metric the
+  /// matrix searches minimize).
+  std::size_t schedule_xor_count() const;
+  const gf::Matrix& generator() const { return gen_; }
+  std::size_t decompose_group() const { return group_; }
+  /// Effective packet bytes used for `block_size`.
+  std::size_t packet_for(std::size_t block_size) const;
+
+ private:
+  struct GroupSchedule {
+    std::size_t first_col = 0;  // first data block of the group
+    std::size_t width = 0;      // data blocks in the group
+    gf::XorSchedule schedule;   // ids relative to the group
+  };
+
+  EncodePlan plan_from_schedules(std::size_t block_size,
+                                 const simmem::ComputeCost& cost) const;
+
+  std::size_t k_;
+  std::size_t m_;
+  std::string name_;
+  SimdWidth simd_;
+  std::size_t group_;
+  std::size_t packet_bytes_;
+  gf::Matrix gen_;
+  std::vector<GroupSchedule> groups_;
+};
+
+/// Zerasure: randomized search over Cauchy generator point sets with
+/// row normalization and CSE scheduling [Zhou & Tian, FAST'19 — in
+/// spirit]. Returns nullptr for k > 32, where the paper reports the
+/// search space is too large for the search to converge (Fig. 10's
+/// missing points).
+std::unique_ptr<XorCodec> MakeZerasure(std::size_t k, std::size_t m,
+                                       std::size_t trials = 16,
+                                       std::uint64_t seed = 42);
+
+/// Cerasure: greedy Cauchy point selection minimizing bit-matrix ones,
+/// CSE scheduling, and decompose for wide stripes [Niu et al., ICCD'23
+/// — in spirit]. `decompose_width` of 0 disables decomposition.
+std::unique_ptr<XorCodec> MakeCerasure(std::size_t k, std::size_t m,
+                                       std::size_t decompose_width = 16);
+
+/// Packet bytes used by the schedule executor for a given block size.
+std::size_t XorPacketBytes(std::size_t block_size);
+
+}  // namespace ec

@@ -1,0 +1,181 @@
+#include "gf/bitmatrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace gf {
+
+std::size_t BitMatrix::popcount() const {
+  return static_cast<std::size_t>(
+      std::accumulate(bits_.begin(), bits_.end(), std::size_t{0}));
+}
+
+BitMatrix to_bitmatrix(const Matrix& parity, std::size_t k, std::size_t m) {
+  assert(parity.rows() == m && parity.cols() == k);
+  BitMatrix bm(m * kBitsPerWord, k * kBitsPerWord);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      u8 elem = parity.at(i, j);
+      // Column c of the 8x8 block is the bit pattern of elem * x^c.
+      u8 col_val = elem;
+      for (std::size_t c = 0; c < kBitsPerWord; ++c) {
+        for (std::size_t r = 0; r < kBitsPerWord; ++r) {
+          bm.at(i * kBitsPerWord + r, j * kBitsPerWord + c) =
+              (col_val >> r) & 1;
+        }
+        col_val = mul(col_val, 2);
+      }
+    }
+  }
+  return bm;
+}
+
+std::size_t XorSchedule::xor_count() const {
+  std::size_t n = 0;
+  for (const XorOp& op : ops) n += op.is_copy ? 0 : 1;
+  return n;
+}
+
+XorSchedule naive_schedule(const BitMatrix& bm, std::size_t k,
+                           std::size_t m) {
+  XorSchedule s;
+  s.k = k;
+  s.m = m;
+  const std::uint32_t parity_base = static_cast<std::uint32_t>(k * kBitsPerWord);
+  for (std::size_t r = 0; r < bm.rows(); ++r) {
+    bool first = true;
+    for (std::size_t c = 0; c < bm.cols(); ++c) {
+      if (!bm.at(r, c)) continue;
+      s.ops.push_back({parity_base + static_cast<std::uint32_t>(r),
+                       static_cast<std::uint32_t>(c), first});
+      first = false;
+    }
+    // An all-zero parity row would be a broken code; naive_schedule is
+    // only called on generator rows, which are never zero.
+    assert(!first);
+  }
+  return s;
+}
+
+namespace {
+
+/// Decompose a schedule into per-target source sets (targets may be
+/// parities or temps; sources may be data or temps).
+struct TargetSets {
+  std::vector<std::uint32_t> targets;
+  std::vector<std::vector<std::uint32_t>> sources;
+};
+
+TargetSets to_sets(const XorSchedule& s) {
+  TargetSets ts;
+  std::map<std::uint32_t, std::size_t> index;
+  for (const XorOp& op : s.ops) {
+    auto [it, inserted] = index.try_emplace(op.target, ts.targets.size());
+    if (inserted) {
+      ts.targets.push_back(op.target);
+      ts.sources.emplace_back();
+    }
+    ts.sources[it->second].push_back(op.source);
+  }
+  return ts;
+}
+
+}  // namespace
+
+XorSchedule optimize_cse(const XorSchedule& in, std::size_t max_temps) {
+  TargetSets ts = to_sets(in);
+  const std::uint32_t temp_base =
+      static_cast<std::uint32_t>((in.k + in.m) * kBitsPerWord);
+  std::uint32_t next_temp = temp_base + static_cast<std::uint32_t>(in.num_temps);
+
+  // Temps created here, in creation order: (temp_id, a, b).
+  std::vector<std::array<std::uint32_t, 3>> temps;
+
+  for (std::size_t round = 0; round < max_temps; ++round) {
+    // Count source pairs across target sets.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> freq;
+    for (const auto& set : ts.sources) {
+      for (std::size_t i = 0; i < set.size(); ++i)
+        for (std::size_t j = i + 1; j < set.size(); ++j) {
+          auto key = std::minmax(set[i], set[j]);
+          ++freq[{key.first, key.second}];
+        }
+    }
+    auto best = freq.end();
+    for (auto it = freq.begin(); it != freq.end(); ++it) {
+      if (best == freq.end() || it->second > best->second) best = it;
+    }
+    if (best == freq.end() || best->second < 2) break;
+
+    const auto [a, b] = best->first;
+    const std::uint32_t t = next_temp++;
+    temps.push_back({t, a, b});
+    for (auto& set : ts.sources) {
+      auto ia = std::find(set.begin(), set.end(), a);
+      auto ib = std::find(set.begin(), set.end(), b);
+      if (ia != set.end() && ib != set.end()) {
+        *ia = t;
+        set.erase(ib);
+      }
+    }
+  }
+
+  XorSchedule out;
+  out.k = in.k;
+  out.m = in.m;
+  out.num_temps = in.num_temps + temps.size();
+  // Emit temp computations first (later temps may consume earlier ones).
+  for (const auto& [t, a, b] : temps) {
+    out.ops.push_back({t, a, true});
+    out.ops.push_back({t, b, false});
+  }
+  for (std::size_t i = 0; i < ts.targets.size(); ++i) {
+    bool first = true;
+    for (const std::uint32_t src : ts.sources[i]) {
+      out.ops.push_back({ts.targets[i], src, first});
+      first = false;
+    }
+  }
+  return out;
+}
+
+bool schedule_matches(const XorSchedule& s, const BitMatrix& bm) {
+  const std::size_t data_n = s.data_ids();
+  const std::size_t parity_base = data_n;
+  // Symbolic value of each operand: set of data sub-row ids (mod-2).
+  std::map<std::uint32_t, std::set<std::uint32_t>> value;
+  for (std::uint32_t d = 0; d < data_n; ++d) value[d] = {d};
+
+  auto xor_into = [](std::set<std::uint32_t>& acc,
+                     const std::set<std::uint32_t>& v) {
+    for (const std::uint32_t x : v) {
+      auto [it, inserted] = acc.insert(x);
+      if (!inserted) acc.erase(it);
+    }
+  };
+
+  for (const XorOp& op : s.ops) {
+    if (value.find(op.source) == value.end()) return false;  // use-before-def
+    if (op.is_copy) {
+      value[op.target] = value[op.source];
+    } else {
+      auto it = value.find(op.target);
+      if (it == value.end()) return false;
+      xor_into(it->second, value[op.source]);
+    }
+  }
+
+  for (std::size_t r = 0; r < bm.rows(); ++r) {
+    std::set<std::uint32_t> expect;
+    for (std::size_t c = 0; c < bm.cols(); ++c)
+      if (bm.at(r, c)) expect.insert(static_cast<std::uint32_t>(c));
+    auto it = value.find(static_cast<std::uint32_t>(parity_base + r));
+    if (it == value.end() || it->second != expect) return false;
+  }
+  return true;
+}
+
+}  // namespace gf

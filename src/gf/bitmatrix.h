@@ -1,0 +1,89 @@
+// Bit-matrix machinery for XOR-based erasure codes (Fig. 2 right).
+//
+// A GF(2^8) parity matrix expands into a GF(2) bit-matrix: each field
+// element a becomes an 8x8 binary block whose column c holds the bit
+// pattern of a * x^c. Encoding then becomes pure XORs of 1/8th-block
+// sub-rows ("packets"), which is what Zerasure and Cerasure optimize:
+// fewer ones in the bit-matrix and shared sub-expressions mean fewer XOR
+// operations — at the price of many more loads/stores than the
+// table-lookup approach (the memory-access weakness the paper exploits).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gf/matrix.h"
+
+namespace gf {
+
+inline constexpr std::size_t kBitsPerWord = 8;  // w = 8 (GF(2^8))
+
+/// Dense binary matrix, one byte per bit for simplicity.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), bits_(rows * cols, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::uint8_t& at(std::size_t r, std::size_t c) {
+    return bits_[r * cols_ + c];
+  }
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    return bits_[r * cols_ + c];
+  }
+  /// Total number of ones — the raw XOR cost proxy.
+  std::size_t popcount() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Expand the m x k parity submatrix of a generator into an
+/// (m*8) x (k*8) bit-matrix.
+BitMatrix to_bitmatrix(const Matrix& parity, std::size_t k, std::size_t m);
+
+/// Unified operand id space for XOR schedules:
+///   [0, 8k)            data sub-rows (block*8 + bit)
+///   [8k, 8k + 8m)      parity sub-rows
+///   [8k + 8m, ...)     temporaries introduced by CSE
+struct XorOp {
+  std::uint32_t target = 0;
+  std::uint32_t source = 0;
+  bool is_copy = false;  ///< first op on target: assignment, not XOR
+};
+
+struct XorSchedule {
+  std::size_t k = 0;
+  std::size_t m = 0;
+  std::size_t num_temps = 0;
+  std::vector<XorOp> ops;
+
+  std::size_t data_ids() const { return k * kBitsPerWord; }
+  std::size_t parity_ids() const { return m * kBitsPerWord; }
+  bool is_temp(std::uint32_t id) const {
+    return id >= data_ids() + parity_ids();
+  }
+  /// XOR operations excluding plain copies — the compute-cost metric
+  /// Zerasure/Cerasure minimize.
+  std::size_t xor_count() const;
+};
+
+/// Straightforward schedule: each parity sub-row is the XOR of the data
+/// sub-rows whose bit-matrix entry is one.
+XorSchedule naive_schedule(const BitMatrix& bm, std::size_t k, std::size_t m);
+
+/// Greedy common-subexpression elimination: repeatedly extract the most
+/// frequent source pair into a temporary (the classic technique behind
+/// the "smart scheduling" literature the paper cites). `max_temps`
+/// bounds scratch usage.
+XorSchedule optimize_cse(const XorSchedule& in, std::size_t max_temps = 64);
+
+/// Verify a schedule computes the given bit-matrix (tests): replays the
+/// schedule symbolically over bit-sets.
+bool schedule_matches(const XorSchedule& s, const BitMatrix& bm);
+
+}  // namespace gf

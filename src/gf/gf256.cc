@@ -1,0 +1,54 @@
+#include "gf/gf256.h"
+
+#include <cassert>
+
+namespace gf {
+namespace detail {
+
+Tables::Tables() {
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp[i] = static_cast<u8>(x);
+    log[x] = static_cast<u8>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPolynomial;
+  }
+  for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  log[0] = 0;  // unused sentinel
+}
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace detail
+
+u8 inv(u8 a) {
+  assert(a != 0 && "gf::inv(0) is undefined");
+  const auto& t = detail::tables();
+  return t.exp[255 - t.log[a]];
+}
+
+u8 pow(u8 a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  const unsigned e = (static_cast<unsigned>(t.log[a]) * n) % 255;
+  return t.exp[e];
+}
+
+const std::array<u8, 256>& mul_row(u8 c) {
+  struct RowTable {
+    std::array<std::array<u8, 256>, 256> rows{};
+    RowTable() {
+      for (unsigned c2 = 0; c2 < 256; ++c2)
+        for (unsigned x = 0; x < 256; ++x)
+          rows[c2][x] = mul(static_cast<u8>(c2), static_cast<u8>(x));
+    }
+  };
+  static const RowTable t;
+  return t.rows[c];
+}
+
+}  // namespace gf

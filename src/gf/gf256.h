@@ -1,0 +1,48 @@
+// GF(2^8) arithmetic over the polynomial x^8 + x^4 + x^3 + x^2 + 1
+// (0x11d), the field ISA-L and most storage erasure codes use.
+// Log/exp tables are built once at static initialization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gf {
+
+using u8 = std::uint8_t;
+
+inline constexpr unsigned kPolynomial = 0x11d;
+inline constexpr unsigned kFieldSize = 256;
+/// Generator element of the multiplicative group.
+inline constexpr u8 kGenerator = 2;
+
+namespace detail {
+struct Tables {
+  std::array<u8, 256> log{};
+  std::array<u8, 512> exp{};  // doubled to skip the mod-255 in mul
+  Tables();
+};
+const Tables& tables();
+}  // namespace detail
+
+inline u8 add(u8 a, u8 b) { return a ^ b; }
+inline u8 sub(u8 a, u8 b) { return a ^ b; }
+
+inline u8 mul(u8 a, u8 b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+/// Multiplicative inverse; inv(0) is undefined (asserts in debug).
+u8 inv(u8 a);
+
+inline u8 div(u8 a, u8 b) { return mul(a, inv(b)); }
+
+/// a^n with n >= 0 (a^0 == 1, including 0^0 by convention).
+u8 pow(u8 a, unsigned n);
+
+/// 256-entry row of the multiplication table for a constant c:
+/// row[x] == mul(c, x). Used by the scalar region kernels.
+const std::array<u8, 256>& mul_row(u8 c);
+
+}  // namespace gf

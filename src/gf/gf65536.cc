@@ -1,0 +1,206 @@
+#include "gf/gf65536.h"
+
+#include <cassert>
+#include <span>
+
+#include "gf/gf_simd_dispatch.h"
+
+namespace gf16 {
+namespace detail {
+
+Tables::Tables() : log(kFieldSize, 0), exp(2 * (kFieldSize - 1), 0) {
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < kFieldSize - 1; ++i) {
+    exp[i] = static_cast<u16>(x);
+    log[x] = static_cast<u16>(i);
+    x <<= 1;
+    if (x & kFieldSize) x ^= kPolynomial;
+  }
+  for (std::uint32_t i = kFieldSize - 1; i < 2 * (kFieldSize - 1); ++i) {
+    exp[i] = exp[i - (kFieldSize - 1)];
+  }
+}
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace detail
+
+u16 inv(u16 a) {
+  assert(a != 0 && "gf16::inv(0) is undefined");
+  const auto& t = detail::tables();
+  return t.exp[kFieldSize - 1 - t.log[a]];
+}
+
+u16 pow(u16 a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  const std::uint64_t e =
+      (static_cast<std::uint64_t>(t.log[a]) * n) % (kFieldSize - 1);
+  return t.exp[e];
+}
+
+namespace {
+
+inline u16 load_sym(const std::byte* p) {
+  return static_cast<u16>(static_cast<unsigned>(p[0]) |
+                          (static_cast<unsigned>(p[1]) << 8));
+}
+inline void store_sym(std::byte* p, u16 v) {
+  p[0] = static_cast<std::byte>(v & 0xff);
+  p[1] = static_cast<std::byte>(v >> 8);
+}
+
+}  // namespace
+
+SplitTable16 make_split_table(u16 c) {
+  SplitTable16 t;
+  for (unsigned nib = 0; nib < 4; ++nib) {
+    for (unsigned v = 0; v < 16; ++v) {
+      t.t[nib][v] = mul(c, static_cast<u16>(v << (4 * nib)));
+    }
+  }
+  return t;
+}
+
+namespace detail {
+
+void mul_acc_scalar(const SplitTable16& t, const std::byte* src,
+                    std::byte* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; i += 2) {
+    const u16 x = load_sym(src + i);
+    const u16 p = t.t[0][x & 0xf] ^ t.t[1][(x >> 4) & 0xf] ^
+                  t.t[2][(x >> 8) & 0xf] ^ t.t[3][x >> 12];
+    store_sym(dst + i, load_sym(dst + i) ^ p);
+  }
+}
+
+void mul_set_scalar(const SplitTable16& t, const std::byte* src,
+                    std::byte* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; i += 2) {
+    const u16 x = load_sym(src + i);
+    store_sym(dst + i, t.t[0][x & 0xf] ^ t.t[1][(x >> 4) & 0xf] ^
+                           t.t[2][(x >> 8) & 0xf] ^ t.t[3][x >> 12]);
+  }
+}
+
+#if defined(__x86_64__) && DIALGA_HAVE_AVX2
+bool HostHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+#else
+bool HostHasAvx2() { return false; }
+#endif
+
+}  // namespace detail
+
+void mul_acc(u16 c, const std::byte* src, std::byte* dst, std::size_t n) {
+  assert(n % 2 == 0);
+  if (c == 0) return;
+  const SplitTable16 t = make_split_table(c);
+#if defined(__x86_64__) && DIALGA_HAVE_AVX2
+  if (detail::HostHasAvx2()) {
+    detail::mul_acc_avx2(t, src, dst, n);
+    return;
+  }
+#endif
+  detail::mul_acc_scalar(t, src, dst, n);
+}
+
+void mul_set(u16 c, const std::byte* src, std::byte* dst, std::size_t n) {
+  assert(n % 2 == 0);
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = std::byte{0};
+    return;
+  }
+  const SplitTable16 t = make_split_table(c);
+#if defined(__x86_64__) && DIALGA_HAVE_AVX2
+  if (detail::HostHasAvx2()) {
+    detail::mul_set_avx2(t, src, dst, n);
+    return;
+  }
+#endif
+  detail::mul_set_scalar(t, src, dst, n);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix cauchy_generator(std::size_t k, std::size_t m) {
+  assert(k + m <= kFieldSize);
+  Matrix g(k + m, k);
+  for (std::size_t i = 0; i < k; ++i) g.at(i, i) = 1;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      g.at(k + i, j) = inv(static_cast<u16>((k + i) ^ j));
+    }
+  }
+  return g;
+}
+
+std::optional<Matrix> invert(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix work = a;
+  Matrix out = Matrix::identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(out.at(pivot, c), out.at(col, c));
+      }
+    }
+    const u16 scale = inv(work.at(col, col));
+    if (scale != 1) {
+      for (std::size_t c = 0; c < n; ++c) {
+        work.at(col, c) = mul(scale, work.at(col, c));
+        out.at(col, c) = mul(scale, out.at(col, c));
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const u16 f = work.at(r, col);
+      if (f == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        work.at(r, c) ^= mul(f, work.at(col, c));
+        out.at(r, c) ^= mul(f, out.at(col, c));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> decode_matrix(const Matrix& gen,
+                                    std::span<const std::size_t> present,
+                                    std::span<const std::size_t> erased_data) {
+  const std::size_t k = gen.cols();
+  assert(present.size() == k);
+  Matrix survivors(k, k);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      survivors.at(r, c) = gen.at(present[r], c);
+    }
+  }
+  const auto inv_m = invert(survivors);
+  if (!inv_m) return std::nullopt;
+  Matrix out(erased_data.size(), k);
+  for (std::size_t r = 0; r < erased_data.size(); ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      out.at(r, c) = inv_m->at(erased_data[r], c);
+    }
+  }
+  return out;
+}
+
+}  // namespace gf16

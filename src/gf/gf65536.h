@@ -1,0 +1,110 @@
+// GF(2^16) arithmetic and a minimal matrix layer — the extension that
+// lifts the GF(2^8) limit of k + m <= 256 blocks per stripe. The paper
+// evaluates up to RS(52,48) in GF(2^8) and cites VAST-style wide
+// stripes as motivation; production wide-stripe systems that exceed 256
+// total blocks must move to a 16-bit word, which doubles table-lookup
+// compute per byte (no single-PSHUFB trick) but leaves the memory
+// access pattern — and therefore everything DIALGA schedules —
+// unchanged.
+//
+// Symbols are little-endian 16-bit words; region lengths must be even.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace gf16 {
+
+using u16 = std::uint16_t;
+
+/// x^16 + x^12 + x^3 + x + 1 — the standard primitive polynomial also
+/// used by ISA-L's GF(2^16) build.
+inline constexpr std::uint32_t kPolynomial = 0x1100B;
+inline constexpr std::uint32_t kFieldSize = 65536;
+inline constexpr u16 kGenerator = 2;
+
+namespace detail {
+struct Tables {
+  std::vector<u16> log;  // 65536
+  std::vector<u16> exp;  // 2 * 65535
+  Tables();
+};
+const Tables& tables();
+}  // namespace detail
+
+inline u16 add(u16 a, u16 b) { return a ^ b; }
+
+inline u16 mul(u16 a, u16 b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp[static_cast<std::uint32_t>(t.log[a]) + t.log[b]];
+}
+
+u16 inv(u16 a);
+u16 pow(u16 a, unsigned n);
+
+/// Nibble-split tables for a constant c: c*x decomposes over x's four
+/// nibbles as T[0][n0] ^ T[1][n1] ^ T[2][n2] ^ T[3][n3]. This is the
+/// GF(2^16) analogue of the GF(2^8) split table and what the SIMD
+/// kernels shuffle from (ISA-L's gf_vect_mul_init does the same).
+struct SplitTable16 {
+  alignas(16) u16 t[4][16];
+};
+SplitTable16 make_split_table(u16 c);
+
+/// dst[0..n) ^= c * src[0..n), n even, 16-bit little-endian symbols.
+/// Dispatches to AVX2 when the host supports it (functional only; the
+/// simulator's cost model is unaffected).
+void mul_acc(u16 c, const std::byte* src, std::byte* dst, std::size_t n);
+/// dst[0..n) = c * src[0..n)
+void mul_set(u16 c, const std::byte* src, std::byte* dst, std::size_t n);
+
+namespace detail {
+void mul_acc_scalar(const SplitTable16& t, const std::byte* src,
+                    std::byte* dst, std::size_t n);
+void mul_set_scalar(const SplitTable16& t, const std::byte* src,
+                    std::byte* dst, std::size_t n);
+#if defined(__x86_64__)
+void mul_acc_avx2(const SplitTable16& t, const std::byte* src,
+                  std::byte* dst, std::size_t n);
+void mul_set_avx2(const SplitTable16& t, const std::byte* src,
+                  std::byte* dst, std::size_t n);
+#endif
+}  // namespace detail
+
+/// Dense matrix over GF(2^16) — just what wide-stripe RS needs.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  u16& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  u16 at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  bool operator==(const Matrix&) const = default;
+
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<u16> data_;
+};
+
+/// Systematic (k+m) x k Cauchy generator; MDS for k + m <= 65536.
+Matrix cauchy_generator(std::size_t k, std::size_t m);
+
+/// Gauss-Jordan inversion; nullopt when singular.
+std::optional<Matrix> invert(const Matrix& a);
+
+/// Decode rows for erased data blocks given k survivor indices (same
+/// contract as gf::decode_matrix).
+std::optional<Matrix> decode_matrix(const Matrix& gen,
+                                    std::span<const std::size_t> present,
+                                    std::span<const std::size_t> erased_data);
+
+}  // namespace gf16

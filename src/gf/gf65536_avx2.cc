@@ -1,0 +1,108 @@
+// AVX2 GF(2^16) region kernels: 16 symbols (32 bytes) per step.
+//
+// A 16-bit product decomposes over the operand's four nibbles; each
+// nibble table is split into low/high product bytes, giving eight
+// 16-entry byte tables served by VPSHUFB. The symbol bytes are
+// deinterleaved (low bytes carry nibbles 0-1, high bytes nibbles 2-3),
+// looked up, XOR-combined, and re-interleaved. Compiled with -mavx2 in
+// its own TU; reached only after the runtime dispatcher confirmed host
+// support.
+#include "gf/gf65536.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+
+namespace gf16::detail {
+
+namespace {
+
+struct ByteTables {
+  __m256i lo[4];  // low product byte per nibble
+  __m256i hi[4];  // high product byte per nibble
+};
+
+ByteTables Expand(const SplitTable16& t) {
+  ByteTables bt;
+  for (unsigned nib = 0; nib < 4; ++nib) {
+    alignas(16) std::uint8_t lo[16], hi[16];
+    for (unsigned v = 0; v < 16; ++v) {
+      lo[v] = static_cast<std::uint8_t>(t.t[nib][v] & 0xff);
+      hi[v] = static_cast<std::uint8_t>(t.t[nib][v] >> 8);
+    }
+    const __m128i l = _mm_load_si128(reinterpret_cast<const __m128i*>(lo));
+    const __m128i h = _mm_load_si128(reinterpret_cast<const __m128i*>(hi));
+    bt.lo[nib] = _mm256_broadcastsi128_si256(l);
+    bt.hi[nib] = _mm256_broadcastsi128_si256(h);
+  }
+  return bt;
+}
+
+/// Product of 16 little-endian 16-bit symbols held in `x`.
+inline __m256i Mul16Symbols(const ByteTables& bt, const __m256i x) {
+  const __m256i nib_mask = _mm256_set1_epi8(0x0f);
+  // Low bytes of each symbol (nibbles 0 and 1).
+  const __m256i lo_bytes = _mm256_and_si256(x, _mm256_set1_epi16(0x00ff));
+  const __m256i hi_bytes = _mm256_srli_epi16(x, 8);
+
+  const __m256i n0 = _mm256_and_si256(lo_bytes, nib_mask);
+  const __m256i n1 = _mm256_and_si256(_mm256_srli_epi16(lo_bytes, 4),
+                                      nib_mask);
+  const __m256i n2 = _mm256_and_si256(hi_bytes, nib_mask);
+  const __m256i n3 = _mm256_and_si256(_mm256_srli_epi16(hi_bytes, 4),
+                                      nib_mask);
+
+  // VPSHUFB over the nibble indices: indices live in the low byte of
+  // each 16-bit lane, the high byte is zero, so lookups of the high
+  // lanes return table[0]'s contribution of nibble 0 — which is 0 for
+  // every table (mul(c, 0) == 0). The per-lane results therefore land
+  // in the low byte, and the high-byte lanes contribute nothing.
+  __m256i prod_lo = _mm256_shuffle_epi8(bt.lo[0], n0);
+  prod_lo = _mm256_xor_si256(prod_lo, _mm256_shuffle_epi8(bt.lo[1], n1));
+  prod_lo = _mm256_xor_si256(prod_lo, _mm256_shuffle_epi8(bt.lo[2], n2));
+  prod_lo = _mm256_xor_si256(prod_lo, _mm256_shuffle_epi8(bt.lo[3], n3));
+
+  __m256i prod_hi = _mm256_shuffle_epi8(bt.hi[0], n0);
+  prod_hi = _mm256_xor_si256(prod_hi, _mm256_shuffle_epi8(bt.hi[1], n1));
+  prod_hi = _mm256_xor_si256(prod_hi, _mm256_shuffle_epi8(bt.hi[2], n2));
+  prod_hi = _mm256_xor_si256(prod_hi, _mm256_shuffle_epi8(bt.hi[3], n3));
+
+  // Assemble 16-bit products: low byte | high byte << 8. The lookups
+  // above produced per-16-bit-lane bytes in the low byte position.
+  prod_lo = _mm256_and_si256(prod_lo, _mm256_set1_epi16(0x00ff));
+  prod_hi = _mm256_slli_epi16(_mm256_and_si256(prod_hi,
+                                               _mm256_set1_epi16(0x00ff)),
+                              8);
+  return _mm256_or_si256(prod_lo, prod_hi);
+}
+
+}  // namespace
+
+void mul_acc_avx2(const SplitTable16& t, const std::byte* src,
+                  std::byte* dst, std::size_t n) {
+  const ByteTables bt = Expand(t);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    d = _mm256_xor_si256(d, Mul16Symbols(bt, x));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  if (i < n) mul_acc_scalar(t, src + i, dst + i, n - i);
+}
+
+void mul_set_avx2(const SplitTable16& t, const std::byte* src,
+                  std::byte* dst, std::size_t n) {
+  const ByteTables bt = Expand(t);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        Mul16Symbols(bt, x));
+  }
+  if (i < n) mul_set_scalar(t, src + i, dst + i, n - i);
+}
+
+}  // namespace gf16::detail
+#endif  // __x86_64__

@@ -1,0 +1,131 @@
+#include "gf/gf_simd.h"
+
+#include <atomic>
+
+#include "gf/gf_simd_dispatch.h"
+
+namespace gf {
+
+SplitTable make_split_table(u8 c) {
+  SplitTable t;
+  for (unsigned x = 0; x < 16; ++x) {
+    t.lo[x] = mul(c, static_cast<u8>(x));
+    t.hi[x] = mul(c, static_cast<u8>(x << 4));
+  }
+  return t;
+}
+
+namespace {
+
+IsaLevel detect_best() {
+#if defined(__x86_64__)
+#if DIALGA_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return IsaLevel::kAvx2;
+#endif
+#if DIALGA_HAVE_SSSE3
+  if (__builtin_cpu_supports("ssse3")) return IsaLevel::kSsse3;
+#endif
+#endif
+  return IsaLevel::kScalar;
+}
+
+std::atomic<IsaLevel> g_active{detect_best()};
+
+}  // namespace
+
+IsaLevel best_isa() {
+  static const IsaLevel best = detect_best();
+  return best;
+}
+
+IsaLevel active_isa() { return g_active.load(std::memory_order_relaxed); }
+
+void set_active_isa(IsaLevel level) {
+  if (static_cast<int>(level) > static_cast<int>(best_isa()))
+    level = best_isa();
+  g_active.store(level, std::memory_order_relaxed);
+}
+
+void mul_acc(u8 c, const std::byte* src, std::byte* dst, std::size_t n) {
+  const SplitTable t = make_split_table(c);
+  switch (active_isa()) {
+#if defined(__x86_64__)
+#if DIALGA_HAVE_AVX2
+    case IsaLevel::kAvx2:
+      detail::mul_acc_avx2(t, src, dst, n);
+      return;
+#endif
+#if DIALGA_HAVE_SSSE3
+    case IsaLevel::kSsse3:
+      detail::mul_acc_ssse3(t, src, dst, n);
+      return;
+#endif
+#endif
+    default:
+      detail::mul_acc_scalar(t, src, dst, n);
+  }
+}
+
+void mul_set(u8 c, const std::byte* src, std::byte* dst, std::size_t n) {
+  const SplitTable t = make_split_table(c);
+  switch (active_isa()) {
+#if defined(__x86_64__)
+#if DIALGA_HAVE_AVX2
+    case IsaLevel::kAvx2:
+      detail::mul_set_avx2(t, src, dst, n);
+      return;
+#endif
+#if DIALGA_HAVE_SSSE3
+    case IsaLevel::kSsse3:
+      detail::mul_set_ssse3(t, src, dst, n);
+      return;
+#endif
+#endif
+    default:
+      detail::mul_set_scalar(t, src, dst, n);
+  }
+}
+
+void xor_acc(const std::byte* src, std::byte* dst, std::size_t n) {
+  switch (active_isa()) {
+#if defined(__x86_64__)
+#if DIALGA_HAVE_AVX2
+    case IsaLevel::kAvx2:
+      detail::xor_acc_avx2(src, dst, n);
+      return;
+#endif
+#if DIALGA_HAVE_SSSE3
+    case IsaLevel::kSsse3:
+      detail::xor_acc_ssse3(src, dst, n);
+      return;
+#endif
+#endif
+    default:
+      detail::xor_acc_scalar(src, dst, n);
+  }
+}
+
+namespace detail {
+
+void mul_acc_scalar(const SplitTable& t, const std::byte* src, std::byte* dst,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u8 x = static_cast<u8>(src[i]);
+    dst[i] ^= static_cast<std::byte>(t.lo[x & 0xf] ^ t.hi[x >> 4]);
+  }
+}
+
+void mul_set_scalar(const SplitTable& t, const std::byte* src, std::byte* dst,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u8 x = static_cast<u8>(src[i]);
+    dst[i] = static_cast<std::byte>(t.lo[x & 0xf] ^ t.hi[x >> 4]);
+  }
+}
+
+void xor_acc_scalar(const std::byte* src, std::byte* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace detail
+}  // namespace gf

@@ -1,0 +1,64 @@
+// Region kernels for GF(2^8) multiply-accumulate — the computational
+// core of table-lookup erasure coding (ISA-L's approach, Fig. 2 left).
+//
+// A constant multiplier c is expanded into two 16-entry nibble tables
+// (lo[x & 0xf] = c*x, hi[x >> 4] = c*(x << 4)); one byte multiply is
+// then two table lookups + one XOR, which maps directly onto PSHUFB /
+// VPSHUFB. Functional correctness uses the best ISA available on the
+// host (scalar / SSSE3 / AVX2, runtime-dispatched); simulated timing is
+// always taken from the cost model so results are machine-independent.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "gf/gf256.h"
+
+namespace gf {
+
+/// Nibble-split multiplication table for one constant.
+struct SplitTable {
+  alignas(16) std::array<u8, 16> lo{};
+  alignas(16) std::array<u8, 16> hi{};
+};
+
+SplitTable make_split_table(u8 c);
+
+enum class IsaLevel { kScalar, kSsse3, kAvx2 };
+
+/// Best ISA the host supports (and the build enabled).
+IsaLevel best_isa();
+/// Currently active ISA for the region kernels.
+IsaLevel active_isa();
+/// Override the dispatch (tests verify all paths agree). Levels above
+/// best_isa() are clamped.
+void set_active_isa(IsaLevel level);
+
+/// dst[0..n) ^= c * src[0..n)
+void mul_acc(u8 c, const std::byte* src, std::byte* dst, std::size_t n);
+/// dst[0..n) = c * src[0..n)
+void mul_set(u8 c, const std::byte* src, std::byte* dst, std::size_t n);
+/// dst[0..n) ^= src[0..n)
+void xor_acc(const std::byte* src, std::byte* dst, std::size_t n);
+
+namespace detail {
+void mul_acc_scalar(const SplitTable& t, const std::byte* src, std::byte* dst,
+                    std::size_t n);
+void mul_set_scalar(const SplitTable& t, const std::byte* src, std::byte* dst,
+                    std::size_t n);
+void xor_acc_scalar(const std::byte* src, std::byte* dst, std::size_t n);
+#if defined(__x86_64__)
+void mul_acc_ssse3(const SplitTable& t, const std::byte* src, std::byte* dst,
+                   std::size_t n);
+void mul_set_ssse3(const SplitTable& t, const std::byte* src, std::byte* dst,
+                   std::size_t n);
+void xor_acc_ssse3(const std::byte* src, std::byte* dst, std::size_t n);
+void mul_acc_avx2(const SplitTable& t, const std::byte* src, std::byte* dst,
+                  std::size_t n);
+void mul_set_avx2(const SplitTable& t, const std::byte* src, std::byte* dst,
+                  std::size_t n);
+void xor_acc_avx2(const std::byte* src, std::byte* dst, std::size_t n);
+#endif
+}  // namespace detail
+
+}  // namespace gf

@@ -1,0 +1,68 @@
+// AVX2 region kernels: VPSHUFB nibble-table GF multiply, 32 bytes per
+// step. Compiled with -mavx2 in its own TU; only reached when the
+// runtime dispatcher confirmed host support.
+#include "gf/gf_simd.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+
+namespace gf::detail {
+
+namespace {
+inline __m256i mul32(const __m256i tlo, const __m256i thi, const __m256i x) {
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(x, mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(x, 4), mask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                          _mm256_shuffle_epi8(thi, hi));
+}
+
+inline __m256i broadcast_table(const std::array<gf::u8, 16>& t) {
+  const __m128i v = _mm_load_si128(reinterpret_cast<const __m128i*>(t.data()));
+  return _mm256_broadcastsi128_si256(v);
+}
+}  // namespace
+
+void mul_acc_avx2(const SplitTable& t, const std::byte* src, std::byte* dst,
+                  std::size_t n) {
+  const __m256i tlo = broadcast_table(t.lo);
+  const __m256i thi = broadcast_table(t.hi);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    d = _mm256_xor_si256(d, mul32(tlo, thi, x));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  if (i < n) mul_acc_scalar(t, src + i, dst + i, n - i);
+}
+
+void mul_set_avx2(const SplitTable& t, const std::byte* src, std::byte* dst,
+                  std::size_t n) {
+  const __m256i tlo = broadcast_table(t.lo);
+  const __m256i thi = broadcast_table(t.hi);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul32(tlo, thi, x));
+  }
+  if (i < n) mul_set_scalar(t, src + i, dst + i, n - i);
+}
+
+void xor_acc_avx2(const std::byte* src, std::byte* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, x));
+  }
+  if (i < n) xor_acc_scalar(src + i, dst + i, n - i);
+}
+
+}  // namespace gf::detail
+#endif  // __x86_64__

@@ -1,0 +1,11 @@
+// ISA availability macros, set by CMake (target_compile_definitions)
+// when the compiler accepts the corresponding -m flags. Default off so
+// the scalar path always builds.
+#pragma once
+
+#ifndef DIALGA_HAVE_SSSE3
+#define DIALGA_HAVE_SSSE3 0
+#endif
+#ifndef DIALGA_HAVE_AVX2
+#define DIALGA_HAVE_AVX2 0
+#endif

@@ -1,0 +1,65 @@
+// SSSE3 region kernels: PSHUFB-based nibble-table GF multiply, 16 bytes
+// per step. Compiled with -mssse3 in its own TU; only reached when the
+// runtime dispatcher confirmed host support.
+#include "gf/gf_simd.h"
+
+#if defined(__x86_64__)
+#include <tmmintrin.h>
+
+namespace gf::detail {
+
+namespace {
+inline __m128i mul16(const __m128i tlo, const __m128i thi, const __m128i x) {
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  const __m128i lo = _mm_and_si128(x, mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi64(x, 4), mask);
+  return _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+}
+}  // namespace
+
+void mul_acc_ssse3(const SplitTable& t, const std::byte* src, std::byte* dst,
+                   std::size_t n) {
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo.data()));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi.data()));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    d = _mm_xor_si128(d, mul16(tlo, thi, x));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  if (i < n) mul_acc_scalar(t, src + i, dst + i, n - i);
+}
+
+void mul_set_ssse3(const SplitTable& t, const std::byte* src, std::byte* dst,
+                   std::size_t n) {
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo.data()));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi.data()));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), mul16(tlo, thi, x));
+  }
+  if (i < n) mul_set_scalar(t, src + i, dst + i, n - i);
+}
+
+void xor_acc_ssse3(const std::byte* src, std::byte* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, x));
+  }
+  if (i < n) xor_acc_scalar(src + i, dst + i, n - i);
+}
+
+}  // namespace gf::detail
+#endif  // __x86_64__

@@ -1,0 +1,169 @@
+#include "pmpool/pool.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "shard/shard_store.h"  // Checksum()
+
+namespace pmpool {
+
+namespace {
+using shard::Checksum;
+}  // namespace
+
+Pool::Pool(const PoolConfig& cfg)
+    : cfg_(cfg),
+      codec_(cfg.k, cfg.m),
+      updater_(codec_.inner()) {}
+
+std::size_t Pool::new_stripe() {
+  Stripe s;
+  s.blocks.reserve(cfg_.k + cfg_.m);
+  for (std::size_t i = 0; i < cfg_.k + cfg_.m; ++i) {
+    s.blocks.push_back(space_.alloc(simmem::MemKind::kPm, cfg_.block_size,
+                                    simmem::kPageBytes, /*backed=*/true));
+  }
+  s.checksums.assign(cfg_.k + cfg_.m, 0);
+  stripes_.push_back(std::move(s));
+  return stripes_.size() - 1;
+}
+
+void Pool::encode_stripe(Stripe& s) {
+  std::vector<const std::byte*> data;
+  std::vector<std::byte*> parity;
+  for (std::size_t i = 0; i < cfg_.k; ++i) data.push_back(s.blocks[i].host);
+  for (std::size_t j = 0; j < cfg_.m; ++j) {
+    parity.push_back(s.blocks[cfg_.k + j].host);
+  }
+  codec_.encode(cfg_.block_size, data, parity);
+  reseal(s);
+}
+
+void Pool::reseal(Stripe& s) {
+  for (std::size_t i = 0; i < cfg_.k + cfg_.m; ++i) {
+    s.checksums[i] = Checksum(s.blocks[i].host, cfg_.block_size);
+  }
+}
+
+Pool::ObjectId Pool::put(std::span<const std::byte> value) {
+  Object obj;
+  obj.size = value.size();
+  std::size_t off = 0;
+  do {
+    const std::size_t si = new_stripe();
+    Stripe& s = stripes_[si];
+    obj.stripes.push_back(si);
+    for (std::size_t i = 0; i < cfg_.k; ++i) {
+      std::byte* dst = s.blocks[i].host;
+      std::memset(dst, 0, cfg_.block_size);
+      if (off < value.size()) {
+        const std::size_t n =
+            std::min(cfg_.block_size, value.size() - off);
+        std::memcpy(dst, value.data() + off, n);
+        off += n;
+      }
+    }
+    encode_stripe(s);
+  } while (off < value.size());
+  objects_.push_back(std::move(obj));
+  return objects_.size() - 1;
+}
+
+std::optional<std::vector<std::byte>> Pool::get(ObjectId id) const {
+  if (id >= objects_.size()) return std::nullopt;
+  const Object& obj = objects_[id];
+  std::vector<std::byte> out(obj.size);
+  std::size_t off = 0;
+  for (const std::size_t si : obj.stripes) {
+    const Stripe& s = stripes_[si];
+    for (std::size_t i = 0; i < cfg_.k && off < obj.size; ++i) {
+      const std::size_t n = std::min(cfg_.block_size, obj.size - off);
+      std::memcpy(out.data() + off, s.blocks[i].host, n);
+      off += n;
+    }
+  }
+  return out;
+}
+
+bool Pool::update(ObjectId id, std::size_t offset,
+                  std::span<const std::byte> bytes) {
+  if (id >= objects_.size()) return false;
+  const Object& obj = objects_[id];
+  if (offset + bytes.size() > obj.size) return false;
+
+  std::size_t consumed = 0;
+  while (consumed < bytes.size()) {
+    const std::size_t pos = offset + consumed;
+    const std::size_t stripe_idx = pos / cfg_.stripe_payload();
+    const std::size_t in_stripe = pos % cfg_.stripe_payload();
+    const std::size_t block = in_stripe / cfg_.block_size;
+    const std::size_t in_block = in_stripe % cfg_.block_size;
+    const std::size_t n = std::min(bytes.size() - consumed,
+                                   cfg_.block_size - in_block);
+
+    Stripe& s = stripes_[obj.stripes[stripe_idx]];
+    std::vector<std::byte*> parity;
+    for (std::size_t j = 0; j < cfg_.m; ++j) {
+      parity.push_back(s.blocks[cfg_.k + j].host);
+    }
+    updater_.apply(cfg_.block_size, block, in_block,
+                   bytes.subspan(consumed, n), s.blocks[block].host,
+                   parity);
+    reseal(s);
+    consumed += n;
+  }
+  return true;
+}
+
+ScrubReport Pool::scrub() {
+  ScrubReport report;
+  for (Stripe& s : stripes_) {
+    std::vector<std::size_t> bad;
+    for (std::size_t i = 0; i < cfg_.k + cfg_.m; ++i) {
+      ++report.blocks_checked;
+      if (Checksum(s.blocks[i].host, cfg_.block_size) != s.checksums[i]) {
+        bad.push_back(i);
+      }
+    }
+    report.blocks_damaged += bad.size();
+    if (bad.empty()) continue;
+    if (bad.size() > cfg_.m) {
+      ++report.objects_lost;
+      continue;
+    }
+    std::vector<std::byte*> all;
+    for (auto& b : s.blocks) all.push_back(b.host);
+    if (!codec_.decode(cfg_.block_size, all, bad)) {
+      ++report.objects_lost;
+      continue;
+    }
+    // Only count blocks whose repaired bytes match the sealed checksum.
+    for (const std::size_t i : bad) {
+      if (Checksum(s.blocks[i].host, cfg_.block_size) == s.checksums[i]) {
+        ++report.blocks_repaired;
+      }
+    }
+  }
+  return report;
+}
+
+PoolStats Pool::stats() const {
+  PoolStats st;
+  st.objects = objects_.size();
+  st.stripes = stripes_.size();
+  for (const Object& o : objects_) st.payload_bytes += o.size;
+  st.pm_bytes = stripes_.size() * (cfg_.k + cfg_.m) * cfg_.block_size;
+  return st;
+}
+
+void Pool::inject_fault(ObjectId id, std::size_t stripe_of_object,
+                        std::size_t block, std::size_t byte_offset) {
+  assert(id < objects_.size());
+  const Object& obj = objects_[id];
+  assert(stripe_of_object < obj.stripes.size());
+  Stripe& s = stripes_[obj.stripes[stripe_of_object]];
+  assert(block < cfg_.k + cfg_.m && byte_offset < cfg_.block_size);
+  s.blocks[block].host[byte_offset] ^= std::byte{0x04};
+}
+
+}  // namespace pmpool

@@ -1,0 +1,106 @@
+// pmpool — an erasure-coded object pool on (simulated) persistent
+// memory: the application layer the paper's introduction motivates
+// (NOVA-Fortis / Pangolin-style software redundancy for PM).
+//
+// Objects are striped RS(k, m) across k+m PM regions with per-block
+// checksums. Reads verify nothing (fast path); a scrub pass verifies
+// every block and repairs up to m damaged blocks per stripe with the
+// DIALGA codec. Small overwrites go through the delta-update engine
+// (ec/update.h) so parity maintenance touches only the affected lines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dialga/dialga.h"
+#include "ec/update.h"
+#include "simmem/address_space.h"
+
+namespace pmpool {
+
+struct PoolConfig {
+  std::size_t k = 8;
+  std::size_t m = 3;
+  std::size_t block_size = 1024;
+
+  std::size_t stripe_payload() const { return k * block_size; }
+};
+
+struct ScrubReport {
+  std::size_t blocks_checked = 0;
+  std::size_t blocks_damaged = 0;
+  std::size_t blocks_repaired = 0;
+  std::size_t objects_lost = 0;  ///< stripes beyond m damaged blocks
+  bool clean() const { return blocks_damaged == blocks_repaired; }
+};
+
+struct PoolStats {
+  std::size_t objects = 0;
+  std::size_t stripes = 0;
+  std::size_t payload_bytes = 0;   ///< user bytes stored
+  std::size_t pm_bytes = 0;        ///< raw PM reserved (data + parity)
+  double storage_overhead() const {
+    return payload_bytes == 0
+               ? 0.0
+               : static_cast<double>(pm_bytes) /
+                     static_cast<double>(payload_bytes);
+  }
+};
+
+/// Not thread-safe: guard concurrent access externally (the functional
+/// codecs themselves are safe for concurrent use on distinct buffers —
+/// see ec/parallel.h).
+class Pool {
+ public:
+  using ObjectId = std::uint64_t;
+
+  explicit Pool(const PoolConfig& cfg = {});
+
+  /// Store an object; returns its id. Objects spanning multiple stripes
+  /// are split at stripe-payload boundaries.
+  ObjectId put(std::span<const std::byte> value);
+
+  /// Read an object back (no verification — use scrub() for that).
+  std::optional<std::vector<std::byte>> get(ObjectId id) const;
+
+  /// Overwrite `bytes` at `offset` within the object, updating parity
+  /// via delta updates (touched lines only). Cannot grow the object.
+  bool update(ObjectId id, std::size_t offset,
+              std::span<const std::byte> bytes);
+
+  /// Verify every block checksum; repair damaged blocks stripe-wise.
+  ScrubReport scrub();
+
+  PoolStats stats() const;
+  const PoolConfig& config() const { return cfg_; }
+
+  /// Fault injection for tests/demos: flip one bit of a stored block.
+  /// `block` indexes the stripe's k+m blocks.
+  void inject_fault(ObjectId id, std::size_t stripe_of_object,
+                    std::size_t block, std::size_t byte_offset);
+
+ private:
+  struct Stripe {
+    std::vector<simmem::Region> blocks;          // k + m, host-backed
+    std::vector<std::uint64_t> checksums;        // k + m
+  };
+  struct Object {
+    std::vector<std::size_t> stripes;  // indices into stripes_
+    std::size_t size = 0;
+  };
+
+  std::size_t new_stripe();
+  void encode_stripe(Stripe& s);
+  void reseal(Stripe& s);  // recompute checksums after a data change
+
+  PoolConfig cfg_;
+  dialga::DialgaCodec codec_;
+  ec::UpdateEngine updater_;
+  simmem::AddressSpace space_;
+  std::vector<Stripe> stripes_;
+  std::vector<Object> objects_;
+};
+
+}  // namespace pmpool

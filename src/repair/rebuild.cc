@@ -1,0 +1,80 @@
+#include "repair/rebuild.h"
+
+#include <cassert>
+
+#include "ec/executor.h"
+
+namespace repair {
+
+RebuildProgress RunRebuild(
+    const ec::Codec& codec, const simmem::SimConfig& sim_cfg,
+    const bench_util::WorkloadConfig& wl_cfg, std::size_t failed_block,
+    const RebuildConfig& cfg,
+    const std::function<void(const RebuildProgress&)>& on_batch) {
+  assert(failed_block < wl_cfg.k + wl_cfg.m);
+  const std::vector<std::size_t> erasures{failed_block};
+  ec::FixedPlanProvider provider(
+      codec.decode_plan(wl_cfg.block_size, sim_cfg.cost, erasures));
+
+  bench_util::WorkloadConfig wl = wl_cfg;
+  wl.threads = cfg.threads;
+  wl.m = provider.plan().num_parity;
+  wl.scratch_blocks =
+      std::max(wl.scratch_blocks, provider.plan().num_scratch);
+  bench_util::Workload workload = bench_util::BuildWorkload(wl);
+  for (ec::ThreadWork& w : workload.work) w.provider = &provider;
+
+  simmem::MemorySystem mem(sim_cfg, cfg.threads);
+
+  // Interleave batches manually: carve each worker's stripe list into
+  // batch-sized windows so we can throttle and report between windows.
+  RebuildProgress progress;
+  progress.stripes_total = workload.num_stripes;
+  const std::size_t bytes_per_stripe = wl_cfg.block_size;  // one block
+
+  std::vector<std::size_t> cursor(cfg.threads, 0);
+  bool remaining = true;
+  while (remaining) {
+    remaining = false;
+    // One batch: up to batch_stripes per worker, round-robin windows.
+    std::vector<ec::ThreadWork> batch(cfg.threads);
+    for (std::size_t t = 0; t < cfg.threads; ++t) {
+      batch[t].provider = &provider;
+      batch[t].scratch = workload.work[t].scratch;
+      auto& stripes = workload.work[t].stripes;
+      const std::size_t end =
+          std::min(stripes.size(), cursor[t] + cfg.batch_stripes);
+      for (std::size_t s = cursor[t]; s < end; ++s) {
+        batch[t].stripes.push_back(stripes[s]);
+      }
+      cursor[t] = end;
+      if (end < stripes.size()) remaining = true;
+      progress.stripes_done += batch[t].stripes.size();
+    }
+    ec::RunThreads(mem, batch);
+    progress.bytes_rebuilt =
+        static_cast<std::uint64_t>(progress.stripes_done) * bytes_per_stripe;
+    progress.sim_seconds = mem.max_clock() * 1e-9;
+
+    if (cfg.rate_limit_gbps > 0.0) {
+      // Idle the workers until the cumulative rebuilt rate falls to the
+      // throttle (bytes / ns == GB/s).
+      const double earliest_ns =
+          static_cast<double>(progress.bytes_rebuilt) / cfg.rate_limit_gbps;
+      if (earliest_ns > mem.max_clock()) {
+        for (std::size_t t = 0; t < cfg.threads; ++t) {
+          mem.advance_to(t, earliest_ns);
+        }
+        progress.sim_seconds = earliest_ns * 1e-9;
+      }
+    }
+    progress.gbps = progress.sim_seconds > 0.0
+                        ? static_cast<double>(progress.bytes_rebuilt) /
+                              (progress.sim_seconds * 1e9)
+                        : 0.0;
+    if (on_batch) on_batch(progress);
+  }
+  return progress;
+}
+
+}  // namespace repair

@@ -1,0 +1,52 @@
+// Rate-limited device rebuild — the recovery pipeline a storage system
+// runs after losing a device: decode every affected stripe's lost block
+// from the k survivors, with a configurable number of rebuild workers
+// and an optional bandwidth throttle so foreground traffic is not
+// starved. Runs on the simulated PM testbed and reports progress in
+// simulated time; pairs with bench_rebuild (unthrottled decode
+// throughput) and the Fig. 14 decode analysis.
+#pragma once
+
+#include <functional>
+
+#include "bench_util/workload.h"
+#include "ec/codec.h"
+#include "simmem/memory_system.h"
+
+namespace repair {
+
+struct RebuildConfig {
+  /// Simulated rebuild workers (cores).
+  std::size_t threads = 4;
+  /// Throttle on rebuilt payload (GB/s of recovered data); 0 = none.
+  /// Enforced in simulated time by idling workers between batches.
+  double rate_limit_gbps = 0.0;
+  /// Stripes per progress callback.
+  std::size_t batch_stripes = 64;
+};
+
+struct RebuildProgress {
+  std::size_t stripes_done = 0;
+  std::size_t stripes_total = 0;
+  std::uint64_t bytes_rebuilt = 0;
+  double sim_seconds = 0.0;
+  double gbps = 0.0;  ///< rebuilt bytes / simulated time so far
+
+  double fraction() const {
+    return stripes_total == 0
+               ? 1.0
+               : static_cast<double>(stripes_done) /
+                     static_cast<double>(stripes_total);
+  }
+};
+
+/// Rebuild the lost block (`failed_block` in [0, k+m)) of every stripe
+/// described by `wl_cfg` on a fresh simulator. `on_batch` fires after
+/// every batch with cumulative progress. Returns the final progress.
+RebuildProgress RunRebuild(
+    const ec::Codec& codec, const simmem::SimConfig& sim_cfg,
+    const bench_util::WorkloadConfig& wl_cfg, std::size_t failed_block,
+    const RebuildConfig& cfg,
+    const std::function<void(const RebuildProgress&)>& on_batch = {});
+
+}  // namespace repair

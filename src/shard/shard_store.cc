@@ -1,0 +1,249 @@
+#include "shard/shard_store.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace shard {
+
+namespace fs = std::filesystem;
+
+std::uint64_t Checksum(const std::byte* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::size_t Manifest::stripes() const {
+  const std::uint64_t stripe_bytes = static_cast<std::uint64_t>(k) * block_size;
+  return static_cast<std::size_t>((file_size + stripe_bytes - 1) /
+                                  stripe_bytes);
+}
+
+std::string Manifest::serialize() const {
+  std::ostringstream os;
+  os << "dialga-shard-v1\n"
+     << "k " << k << "\n"
+     << "m " << m << "\n"
+     << "block " << block_size << "\n"
+     << "size " << file_size << "\n";
+  for (std::size_t i = 0; i < shard_checksums.size(); ++i) {
+    os << "shard " << i << " " << shard_checksums[i] << "\n";
+  }
+  return os.str();
+}
+
+std::optional<Manifest> Manifest::parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "dialga-shard-v1") return std::nullopt;
+  Manifest mf;
+  std::string key;
+  while (is >> key) {
+    if (key == "k") {
+      is >> mf.k;
+    } else if (key == "m") {
+      is >> mf.m;
+    } else if (key == "block") {
+      is >> mf.block_size;
+    } else if (key == "size") {
+      is >> mf.file_size;
+    } else if (key == "shard") {
+      std::size_t idx;
+      std::uint64_t sum;
+      is >> idx >> sum;
+      mf.shard_checksums.resize(
+          std::max(mf.shard_checksums.size(), idx + 1));
+      mf.shard_checksums[idx] = sum;
+    } else {
+      return std::nullopt;
+    }
+    if (!is) return std::nullopt;
+  }
+  if (mf.k == 0 || mf.m == 0 || mf.block_size == 0) return std::nullopt;
+  if (mf.shard_checksums.size() != mf.k + mf.m) return std::nullopt;
+  return mf;
+}
+
+namespace {
+
+fs::path ShardPath(const fs::path& dir, std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard_%03zu", index);
+  return dir / name;
+}
+
+bool WriteFile(const fs::path& path, const std::byte* data, std::size_t n) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(n));
+  return static_cast<bool>(out);
+}
+
+bool ReadFile(const fs::path& path, std::vector<std::byte>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const std::streamsize n = in.tellg();
+  in.seekg(0);
+  out->resize(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(out->data()), n);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+ShardStore::ShardStore(const ec::Codec& codec, std::size_t block_size)
+    : codec_(codec), block_size_(block_size) {}
+
+bool ShardStore::encode_file(const fs::path& input, const fs::path& dir) const {
+  std::vector<std::byte> content;
+  if (!ReadFile(input, &content)) return false;
+  const auto [k, m] = codec_.params();
+
+  Manifest mf;
+  mf.k = k;
+  mf.m = m;
+  mf.block_size = block_size_;
+  mf.file_size = content.size();
+  const std::size_t stripes = std::max<std::size_t>(1, mf.stripes());
+  const std::size_t shard_bytes = stripes * block_size_;
+  content.resize(k * shard_bytes, std::byte{0});  // zero padding
+
+  // Shard s holds: for every stripe r, block s of that stripe. Data is
+  // striped row-major: stripe r covers content[r*k*bs, (r+1)*k*bs).
+  std::vector<std::vector<std::byte>> shards(
+      k + m, std::vector<std::byte>(shard_bytes));
+  for (std::size_t r = 0; r < stripes; ++r) {
+    std::vector<const std::byte*> data;
+    std::vector<std::byte*> parity;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::byte* dst = shards[i].data() + r * block_size_;
+      const std::byte* src = content.data() + (r * k + i) * block_size_;
+      std::copy(src, src + block_size_, dst);
+      data.push_back(dst);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      parity.push_back(shards[k + j].data() + r * block_size_);
+    }
+    codec_.encode(block_size_, data, parity);
+  }
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  for (std::size_t s = 0; s < k + m; ++s) {
+    mf.shard_checksums.push_back(Checksum(shards[s].data(), shard_bytes));
+    if (!WriteFile(ShardPath(dir, s), shards[s].data(), shard_bytes)) {
+      return false;
+    }
+  }
+  const std::string text = mf.serialize();
+  return WriteFile(dir / "manifest.txt",
+                   reinterpret_cast<const std::byte*>(text.data()),
+                   text.size());
+}
+
+std::optional<Manifest> ShardStore::load_manifest(const fs::path& dir) const {
+  std::vector<std::byte> raw;
+  if (!ReadFile(dir / "manifest.txt", &raw)) return std::nullopt;
+  return Manifest::parse(
+      std::string(reinterpret_cast<const char*>(raw.data()), raw.size()));
+}
+
+bool ShardStore::load_shards(const fs::path& dir, const Manifest& mf,
+                             std::vector<std::vector<std::byte>>* shards,
+                             std::vector<std::size_t>* damaged) const {
+  const std::size_t n = mf.k + mf.m;
+  shards->assign(n, {});
+  for (std::size_t s = 0; s < n; ++s) {
+    auto& buf = (*shards)[s];
+    const bool readable = ReadFile(ShardPath(dir, s), &buf);
+    const bool intact = readable && buf.size() == mf.shard_bytes() &&
+                        Checksum(buf.data(), buf.size()) ==
+                            mf.shard_checksums[s];
+    if (!intact) {
+      damaged->push_back(s);
+      buf.assign(mf.shard_bytes(), std::byte{0});
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> ShardStore::verify(const fs::path& dir) const {
+  const auto mf = load_manifest(dir);
+  if (!mf) return {SIZE_MAX};  // unusable directory
+  std::vector<std::vector<std::byte>> shards;
+  std::vector<std::size_t> damaged;
+  load_shards(dir, *mf, &shards, &damaged);
+  return damaged;
+}
+
+RepairReport ShardStore::repair(const fs::path& dir) const {
+  RepairReport report;
+  const auto mf = load_manifest(dir);
+  if (!mf) return report;
+  std::vector<std::vector<std::byte>> shards;
+  load_shards(dir, *mf, &shards, &report.damaged);
+  if (report.damaged.empty()) return report;
+  if (report.damaged.size() > mf->m) return report;  // unrecoverable
+
+  // Stripe-wise decode into the damaged shards.
+  const std::size_t stripes = mf->stripes();
+  for (std::size_t r = 0; r < stripes; ++r) {
+    std::vector<std::byte*> blocks;
+    for (std::size_t s = 0; s < mf->k + mf->m; ++s) {
+      blocks.push_back(shards[s].data() + r * mf->block_size);
+    }
+    if (!codec_.decode(mf->block_size, blocks, report.damaged)) {
+      return report;
+    }
+  }
+  for (const std::size_t s : report.damaged) {
+    if (Checksum(shards[s].data(), shards[s].size()) !=
+        mf->shard_checksums[s]) {
+      continue;  // rebuilt bytes do not match the manifest: refuse
+    }
+    if (WriteFile(ShardPath(dir, s), shards[s].data(), shards[s].size())) {
+      report.repaired.push_back(s);
+    }
+  }
+  return report;
+}
+
+bool ShardStore::decode_file(const fs::path& dir,
+                             const fs::path& output) const {
+  const auto mf = load_manifest(dir);
+  if (!mf) return false;
+  std::vector<std::vector<std::byte>> shards;
+  std::vector<std::size_t> damaged;
+  load_shards(dir, *mf, &shards, &damaged);
+  if (damaged.size() > mf->m) return false;
+
+  if (!damaged.empty()) {
+    const std::size_t stripes = mf->stripes();
+    for (std::size_t r = 0; r < stripes; ++r) {
+      std::vector<std::byte*> blocks;
+      for (std::size_t s = 0; s < mf->k + mf->m; ++s) {
+        blocks.push_back(shards[s].data() + r * mf->block_size);
+      }
+      if (!codec_.decode(mf->block_size, blocks, damaged)) return false;
+    }
+  }
+
+  std::vector<std::byte> content(mf->file_size);
+  const std::size_t stripes = mf->stripes();
+  std::size_t written = 0;
+  for (std::size_t r = 0; r < stripes && written < mf->file_size; ++r) {
+    for (std::size_t i = 0; i < mf->k && written < mf->file_size; ++i) {
+      const std::size_t n =
+          std::min<std::size_t>(mf->block_size, mf->file_size - written);
+      const std::byte* src = shards[i].data() + r * mf->block_size;
+      std::copy(src, src + n, content.data() + written);
+      written += n;
+    }
+  }
+  return WriteFile(output, content.data(), content.size());
+}
+
+}  // namespace shard

@@ -1,0 +1,35 @@
+#include "simmem/address_space.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace simmem {
+
+namespace {
+std::uint64_t AlignUp(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+Region AddressSpace::alloc(MemKind kind, std::size_t bytes, std::size_t align,
+                           bool backed) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  std::size_t& used = kind == MemKind::kPm ? pm_used_ : dram_used_;
+  const std::uint64_t window = kind == MemKind::kPm ? kPmBase : kDramBase;
+  const std::uint64_t base = AlignUp(window + used, align);
+  used = static_cast<std::size_t>(base - window) + bytes;
+
+  Region r;
+  r.base = base;
+  r.size = bytes;
+  r.kind = kind;
+  if (backed) {
+    auto storage = std::make_unique<std::byte[]>(bytes);
+    std::memset(storage.get(), 0, bytes);
+    r.host = storage.get();
+    backing_.push_back(std::move(storage));
+  }
+  return r;
+}
+
+}  // namespace simmem

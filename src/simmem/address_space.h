@@ -1,0 +1,67 @@
+// Deterministic simulated physical address space.
+//
+// Regions are carved from two disjoint windows: DRAM below kPmBase and
+// persistent memory above it. Using deterministic addresses (rather than
+// host pointers) makes cache-set conflicts, channel interleaving and
+// read-buffer behaviour reproducible run to run. A region may optionally
+// carry host backing storage so functional kernels can read/write real
+// bytes at simulated addresses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simmem/config.h"
+
+namespace simmem {
+
+inline constexpr std::uint64_t kDramBase = 0x0000'1000'0000ULL;
+inline constexpr std::uint64_t kPmBase = 0x4000'0000'0000ULL;
+
+inline MemKind KindOfAddress(std::uint64_t addr) {
+  return addr >= kPmBase ? MemKind::kPm : MemKind::kDram;
+}
+
+struct Region {
+  std::uint64_t base = 0;
+  std::size_t size = 0;
+  MemKind kind = MemKind::kDram;
+  std::byte* host = nullptr;  ///< non-null only for backed regions
+
+  std::uint64_t end() const { return base + size; }
+  bool contains(std::uint64_t addr) const {
+    return addr >= base && addr < end();
+  }
+  /// Host pointer for a simulated address inside this region.
+  std::byte* host_ptr(std::uint64_t addr) const {
+    return host == nullptr ? nullptr : host + (addr - base);
+  }
+};
+
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+  AddressSpace(AddressSpace&&) = default;
+  AddressSpace& operator=(AddressSpace&&) = default;
+
+  /// Reserve a region. `align` must be a power of two (default: page).
+  /// With `backed`, zero-initialized host storage is attached.
+  Region alloc(MemKind kind, std::size_t bytes,
+               std::size_t align = kPageBytes, bool backed = false);
+
+  /// Total bytes reserved per kind.
+  std::size_t reserved(MemKind kind) const {
+    return kind == MemKind::kPm ? pm_used_ : dram_used_;
+  }
+
+ private:
+  std::size_t dram_used_ = 0;
+  std::size_t pm_used_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> backing_;
+};
+
+}  // namespace simmem

@@ -1,0 +1,98 @@
+#include "simmem/cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace simmem {
+
+Cache::Cache(const CacheGeometry& geo) : geo_(geo), num_sets_(geo.num_sets()) {
+  assert(num_sets_ > 0 && geo_.ways > 0);
+  lines_.resize(num_sets_ * geo_.ways);
+}
+
+CacheLookup Cache::access(std::uint64_t addr, double now) {
+  const std::uint64_t la = LineAddr(addr);
+  Line* base = &lines_[set_index(la) * geo_.ways];
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == la) {
+      line.lru = ++lru_tick_;
+      CacheLookup r;
+      r.hit = true;
+      r.ready_time = std::max(line.ready_time, now);
+      r.source = line.source;
+      r.first_demand_on_prefetch =
+          !line.demanded && line.source != FillSource::kDemand;
+      line.demanded = true;
+      return r;
+    }
+  }
+  return CacheLookup{};
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t la = LineAddr(addr);
+  const Line* base = &lines_[set_index(la) * geo_.ways];
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    if (base[w].valid && base[w].tag == la) return true;
+  }
+  return false;
+}
+
+std::optional<EvictedLine> Cache::fill(std::uint64_t addr, double ready_time,
+                                       FillSource source) {
+  const std::uint64_t la = LineAddr(addr);
+  Line* base = &lines_[set_index(la) * geo_.ways];
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == la) {
+      // Refill of a resident line (e.g. redundant prefetch): keep the
+      // earlier ready time, do not disturb demand flags.
+      line.ready_time = std::min(line.ready_time, ready_time);
+      return std::nullopt;
+    }
+  }
+  // Victim: first invalid way, else the LRU way.
+  Line* victim = nullptr;
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru < victim->lru) victim = &line;
+  }
+  std::optional<EvictedLine> evicted;
+  if (victim->valid) {
+    evicted = EvictedLine{victim->tag, victim->source, victim->demanded};
+  } else {
+    ++valid_count_;
+  }
+  victim->tag = la;
+  victim->valid = true;
+  victim->ready_time = ready_time;
+  victim->source = source;
+  victim->demanded = false;
+  victim->lru = ++lru_tick_;
+  return evicted;
+}
+
+void Cache::invalidate(std::uint64_t addr) {
+  const std::uint64_t la = LineAddr(addr);
+  Line* base = &lines_[set_index(la) * geo_.ways];
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    if (base[w].valid && base[w].tag == la) {
+      base[w].valid = false;
+      --valid_count_;
+      return;
+    }
+  }
+}
+
+void Cache::clear() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  valid_count_ = 0;
+  lru_tick_ = 0;
+}
+
+}  // namespace simmem

@@ -1,0 +1,21 @@
+#include "simmem/config.h"
+
+namespace simmem {
+
+SimConfig XeonGold6240Optane100() { return SimConfig{}; }
+
+SimConfig CmmHLike() {
+  SimConfig cfg;
+  // CMM-H: CXL-attached flash with an internal DRAM buffer. Higher media
+  // latency and a much larger buffer than Optane's on-DIMM SRAM, accessed
+  // through a single CXL link (modelled as 2 channels).
+  cfg.pm.channels = 2;
+  cfg.pm.read_buffer_bytes_per_channel = 8 * 1024 * 1024;
+  cfg.pm.buffer_hit_latency_ns = 350.0;
+  cfg.pm.media_latency_ns = 8000.0;
+  cfg.pm.media_read_gbps_per_channel = 8.0;
+  cfg.pm.media_write_gbps_per_channel = 4.0;
+  return cfg;
+}
+
+}  // namespace simmem

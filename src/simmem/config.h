@@ -1,0 +1,124 @@
+// Geometry, latency and bandwidth parameters for the simulated memory
+// hierarchy. Defaults model the paper's testbed: Intel Xeon Gold 6240
+// (32 KB L1D / 1 MB L2 / 24.75 MB LLC) with 6 channels of DDR4-2666 DRAM
+// and 6 x 128 GB Optane DCPMM 100 (256 B XPLine, 16 KB per-DIMM read
+// buffer). See DESIGN.md section 6 for sourcing of every constant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace simmem {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+inline constexpr std::size_t kXpLineBytes = 256;
+inline constexpr std::size_t kPageBytes = 4096;
+
+/// Which backend a physical address range belongs to.
+enum class MemKind : std::uint8_t { kDram, kPm };
+
+/// Parameters of one set-associative cache level.
+struct CacheGeometry {
+  std::size_t size_bytes = 0;
+  std::size_t ways = 0;
+  double hit_latency_ns = 0.0;
+
+  std::size_t num_sets() const {
+    return size_bytes / (ways * kCacheLineBytes);
+  }
+};
+
+/// L2 stream-prefetcher model parameters (Observation 3: Cascade Lake
+/// tracks up to 32 unidirectional streams; Ice Lake and later track 64).
+struct PrefetcherConfig {
+  bool enabled = true;
+  /// Maximum number of concurrently tracked unidirectional streams.
+  std::size_t stream_capacity = 32;
+  /// Demand hits on a stream before the first prefetch is issued.
+  /// Calibrated so streams shorter than ~512 B never trigger
+  /// prefetching (Observation 4) while 1 KiB blocks get partial
+  /// coverage and 4 KiB blocks get full coverage.
+  std::uint32_t min_confidence = 8;
+  /// Maximum prefetch degree (lines launched ahead once fully
+  /// confident). With 1 KiB blocks the end-of-block overshoot of ~6
+  /// lines reproduces the 23-37 % read amplification of Fig. 6.
+  std::uint32_t max_degree = 6;
+  /// Prefetches never cross a 4 KiB page boundary (Observation 4).
+  bool stop_at_page_boundary = true;
+  /// Model the L1 DCU next-line prefetcher (fetch line N+1 on an L1
+  /// demand miss). Off by default: the paper's analysis attributes the
+  /// dominant prefetch behaviour to the L2 streamer; the DCU option
+  /// exists for the useless-prefetch ablation.
+  bool dcu_next_line = false;
+};
+
+/// Optane-like persistent-memory device parameters.
+struct PmConfig {
+  std::size_t channels = 6;
+  /// Per-channel on-DIMM read buffer capacity (16 KB x 6 = 96 KB total).
+  std::size_t read_buffer_bytes_per_channel = 16 * 1024;
+  /// Latency of a 64 B load that hits the on-DIMM read buffer.
+  double buffer_hit_latency_ns = 90.0;
+  /// Latency of a 64 B load that misses the buffer (media access).
+  double media_latency_ns = 250.0;
+  /// Sustained media read bandwidth per channel (GB/s). An XPLine miss
+  /// occupies 256 B of this budget.
+  double media_read_gbps_per_channel = 2.4;
+  /// Sustained write bandwidth per channel (GB/s); NT stores are posted.
+  double media_write_gbps_per_channel = 0.76;
+  /// Per-channel write-combining buffer capacity (XPBuffer write side).
+  std::size_t write_buffer_bytes_per_channel = 16 * 1024;
+  /// Channel interleave granularity (Optane interleaves at 4 KiB).
+  std::size_t interleave_bytes = 4096;
+};
+
+/// DRAM device parameters (DDR4-2666, 6 channels).
+struct DramConfig {
+  std::size_t channels = 6;
+  double load_latency_ns = 75.0;
+  double read_gbps_per_channel = 18.0;
+  double write_gbps_per_channel = 18.0;
+  std::size_t interleave_bytes = 4096;
+};
+
+/// Per-SIMD-width compute cost of the table-lookup GF kernel, expressed
+/// in core cycles per (64 B line x parity block). AVX512 processes a full
+/// cacheline per op sequence; AVX256 needs two passes (Fig. 15).
+struct ComputeCost {
+  double avx512_cycles_per_line_parity = 4.0;
+  double avx256_cycles_per_line_parity = 8.0;
+  /// Fixed per-line overhead (address generation, loop control).
+  double per_line_overhead_cycles = 1.0;
+  /// Cost of issuing one software prefetch instruction.
+  double sw_prefetch_issue_cycles = 1.0;
+  /// XOR-based kernels: cycles per 64 B line per XOR source.
+  double xor_cycles_per_line = 1.5;
+};
+
+/// Top-level simulator configuration.
+struct SimConfig {
+  double cpu_freq_ghz = 3.3;
+  CacheGeometry l1{32 * 1024, 8, 1.2};
+  CacheGeometry l2{1024 * 1024, 16, 4.0};
+  CacheGeometry llc{24'750 * 1024, 11, 20.0};
+  PrefetcherConfig prefetcher{};
+  PmConfig pm{};
+  DramConfig dram{};
+  ComputeCost cost{};
+
+  /// Convenience: total PM read-buffer capacity in bytes.
+  std::size_t pm_read_buffer_total() const {
+    return pm.channels * pm.read_buffer_bytes_per_channel;
+  }
+};
+
+/// Preset mirroring the paper's testbed (the default).
+SimConfig XeonGold6240Optane100();
+
+/// Preset approximating a Samsung CMM-H style device (DRAM-buffered
+/// flash behind CXL, section 6 "Generality"): larger internal buffer,
+/// higher media latency, coarser media granularity is still modelled at
+/// the XPLine-equivalent 256 B unit.
+SimConfig CmmHLike();
+
+}  // namespace simmem

@@ -1,0 +1,28 @@
+#include "simmem/dram_device.h"
+
+namespace simmem {
+
+DramDevice::DramDevice(const DramConfig& cfg, PmuCounters* pmu)
+    : cfg_(cfg), pmu_(pmu) {
+  for (std::size_t c = 0; c < cfg_.channels; ++c) {
+    read_bw_.emplace_back(cfg_.read_gbps_per_channel);
+    write_bw_.emplace_back(cfg_.write_gbps_per_channel);
+  }
+}
+
+double DramDevice::read(std::uint64_t addr, double now) {
+  const double start = read_bw_[channel(addr)].start_transfer(now, kCacheLineBytes);
+  pmu_->dram_read_bytes += kCacheLineBytes;
+  return start + cfg_.load_latency_ns;
+}
+
+double DramDevice::write(std::uint64_t addr, double now) {
+  return write_bw_[channel(addr)].start_transfer(now, kCacheLineBytes);
+}
+
+void DramDevice::reset() {
+  for (auto& s : read_bw_) s.reset();
+  for (auto& s : write_bw_) s.reset();
+}
+
+}  // namespace simmem

@@ -1,0 +1,60 @@
+// Flat-latency DRAM backend with per-channel bandwidth accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simmem/config.h"
+#include "simmem/pmu.h"
+
+namespace simmem {
+
+/// Serializing bandwidth server: transfers are serviced in arrival order,
+/// each occupying the channel for bytes/bandwidth nanoseconds. Queueing
+/// delay under contention falls out of the `next_free` bookkeeping.
+class BandwidthServer {
+ public:
+  explicit BandwidthServer(double gbps) : gbps_(gbps) {}
+
+  /// Begin a transfer of `bytes` no earlier than `now`; returns the time
+  /// the channel started serving it (completion = start + latency).
+  double start_transfer(double now, std::size_t bytes) {
+    const double start = now > next_free_ ? now : next_free_;
+    next_free_ = start + static_cast<double>(bytes) / gbps_;
+    return start;
+  }
+
+  double next_free() const { return next_free_; }
+  void reset() { next_free_ = 0.0; }
+
+ private:
+  double gbps_;  // 1 GB/s == 1 byte/ns
+  double next_free_ = 0.0;
+};
+
+class DramDevice {
+ public:
+  DramDevice(const DramConfig& cfg, PmuCounters* pmu);
+
+  /// 64 B line read issued at `now`; returns data-ready time.
+  double read(std::uint64_t addr, double now);
+
+  /// Posted 64 B non-temporal store; returns the time the write was
+  /// accepted (threads only stall when the write queue is saturated).
+  double write(std::uint64_t addr, double now);
+
+  void reset();
+
+ private:
+  std::size_t channel(std::uint64_t addr) const {
+    return static_cast<std::size_t>((addr / cfg_.interleave_bytes) %
+                                    cfg_.channels);
+  }
+
+  DramConfig cfg_;
+  PmuCounters* pmu_;
+  std::vector<BandwidthServer> read_bw_;
+  std::vector<BandwidthServer> write_bw_;
+};
+
+}  // namespace simmem

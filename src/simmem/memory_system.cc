@@ -1,0 +1,257 @@
+#include "simmem/memory_system.h"
+
+#include <algorithm>
+
+#include "simmem/address_space.h"
+
+namespace simmem {
+
+namespace {
+/// Write-queue slack: a core only stalls on an NT store once the device
+/// write queue is backed up beyond this horizon (posted writes).
+constexpr double kWriteQueueSlackNs = 1000.0;
+/// Core cycles to issue one streaming store.
+constexpr double kStoreIssueCycles = 1.0;
+}  // namespace
+
+MemorySystem::MemorySystem(const SimConfig& cfg, std::size_t num_threads)
+    : cfg_(cfg),
+      llc_(cfg.llc),
+      dram_(cfg.dram, &pmu_),
+      pm_(cfg.pm, &pmu_) {
+  cores_.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) cores_.emplace_back(cfg_);
+}
+
+double MemorySystem::device_read(std::uint64_t addr, double now) {
+  return KindOfAddress(addr) == MemKind::kPm ? pm_.read(addr, now)
+                                             : dram_.read(addr, now);
+}
+
+double MemorySystem::device_write(std::uint64_t addr, double now) {
+  return KindOfAddress(addr) == MemKind::kPm ? pm_.write(addr, now)
+                                             : dram_.write(addr, now);
+}
+
+void MemorySystem::count_l2_eviction(const EvictedLine& ev) {
+  if (ev.source == FillSource::kHwPrefetch && !ev.demanded) {
+    ++pmu_.hw_prefetches_useless;
+  }
+}
+
+void MemorySystem::run_hw_prefetcher(Core& core, std::uint64_t addr,
+                                     double now) {
+  pf_scratch_.clear();
+  core.streamer.observe(LineAddr(addr), &pf_scratch_);
+  for (const std::uint64_t line : pf_scratch_) {
+    const std::uint64_t pf_addr = line * kCacheLineBytes;
+    if (core.l2.contains(pf_addr)) continue;
+    ++pmu_.hw_prefetches_issued;
+    double ready;
+    const CacheLookup llc = llc_.access(pf_addr, now);
+    if (llc.hit) {
+      ready = std::max(now, llc.ready_time) + cfg_.llc.hit_latency_ns;
+    } else {
+      pmu_.mc_read_bytes += kCacheLineBytes;
+      ready = device_read(pf_addr, now);
+      llc_.fill(pf_addr, ready, FillSource::kHwPrefetch);
+    }
+    if (auto ev = core.l2.fill(pf_addr, ready, FillSource::kHwPrefetch)) {
+      count_l2_eviction(*ev);
+    }
+  }
+}
+
+void MemorySystem::load(std::size_t tid, std::uint64_t addr) {
+  Core& core = cores_[tid];
+  const double t = core.clock;
+  ++pmu_.loads;
+  pmu_.encode_read_bytes += kCacheLineBytes;
+
+  double done;
+  const CacheLookup l1 = core.l1.access(addr, t);
+  if (l1.hit) {
+    ++pmu_.l1_hits;
+    if (l1.first_demand_on_prefetch) {
+      if (l1.source == FillSource::kSwPrefetch) ++pmu_.sw_prefetch_hits;
+      if (l1.source == FillSource::kHwPrefetch) ++pmu_.hw_prefetch_hits;
+    }
+    done = std::max(t, l1.ready_time) + cfg_.l1.hit_latency_ns;
+  } else {
+    const CacheLookup l2 = core.l2.access(addr, t);
+    // The streamer snoops every L2 access (hit or miss) so it can keep
+    // training on prefetched lines and run ahead of the demand stream.
+    run_hw_prefetcher(core, addr, t);
+    if (l2.hit) {
+      ++pmu_.l2_hits;
+      if (l2.first_demand_on_prefetch) {
+        if (l2.source == FillSource::kSwPrefetch) ++pmu_.sw_prefetch_hits;
+        if (l2.source == FillSource::kHwPrefetch) ++pmu_.hw_prefetch_hits;
+      }
+      done = std::max(t, l2.ready_time) + cfg_.l2.hit_latency_ns;
+    } else {
+      const CacheLookup llc = llc_.access(addr, t);
+      double ready;
+      if (llc.hit) {
+        ++pmu_.llc_hits;
+        ready = std::max(t, llc.ready_time) + cfg_.llc.hit_latency_ns;
+      } else {
+        ++pmu_.llc_misses;
+        pmu_.mc_read_bytes += kCacheLineBytes;
+        ready = device_read(addr, t);
+        pmu_.llc_miss_stall_ns += ready - t;
+        llc_.fill(addr, ready, FillSource::kDemand);
+      }
+      done = ready;
+      if (auto ev = core.l2.fill(addr, done, FillSource::kDemand)) {
+        count_l2_eviction(*ev);
+      }
+    }
+    core.l1.fill(addr, done, FillSource::kDemand);
+  }
+  pmu_.load_stall_ns += done - t;
+  core.clock = done;
+
+  if (cfg_.prefetcher.dcu_next_line && core.streamer.enabled() && !l1.hit) {
+    dcu_prefetch(core, addr + kCacheLineBytes, t);
+  }
+}
+
+void MemorySystem::dcu_prefetch(Core& core, std::uint64_t addr, double now) {
+  if (PageAddr(addr) != PageAddr(addr - kCacheLineBytes)) return;
+  if (core.l1.contains(addr) || core.l2.contains(addr)) return;
+  ++pmu_.hw_prefetches_issued;
+  double ready;
+  const CacheLookup llc = llc_.access(addr, now);
+  if (llc.hit) {
+    ready = std::max(now, llc.ready_time) + cfg_.llc.hit_latency_ns;
+  } else {
+    pmu_.mc_read_bytes += kCacheLineBytes;
+    ready = device_read(addr, now);
+    llc_.fill(addr, ready, FillSource::kHwPrefetch);
+  }
+  if (auto ev = core.l2.fill(addr, ready, FillSource::kHwPrefetch)) {
+    count_l2_eviction(*ev);
+  }
+  core.l1.fill(addr, ready, FillSource::kHwPrefetch);
+}
+
+void MemorySystem::store_nt(std::size_t tid, std::uint64_t addr) {
+  Core& core = cores_[tid];
+  ++pmu_.stores;
+  pmu_.write_bytes += kCacheLineBytes;
+  core.clock += kStoreIssueCycles / cfg_.cpu_freq_ghz;
+  // NT stores do not allocate; drop any stale cached copy.
+  core.l1.invalidate(addr);
+  core.l2.invalidate(addr);
+  llc_.invalidate(addr);
+  const double accepted = device_write(addr, core.clock);
+  core.write_drain = std::max(core.write_drain, accepted);
+  if (accepted > core.clock + kWriteQueueSlackNs) {
+    core.clock = accepted - kWriteQueueSlackNs;  // write queue full
+  }
+}
+
+void MemorySystem::fence(std::size_t tid) {
+  Core& core = cores_[tid];
+  core.clock = std::max(core.clock, core.write_drain);
+}
+
+void MemorySystem::store_cached(std::size_t tid, std::uint64_t addr) {
+  Core& core = cores_[tid];
+  ++pmu_.stores;
+  pmu_.write_bytes += kCacheLineBytes;
+  core.clock += kStoreIssueCycles / cfg_.cpu_freq_ghz;
+  const double t = core.clock;
+  if (core.l1.access(addr, t).hit) return;
+  if (core.l2.contains(addr)) {
+    core.l1.fill(addr, t + cfg_.l2.hit_latency_ns, FillSource::kDemand);
+    return;
+  }
+  // Read-for-ownership: fetch the line without stalling the core.
+  double ready;
+  const CacheLookup llc = llc_.access(addr, t);
+  if (llc.hit) {
+    ready = std::max(t, llc.ready_time) + cfg_.llc.hit_latency_ns;
+  } else {
+    pmu_.mc_read_bytes += kCacheLineBytes;
+    ready = device_read(addr, t);
+    llc_.fill(addr, ready, FillSource::kDemand);
+  }
+  if (auto ev = core.l2.fill(addr, ready, FillSource::kDemand)) {
+    count_l2_eviction(*ev);
+  }
+  core.l1.fill(addr, ready, FillSource::kDemand);
+}
+
+void MemorySystem::sw_prefetch(std::size_t tid, std::uint64_t addr) {
+  Core& core = cores_[tid];
+  core.clock += cfg_.cost.sw_prefetch_issue_cycles / cfg_.cpu_freq_ghz;
+  ++pmu_.sw_prefetches_issued;
+  const double t = core.clock;
+  if (core.l1.contains(addr)) return;
+  if (core.l2.contains(addr)) {
+    // Promote to L1 without charging the core.
+    core.l1.fill(addr, t + cfg_.l2.hit_latency_ns, FillSource::kSwPrefetch);
+    return;
+  }
+  // SW prefetches are L2 accesses too: they train the HW streamer (the
+  // "training effect" Fig. 19 attributes DIALGA's extra traffic to).
+  run_hw_prefetcher(core, addr, t);
+  double ready;
+  const CacheLookup llc = llc_.access(addr, t);
+  if (llc.hit) {
+    ready = std::max(t, llc.ready_time) + cfg_.llc.hit_latency_ns;
+  } else {
+    pmu_.mc_read_bytes += kCacheLineBytes;
+    ready = device_read(addr, t);
+    llc_.fill(addr, ready, FillSource::kSwPrefetch);
+  }
+  if (auto ev = core.l2.fill(addr, ready, FillSource::kSwPrefetch)) {
+    count_l2_eviction(*ev);
+  }
+  core.l1.fill(addr, ready, FillSource::kSwPrefetch);
+}
+
+void MemorySystem::compute_cycles(std::size_t tid, double cycles) {
+  cores_[tid].clock += cycles / cfg_.cpu_freq_ghz;
+}
+
+void MemorySystem::advance_to(std::size_t tid, double t_ns) {
+  cores_[tid].clock = std::max(cores_[tid].clock, t_ns);
+}
+
+double MemorySystem::max_clock() const {
+  double m = 0.0;
+  for (const Core& c : cores_) m = std::max(m, c.clock);
+  return m;
+}
+
+void MemorySystem::set_hw_prefetcher_enabled(bool on) {
+  for (Core& c : cores_) c.streamer.set_enabled(on);
+}
+
+bool MemorySystem::hw_prefetcher_enabled() const {
+  return cores_.empty() ? cfg_.prefetcher.enabled
+                        : cores_.front().streamer.enabled();
+}
+
+void MemorySystem::flush_pm_writes() { pm_.flush_writes(max_clock()); }
+
+void MemorySystem::reset() {
+  const bool pf_on = hw_prefetcher_enabled();
+  for (Core& c : cores_) {
+    c.clock = 0.0;
+    c.write_drain = 0.0;
+    c.l1.clear();
+    c.l2.clear();
+    c.streamer.reset();
+    c.streamer.set_enabled(pf_on);
+  }
+  llc_.clear();
+  dram_.reset();
+  pm_.reset();
+  pmu_ = PmuCounters{};
+}
+
+}  // namespace simmem

@@ -1,0 +1,113 @@
+// The full simulated memory hierarchy: per-core L1/L2 + L2 stream
+// prefetcher, a shared LLC, and DRAM / PM backends.
+//
+// Execution model (DESIGN.md section 5): each simulated core carries its
+// own clock in nanoseconds. Demand loads walk L1 -> L2 -> LLC -> device
+// and stall the core until the line is ready; lines installed by a
+// prefetch carry a future ready-time, so a subsequent demand access
+// waits only for the residual fill latency. Non-temporal stores bypass
+// the caches and are posted to the device write queue. Multi-threaded
+// workloads are simulated by stepping cores smallest-clock-first (see
+// bench_util::Driver), which keeps accesses to the shared LLC, PM read
+// buffer and bandwidth servers interleaved in (approximate) time order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simmem/cache.h"
+#include "simmem/config.h"
+#include "simmem/dram_device.h"
+#include "simmem/pm_device.h"
+#include "simmem/pmu.h"
+#include "simmem/stream_prefetcher.h"
+
+namespace simmem {
+
+class MemorySystem {
+ public:
+  MemorySystem(const SimConfig& cfg, std::size_t num_threads);
+
+  /// Demand-load the 64 B line containing `addr`; stalls the core clock.
+  void load(std::size_t tid, std::uint64_t addr);
+
+  /// Non-temporal 64 B store (streaming store, no cache allocation).
+  void store_nt(std::size_t tid, std::uint64_t addr);
+
+  /// Write-allocate (cached) 64 B store: the line is installed in the
+  /// core's caches so later reads hit. The fill (RFO) consumes
+  /// controller/device bandwidth but does not stall the core — the
+  /// store buffer hides it. Used for scratch data (partial parities,
+  /// XOR temporaries) that is re-read soon after being written.
+  void store_cached(std::size_t tid, std::uint64_t addr);
+
+  /// Software prefetch (prefetcht0 semantics: fills L1/L2/LLC, async).
+  void sw_prefetch(std::size_t tid, std::uint64_t addr);
+
+  /// Store fence (sfence after NT stores): the core stalls until all of
+  /// its posted writes have drained to the device. The paper's encode
+  /// kernels end every stripe with one ("a final memory fence is
+  /// applied").
+  void fence(std::size_t tid);
+
+  /// Spend pure compute cycles on the core.
+  void compute_cycles(std::size_t tid, double cycles);
+
+  /// Advance a core clock to at least `t_ns` (idle wait).
+  void advance_to(std::size_t tid, double t_ns);
+
+  double clock(std::size_t tid) const { return cores_[tid].clock; }
+  double max_clock() const;
+  std::size_t num_threads() const { return cores_.size(); }
+
+  /// Global hardware-prefetcher switch — the BIOS/MSR-level toggle used
+  /// by the paper's Observation experiments. DIALGA itself does NOT use
+  /// this (it defeats the prefetcher with shuffled access patterns).
+  void set_hw_prefetcher_enabled(bool on);
+  bool hw_prefetcher_enabled() const;
+
+  const PmuCounters& pmu() const { return pmu_; }
+  const SimConfig& config() const { return cfg_; }
+  double freq_ghz() const { return cfg_.cpu_freq_ghz; }
+
+  /// Flush the PM write-combining buffers (end-of-run accounting).
+  void flush_pm_writes();
+
+  /// Cold-reset caches, devices, clocks and counters.
+  void reset();
+
+ private:
+  struct Core {
+    double clock = 0.0;
+    /// Latest drain time of this core's posted (NT) writes.
+    double write_drain = 0.0;
+    Cache l1;
+    Cache l2;
+    StreamPrefetcher streamer;
+    Core(const SimConfig& cfg)
+        : l1(cfg.l1), l2(cfg.l2), streamer(cfg.prefetcher) {}
+  };
+
+  /// Route a 64 B read to the owning device. Returns data-ready time.
+  double device_read(std::uint64_t addr, double now);
+  double device_write(std::uint64_t addr, double now);
+
+  /// Train the streamer on an L2 access and issue its prefetches.
+  void run_hw_prefetcher(Core& core, std::uint64_t addr, double now);
+
+  /// L1 DCU next-line prefetch (optional, PrefetcherConfig::dcu_next_line).
+  void dcu_prefetch(Core& core, std::uint64_t addr, double now);
+
+  /// Account a line evicted from L2.
+  void count_l2_eviction(const EvictedLine& ev);
+
+  SimConfig cfg_;
+  std::vector<Core> cores_;
+  Cache llc_;
+  PmuCounters pmu_;
+  DramDevice dram_;
+  PmDevice pm_;
+  std::vector<std::uint64_t> pf_scratch_;
+};
+
+}  // namespace simmem

@@ -1,0 +1,98 @@
+// Optane-DCPMM-like persistent memory device model.
+//
+// The two properties the paper's observations hinge on:
+//
+//  * Implicit data loads (section 2.1 / 4.3.2): the CPU requests 64 B
+//    cachelines, but the media is accessed at 256 B XPLine granularity
+//    through a small on-DIMM read buffer. Any 64 B miss pulls the whole
+//    XPLine into the buffer; later lines of the same XPLine hit the
+//    buffer at much lower latency.
+//
+//  * Read-buffer thrashing (Observation 5): the buffer is tiny (16 KB
+//    per channel). When the concurrent working set of demand + prefetch
+//    streams exceeds it, XPLines are evicted before their remaining
+//    cachelines are consumed, wasting media bandwidth (read
+//    amplification) and destroying multi-thread scalability.
+//
+// Media bandwidth is modelled as a serializing per-channel server, so
+// queueing delay under concurrency emerges naturally.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "simmem/config.h"
+#include "simmem/dram_device.h"
+#include "simmem/pmu.h"
+
+namespace simmem {
+
+class PmDevice {
+ public:
+  PmDevice(const PmConfig& cfg, PmuCounters* pmu);
+
+  /// 64 B line read issued at `now`; returns data-ready time. A buffer
+  /// miss charges a 256 B XPLine transfer to the channel's media
+  /// bandwidth and installs the XPLine in the channel's read buffer.
+  double read(std::uint64_t addr, double now);
+
+  /// Posted 64 B non-temporal store; returns acceptance time. Writes
+  /// coalesce in a per-channel write-combining buffer (Optane's
+  /// XPBuffer): the media is only written in whole 256 B XPLines when
+  /// an entry is flushed, so scattered sub-XPLine writes amplify
+  /// media write traffic (the XPBuffer-induced write amplification of
+  /// CCL-BTree [16], cited in the paper's section 2.1).
+  double write(std::uint64_t addr, double now);
+
+  /// Flush all write-combining entries (end-of-run accounting; also
+  /// models an ADR power-fail drain).
+  void flush_writes(double now);
+
+  void reset();
+
+  /// Buffer occupancy for one channel, in XPLines (tests).
+  std::size_t buffer_lines(std::size_t channel) const;
+  std::size_t buffer_capacity_lines() const { return lines_per_channel_; }
+
+ private:
+  struct BufferEntry {
+    std::uint64_t xpline = 0;
+    double ready_time = 0.0;
+    std::uint32_t accesses = 0;  // 64 B reads served from this fill
+  };
+  struct WcEntry {
+    std::uint64_t xpline = 0;
+    std::uint8_t dirty_mask = 0;  // one bit per 64 B sector
+  };
+  struct Channel {
+    // LRU read buffer over XPLines: list front = MRU.
+    std::list<BufferEntry> lru;
+    std::unordered_map<std::uint64_t, std::list<BufferEntry>::iterator> map;
+    // Write-combining buffer, FIFO-flushed at capacity.
+    std::list<WcEntry> wc;
+    std::unordered_map<std::uint64_t, std::list<WcEntry>::iterator> wc_map;
+    BandwidthServer read_bw;
+    BandwidthServer write_bw;
+    explicit Channel(const PmConfig& cfg)
+        : read_bw(cfg.media_read_gbps_per_channel),
+          write_bw(cfg.media_write_gbps_per_channel) {}
+  };
+
+  void flush_wc_entry(Channel& ch, const WcEntry& e, double now);
+
+  std::size_t channel_of(std::uint64_t addr) const {
+    return static_cast<std::size_t>((addr / cfg_.interleave_bytes) %
+                                    cfg_.channels);
+  }
+  void evict_lru(Channel& ch);
+
+  PmConfig cfg_;
+  PmuCounters* pmu_;
+  std::size_t lines_per_channel_;
+  std::size_t wc_lines_per_channel_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace simmem

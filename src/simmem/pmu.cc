@@ -1,0 +1,61 @@
+#include "simmem/pmu.h"
+
+namespace simmem {
+
+PmuCounters& PmuCounters::operator+=(const PmuCounters& o) {
+  loads += o.loads;
+  stores += o.stores;
+  l1_hits += o.l1_hits;
+  l2_hits += o.l2_hits;
+  llc_hits += o.llc_hits;
+  llc_misses += o.llc_misses;
+  llc_miss_stall_ns += o.llc_miss_stall_ns;
+  load_stall_ns += o.load_stall_ns;
+  hw_prefetches_issued += o.hw_prefetches_issued;
+  hw_prefetches_useless += o.hw_prefetches_useless;
+  hw_prefetch_hits += o.hw_prefetch_hits;
+  sw_prefetches_issued += o.sw_prefetches_issued;
+  sw_prefetch_hits += o.sw_prefetch_hits;
+  encode_read_bytes += o.encode_read_bytes;
+  mc_read_bytes += o.mc_read_bytes;
+  pm_media_read_bytes += o.pm_media_read_bytes;
+  dram_read_bytes += o.dram_read_bytes;
+  write_bytes += o.write_bytes;
+  pm_write_bytes += o.pm_write_bytes;
+  pm_media_write_bytes += o.pm_media_write_bytes;
+  pm_wc_partial_flushes += o.pm_wc_partial_flushes;
+  pm_buffer_hits += o.pm_buffer_hits;
+  pm_buffer_misses += o.pm_buffer_misses;
+  pm_buffer_wasted_fills += o.pm_buffer_wasted_fills;
+  return *this;
+}
+
+PmuCounters operator-(PmuCounters a, const PmuCounters& b) {
+  a.loads -= b.loads;
+  a.stores -= b.stores;
+  a.l1_hits -= b.l1_hits;
+  a.l2_hits -= b.l2_hits;
+  a.llc_hits -= b.llc_hits;
+  a.llc_misses -= b.llc_misses;
+  a.llc_miss_stall_ns -= b.llc_miss_stall_ns;
+  a.load_stall_ns -= b.load_stall_ns;
+  a.hw_prefetches_issued -= b.hw_prefetches_issued;
+  a.hw_prefetches_useless -= b.hw_prefetches_useless;
+  a.hw_prefetch_hits -= b.hw_prefetch_hits;
+  a.sw_prefetches_issued -= b.sw_prefetches_issued;
+  a.sw_prefetch_hits -= b.sw_prefetch_hits;
+  a.encode_read_bytes -= b.encode_read_bytes;
+  a.mc_read_bytes -= b.mc_read_bytes;
+  a.pm_media_read_bytes -= b.pm_media_read_bytes;
+  a.dram_read_bytes -= b.dram_read_bytes;
+  a.write_bytes -= b.write_bytes;
+  a.pm_write_bytes -= b.pm_write_bytes;
+  a.pm_media_write_bytes -= b.pm_media_write_bytes;
+  a.pm_wc_partial_flushes -= b.pm_wc_partial_flushes;
+  a.pm_buffer_hits -= b.pm_buffer_hits;
+  a.pm_buffer_misses -= b.pm_buffer_misses;
+  a.pm_buffer_wasted_fills -= b.pm_buffer_wasted_fills;
+  return a;
+}
+
+}  // namespace simmem

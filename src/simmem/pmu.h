@@ -1,0 +1,103 @@
+// PMU-style event counters exposed by the simulator. This substitutes for
+// the paper's Perf/PEBS sampling: DIALGA's adaptive coordinator reads
+// these counters exactly the way the paper samples hardware events
+// (snapshot, delta, threshold comparison).
+#pragma once
+
+#include <cstdint>
+
+namespace simmem {
+
+struct PmuCounters {
+  // Demand-side events.
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t llc_hits = 0;
+  std::uint64_t llc_misses = 0;
+  /// Nanoseconds the cores spent stalled on loads that missed the LLC
+  /// (the paper's "L3 cache miss cycles", Fig. 3 / Fig. 17).
+  double llc_miss_stall_ns = 0.0;
+  /// Total nanoseconds spent stalled on demand loads at any level.
+  double load_stall_ns = 0.0;
+
+  // Hardware prefetcher events (PMU 0xf2-style).
+  std::uint64_t hw_prefetches_issued = 0;
+  /// Prefetched lines evicted from L2 without ever being demanded.
+  std::uint64_t hw_prefetches_useless = 0;
+  /// Demand accesses that hit a line brought in by the HW prefetcher.
+  std::uint64_t hw_prefetch_hits = 0;
+
+  // Software prefetch events.
+  std::uint64_t sw_prefetches_issued = 0;
+  std::uint64_t sw_prefetch_hits = 0;
+
+  // Traffic at the three layers of Fig. 19 (bytes).
+  /// Bytes the encode kernel itself demanded (loads x 64 B).
+  std::uint64_t encode_read_bytes = 0;
+  /// Bytes crossing the memory controller toward devices (demand misses
+  /// + all prefetch fills, x 64 B).
+  std::uint64_t mc_read_bytes = 0;
+  /// Bytes read from PM media (XPLine fills, x 256 B).
+  std::uint64_t pm_media_read_bytes = 0;
+  std::uint64_t dram_read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  /// 64 B stores that targeted PM (subset of write_bytes).
+  std::uint64_t pm_write_bytes = 0;
+  /// Bytes written to PM media: XPLines flushed from the on-DIMM
+  /// write-combining buffer (always whole 256 B lines).
+  std::uint64_t pm_media_write_bytes = 0;
+  /// XPLines flushed with at least one clean 64 B sector — each is
+  /// media write amplification from scattered small writes.
+  std::uint64_t pm_wc_partial_flushes = 0;
+
+  // PM read-buffer behaviour (Observation 5).
+  std::uint64_t pm_buffer_hits = 0;
+  std::uint64_t pm_buffer_misses = 0;
+  /// XPLines evicted from the read buffer with at most the one cacheline
+  /// that triggered the fill ever read: wasted media bandwidth.
+  std::uint64_t pm_buffer_wasted_fills = 0;
+
+  PmuCounters& operator+=(const PmuCounters& o);
+  friend PmuCounters operator-(PmuCounters a, const PmuCounters& b);
+
+  /// Useless-prefetch ratio among all issued HW prefetches (Fig. 5).
+  double useless_prefetch_ratio() const {
+    return hw_prefetches_issued == 0
+               ? 0.0
+               : static_cast<double>(hw_prefetches_useless) /
+                     static_cast<double>(hw_prefetches_issued);
+  }
+
+  /// Fraction of lines arriving at L2 that came from the HW prefetcher.
+  double l2_prefetch_ratio() const {
+    const std::uint64_t fills = hw_prefetches_issued + llc_misses + llc_hits;
+    return fills == 0 ? 0.0
+                      : static_cast<double>(hw_prefetches_issued) /
+                            static_cast<double>(fills);
+  }
+
+  /// Average stall per demand load in nanoseconds.
+  double avg_load_latency_ns() const {
+    return loads == 0 ? 0.0 : load_stall_ns / static_cast<double>(loads);
+  }
+
+  /// Media write amplification relative to the stores the CPU issued.
+  double media_write_amplification() const {
+    return pm_write_bytes == 0
+               ? 0.0
+               : static_cast<double>(pm_media_write_bytes) /
+                     static_cast<double>(pm_write_bytes);
+  }
+
+  /// Media read amplification relative to encode-layer demand.
+  double media_read_amplification() const {
+    return encode_read_bytes == 0
+               ? 0.0
+               : static_cast<double>(pm_media_read_bytes) /
+                     static_cast<double>(encode_read_bytes);
+  }
+};
+
+}  // namespace simmem

@@ -1,0 +1,84 @@
+// Windowed PMU sampling — the simulator-side equivalent of the paper's
+// Perf/PEBS profiling workflow (section 3): poll the counters at a
+// fixed simulated-time interval and expose per-window deltas and
+// derived series (average load latency, media amplification, prefetch
+// ratios) for timeline analysis. DIALGA's coordinator embeds the same
+// snapshot/delta logic; this standalone class serves tools, tests and
+// the profiling example.
+#pragma once
+
+#include <vector>
+
+#include "simmem/memory_system.h"
+
+namespace simmem {
+
+class Sampler {
+ public:
+  explicit Sampler(double interval_ns = 1.0e6)  // 1 kHz, like the paper
+      : interval_ns_(interval_ns) {}
+
+  struct Window {
+    double t_begin_ns = 0.0;
+    double t_end_ns = 0.0;
+    PmuCounters delta;
+
+    double avg_load_latency_ns() const { return delta.avg_load_latency_ns(); }
+    double media_amplification() const {
+      return delta.media_read_amplification();
+    }
+  };
+
+  /// Record a window if at least one interval elapsed since the last
+  /// sample. Returns true when a window was closed.
+  bool poll(const MemorySystem& mem) {
+    const double now = mem.max_clock();
+    if (now - last_time_ < interval_ns_) return false;
+    Window w;
+    w.t_begin_ns = last_time_;
+    w.t_end_ns = now;
+    w.delta = mem.pmu() - last_pmu_;
+    windows_.push_back(w);
+    last_time_ = now;
+    last_pmu_ = mem.pmu();
+    return true;
+  }
+
+  /// Force-close the current window (end of run).
+  void flush(const MemorySystem& mem) {
+    const double now = mem.max_clock();
+    if (now <= last_time_) return;
+    Window w;
+    w.t_begin_ns = last_time_;
+    w.t_end_ns = now;
+    w.delta = mem.pmu() - last_pmu_;
+    windows_.push_back(w);
+    last_time_ = now;
+    last_pmu_ = mem.pmu();
+  }
+
+  const std::vector<Window>& windows() const { return windows_; }
+  double interval_ns() const { return interval_ns_; }
+
+  /// Convenience series for plotting/analysis.
+  std::vector<double> latency_series_ns() const {
+    std::vector<double> out;
+    out.reserve(windows_.size());
+    for (const Window& w : windows_) out.push_back(w.avg_load_latency_ns());
+    return out;
+  }
+  std::vector<double> amplification_series() const {
+    std::vector<double> out;
+    out.reserve(windows_.size());
+    for (const Window& w : windows_) out.push_back(w.media_amplification());
+    return out;
+  }
+
+ private:
+  double interval_ns_;
+  double last_time_ = 0.0;
+  PmuCounters last_pmu_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace simmem

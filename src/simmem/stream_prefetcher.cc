@@ -1,0 +1,102 @@
+#include "simmem/stream_prefetcher.h"
+
+#include <algorithm>
+
+namespace simmem {
+
+namespace {
+constexpr std::uint64_t kLinesPerPage = kPageBytes / kCacheLineBytes;
+}  // namespace
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig& cfg)
+    : cfg_(cfg), enabled_(cfg.enabled), table_(cfg.stream_capacity) {}
+
+std::uint32_t StreamPrefetcher::degree_for(std::uint32_t confidence) const {
+  if (confidence < cfg_.min_confidence) return 0;
+  const std::uint32_t steps = confidence - cfg_.min_confidence;
+  const std::uint32_t ramp = steps >= 5 ? cfg_.max_degree
+                                        : (1u << steps);
+  return std::min(ramp, cfg_.max_degree);
+}
+
+std::size_t StreamPrefetcher::observe(std::uint64_t line_addr,
+                                      std::vector<std::uint64_t>* out) {
+  if (!enabled_) return 0;
+  const std::uint64_t page = line_addr / kLinesPerPage;
+
+  Stream* stream = nullptr;
+  for (Stream& s : table_) {
+    if (s.valid && s.page == page) {
+      stream = &s;
+      break;
+    }
+  }
+
+  if (stream == nullptr) {
+    Stream* victim = nullptr;
+    for (Stream& s : table_) {
+      if (!s.valid) {
+        victim = &s;
+        break;
+      }
+      if (victim == nullptr || s.lru < victim->lru) victim = &s;
+    }
+    // Allocate a fresh monitor for this page, evicting the LRU stream.
+    // A stream evicted here loses all training: this is exactly how
+    // k > stream_capacity collapses prefetching (Observation 3).
+    *victim = Stream{};
+    victim->valid = true;
+    victim->page = page;
+    victim->last_line = line_addr;
+    victim->max_pf_line = line_addr;
+    victim->confidence = 0;
+    victim->lru = ++lru_tick_;
+    return 0;
+  }
+
+  stream->lru = ++lru_tick_;
+  if (line_addr == stream->last_line) return 0;  // same-line re-access
+
+  if (line_addr == stream->last_line + 1) {
+    ++stream->confidence;
+  } else {
+    // Non-unit delta (e.g. DIALGA's shuffle mapping): the streamer loses
+    // confidence in the pattern and stops prefetching.
+    stream->confidence = 0;
+    stream->last_line = line_addr;
+    stream->max_pf_line = line_addr;
+    return 0;
+  }
+  stream->last_line = line_addr;
+
+  const std::uint32_t degree = degree_for(stream->confidence);
+  if (degree == 0) return 0;
+
+  std::uint64_t first = std::max(stream->max_pf_line, line_addr) + 1;
+  std::uint64_t last = line_addr + degree;
+  if (cfg_.stop_at_page_boundary) {
+    const std::uint64_t page_end = (page + 1) * kLinesPerPage - 1;
+    last = std::min(last, page_end);
+  }
+  std::size_t n = 0;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    out->push_back(l);
+    ++n;
+  }
+  if (last > stream->max_pf_line) stream->max_pf_line = last;
+  issued_ += n;
+  return n;
+}
+
+void StreamPrefetcher::reset() {
+  std::fill(table_.begin(), table_.end(), Stream{});
+  lru_tick_ = 0;
+}
+
+std::size_t StreamPrefetcher::active_streams() const {
+  std::size_t n = 0;
+  for (const Stream& s : table_) n += s.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace simmem

@@ -1,0 +1,48 @@
+#include "simmem/trace.h"
+
+#include <sstream>
+
+namespace simmem {
+
+void Trace::replay(MemorySystem* mem) const {
+  for (const TraceRecord& r : records_) {
+    switch (r.op) {
+      case TraceOp::kLoad:
+        mem->load(r.tid, r.addr);
+        break;
+      case TraceOp::kStoreNt:
+        mem->store_nt(r.tid, r.addr);
+        break;
+      case TraceOp::kSwPrefetch:
+        mem->sw_prefetch(r.tid, r.addr);
+        break;
+      case TraceOp::kCompute:
+        mem->compute_cycles(r.tid, r.cycles);
+        break;
+    }
+  }
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const TraceRecord& r : records_) {
+    switch (r.op) {
+      case TraceOp::kLoad:
+        os << "L t" << r.tid << " 0x" << std::hex << r.addr << std::dec;
+        break;
+      case TraceOp::kStoreNt:
+        os << "S t" << r.tid << " 0x" << std::hex << r.addr << std::dec;
+        break;
+      case TraceOp::kSwPrefetch:
+        os << "P t" << r.tid << " 0x" << std::hex << r.addr << std::dec;
+        break;
+      case TraceOp::kCompute:
+        os << "C t" << r.tid << " " << r.cycles;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace simmem

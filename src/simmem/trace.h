@@ -1,0 +1,53 @@
+// Lightweight access-trace record/replay, used by tests and debugging
+// tools to feed canned access sequences through a MemorySystem and to
+// capture what a plan executor produced.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simmem/memory_system.h"
+
+namespace simmem {
+
+enum class TraceOp : std::uint8_t { kLoad, kStoreNt, kSwPrefetch, kCompute };
+
+struct TraceRecord {
+  TraceOp op = TraceOp::kLoad;
+  std::uint64_t addr = 0;   // byte address (kLoad/kStoreNt/kSwPrefetch)
+  double cycles = 0.0;      // kCompute only
+  std::uint32_t tid = 0;
+};
+
+class Trace {
+ public:
+  void load(std::uint32_t tid, std::uint64_t addr) {
+    records_.push_back({TraceOp::kLoad, addr, 0.0, tid});
+  }
+  void store_nt(std::uint32_t tid, std::uint64_t addr) {
+    records_.push_back({TraceOp::kStoreNt, addr, 0.0, tid});
+  }
+  void sw_prefetch(std::uint32_t tid, std::uint64_t addr) {
+    records_.push_back({TraceOp::kSwPrefetch, addr, 0.0, tid});
+  }
+  void compute(std::uint32_t tid, double cycles) {
+    records_.push_back({TraceOp::kCompute, 0, cycles, tid});
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Replay in record order onto `mem`.
+  void replay(MemorySystem* mem) const;
+
+  /// Human-readable dump (one record per line) for golden tests.
+  std::string to_string() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace simmem

@@ -1,0 +1,150 @@
+#include "gf/bitmatrix.h"
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+/// Reference: apply the bit-matrix to a data word vector symbolically —
+/// multiply one byte per data block through GF and compare bit-wise.
+u8 ApplyBitBlock(const BitMatrix& bm, std::size_t parity_row_block,
+                 std::size_t data_col_block, u8 x) {
+  u8 out = 0;
+  for (std::size_t r = 0; r < kBitsPerWord; ++r) {
+    unsigned bit = 0;
+    for (std::size_t c = 0; c < kBitsPerWord; ++c) {
+      if (bm.at(parity_row_block * kBitsPerWord + r,
+                data_col_block * kBitsPerWord + c)) {
+        bit ^= (x >> c) & 1;
+      }
+    }
+    out |= static_cast<u8>(bit << r);
+  }
+  return out;
+}
+
+TEST(BitMatrix, ExpansionComputesGfMultiply) {
+  const std::size_t k = 4, m = 3;
+  const Matrix g = cauchy_generator(k, m);
+  const Matrix parity = g.slice_rows(k, m);
+  const BitMatrix bm = to_bitmatrix(parity, k, m);
+  ASSERT_EQ(bm.rows(), m * kBitsPerWord);
+  ASSERT_EQ(bm.cols(), k * kBitsPerWord);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      for (unsigned x = 0; x < 256; x += 5) {
+        EXPECT_EQ(ApplyBitBlock(bm, i, j, static_cast<u8>(x)),
+                  mul(parity.at(i, j), static_cast<u8>(x)))
+            << "i=" << i << " j=" << j << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(BitMatrix, IdentityElementExpandsToIdentityBlock) {
+  Matrix parity(1, 1);
+  parity.at(0, 0) = 1;
+  const BitMatrix bm = to_bitmatrix(parity, 1, 1);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 8; ++c)
+      EXPECT_EQ(bm.at(r, c), r == c ? 1 : 0);
+  EXPECT_EQ(bm.popcount(), 8u);
+}
+
+TEST(BitMatrix, PopcountCountsOnes) {
+  BitMatrix bm(2, 3);
+  bm.at(0, 0) = 1;
+  bm.at(1, 2) = 1;
+  EXPECT_EQ(bm.popcount(), 2u);
+}
+
+class ScheduleTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+ protected:
+  BitMatrix bitmatrix() const {
+    const auto [k, m] = GetParam();
+    return to_bitmatrix(cauchy_generator(k, m).slice_rows(k, m), k, m);
+  }
+};
+
+TEST_P(ScheduleTest, NaiveScheduleMatchesBitMatrix) {
+  const auto [k, m] = GetParam();
+  const BitMatrix bm = bitmatrix();
+  const XorSchedule s = naive_schedule(bm, k, m);
+  EXPECT_TRUE(schedule_matches(s, bm));
+  // One op per set bit; first per row is a copy.
+  EXPECT_EQ(s.ops.size(), bm.popcount());
+  EXPECT_EQ(s.xor_count(), bm.popcount() - m * kBitsPerWord);
+}
+
+TEST_P(ScheduleTest, CseScheduleStillMatches) {
+  const auto [k, m] = GetParam();
+  const BitMatrix bm = bitmatrix();
+  const XorSchedule s = optimize_cse(naive_schedule(bm, k, m), 48);
+  EXPECT_TRUE(schedule_matches(s, bm));
+}
+
+TEST_P(ScheduleTest, CseNeverIncreasesXors) {
+  const auto [k, m] = GetParam();
+  const BitMatrix bm = bitmatrix();
+  const XorSchedule naive = naive_schedule(bm, k, m);
+  const XorSchedule opt = optimize_cse(naive, 48);
+  EXPECT_LE(opt.xor_count(), naive.xor_count());
+}
+
+TEST_P(ScheduleTest, TargetsFormConsecutiveRuns) {
+  // The plan generator coalesces per-target runs into one store; that
+  // only works if each target's ops are contiguous.
+  const auto [k, m] = GetParam();
+  const BitMatrix bm = bitmatrix();
+  for (const XorSchedule& s :
+       {naive_schedule(bm, k, m), optimize_cse(naive_schedule(bm, k, m))}) {
+    std::set<std::uint32_t> seen;
+    std::uint32_t current = UINT32_MAX;
+    for (const XorOp& op : s.ops) {
+      if (op.target != current) {
+        EXPECT_TRUE(seen.insert(op.target).second)
+            << "target " << op.target << " appears in two separate runs";
+        current = op.target;
+        EXPECT_TRUE(op.is_copy) << "run must start with a copy";
+      } else {
+        EXPECT_FALSE(op.is_copy);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, ScheduleTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{4, 2},
+                      std::pair<std::size_t, std::size_t>{6, 3},
+                      std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{12, 4}));
+
+TEST(CseSchedule, ExtractsSharedPair) {
+  // Two parity rows sharing the pair (0,1): CSE must factor it out.
+  BitMatrix bm(2, 3);
+  bm.at(0, 0) = bm.at(0, 1) = bm.at(0, 2) = 1;
+  bm.at(1, 0) = bm.at(1, 1) = 1;
+  const XorSchedule naive = naive_schedule(bm, 3, 2);
+  // k=3 m=2 in sub-row units here is unusual, but schedule ids are
+  // positional; use w=8-normalized helper directly instead.
+  const XorSchedule opt = optimize_cse(naive, 8);
+  EXPECT_TRUE(schedule_matches(opt, bm));
+  EXPECT_GE(opt.num_temps, 1u);
+  EXPECT_LT(opt.xor_count(), naive.xor_count());
+}
+
+TEST(CseSchedule, MaxTempsZeroIsNoOp) {
+  const BitMatrix bm =
+      to_bitmatrix(cauchy_generator(4, 2).slice_rows(4, 2), 4, 2);
+  const XorSchedule naive = naive_schedule(bm, 4, 2);
+  const XorSchedule opt = optimize_cse(naive, 0);
+  EXPECT_EQ(opt.xor_count(), naive.xor_count());
+  EXPECT_EQ(opt.num_temps, 0u);
+}
+
+}  // namespace
+}  // namespace gf

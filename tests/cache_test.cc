@@ -1,0 +1,126 @@
+#include "simmem/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace simmem {
+namespace {
+
+CacheGeometry SmallGeo() { return {4 * 64, 2, 1.0}; }  // 2 sets x 2 ways
+
+TEST(Cache, MissThenHit) {
+  Cache c(SmallGeo());
+  EXPECT_FALSE(c.access(0x1000, 0.0).hit);
+  c.fill(0x1000, 10.0, FillSource::kDemand);
+  const CacheLookup r = c.access(0x1000, 20.0);
+  EXPECT_TRUE(r.hit);
+  EXPECT_DOUBLE_EQ(r.ready_time, 20.0);  // already ready
+}
+
+TEST(Cache, InFlightLineReportsFutureReadyTime) {
+  Cache c(SmallGeo());
+  c.fill(0x1000, 500.0, FillSource::kSwPrefetch);
+  const CacheLookup r = c.access(0x1000, 100.0);
+  EXPECT_TRUE(r.hit);
+  EXPECT_DOUBLE_EQ(r.ready_time, 500.0);  // must wait for the fill
+}
+
+TEST(Cache, WholeLineIsCached) {
+  Cache c(SmallGeo());
+  c.fill(0x1000, 0.0, FillSource::kDemand);
+  EXPECT_TRUE(c.access(0x1000 + 63, 0.0).hit);   // same 64 B line
+  EXPECT_FALSE(c.access(0x1000 + 64, 0.0).hit);  // next line
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache c(SmallGeo());  // 2 sets: line addr parity selects the set
+  // Three lines mapping to set 0 (even line addresses).
+  c.fill(0 * 64, 0.0, FillSource::kDemand);
+  c.fill(2 * 64, 0.0, FillSource::kDemand);
+  c.access(0 * 64, 1.0);  // touch line 0: line 2 becomes LRU
+  const auto ev = c.fill(4 * 64, 0.0, FillSource::kDemand);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 2u);
+  EXPECT_TRUE(c.contains(0 * 64));
+  EXPECT_TRUE(c.contains(4 * 64));
+}
+
+TEST(Cache, EvictionReportsPrefetchProvenance) {
+  Cache c(SmallGeo());
+  c.fill(0 * 64, 0.0, FillSource::kHwPrefetch);
+  c.fill(2 * 64, 0.0, FillSource::kDemand);
+  const auto ev = c.fill(4 * 64, 0.0, FillSource::kDemand);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->source, FillSource::kHwPrefetch);
+  EXPECT_FALSE(ev->demanded);  // never touched: a useless prefetch
+}
+
+TEST(Cache, DemandFlagSetOnAccess) {
+  Cache c(SmallGeo());
+  c.fill(0 * 64, 0.0, FillSource::kHwPrefetch);
+  const CacheLookup first = c.access(0 * 64, 1.0);
+  EXPECT_TRUE(first.first_demand_on_prefetch);
+  const CacheLookup second = c.access(0 * 64, 2.0);
+  EXPECT_FALSE(second.first_demand_on_prefetch);
+
+  c.fill(2 * 64, 0.0, FillSource::kDemand);
+  const auto ev = c.fill(4 * 64, 0.0, FillSource::kDemand);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0u);
+  EXPECT_TRUE(ev->demanded);
+}
+
+TEST(Cache, RedundantFillKeepsEarlierReadyTime) {
+  Cache c(SmallGeo());
+  c.fill(0x1000, 100.0, FillSource::kDemand);
+  const auto ev = c.fill(0x1000, 400.0, FillSource::kSwPrefetch);
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_DOUBLE_EQ(c.access(0x1000, 0.0).ready_time, 100.0);
+}
+
+TEST(Cache, Invalidate) {
+  Cache c(SmallGeo());
+  c.fill(0x1000, 0.0, FillSource::kDemand);
+  ASSERT_TRUE(c.contains(0x1000));
+  c.invalidate(0x1000);
+  EXPECT_FALSE(c.contains(0x1000));
+  EXPECT_EQ(c.valid_lines(), 0u);
+  c.invalidate(0x1000);  // double-invalidate is a no-op
+}
+
+TEST(Cache, ClearResets) {
+  Cache c(SmallGeo());
+  c.fill(0x1000, 0.0, FillSource::kDemand);
+  c.fill(0x2000, 0.0, FillSource::kDemand);
+  c.clear();
+  EXPECT_EQ(c.valid_lines(), 0u);
+  EXPECT_FALSE(c.contains(0x1000));
+}
+
+TEST(Cache, GeometrySets) {
+  const CacheGeometry l2{1024 * 1024, 16, 4.0};
+  EXPECT_EQ(l2.num_sets(), 1024u);
+  Cache c(l2);
+  EXPECT_EQ(c.geometry().ways, 16u);
+}
+
+TEST(Cache, FillUpToCapacityNoEviction) {
+  Cache c(SmallGeo());  // 4 lines total
+  EXPECT_FALSE(c.fill(0 * 64, 0.0, FillSource::kDemand).has_value());
+  EXPECT_FALSE(c.fill(1 * 64, 0.0, FillSource::kDemand).has_value());
+  EXPECT_FALSE(c.fill(2 * 64, 0.0, FillSource::kDemand).has_value());
+  EXPECT_FALSE(c.fill(3 * 64, 0.0, FillSource::kDemand).has_value());
+  EXPECT_EQ(c.valid_lines(), 4u);
+}
+
+TEST(LineHelpers, Granularities) {
+  EXPECT_EQ(LineAddr(0), 0u);
+  EXPECT_EQ(LineAddr(63), 0u);
+  EXPECT_EQ(LineAddr(64), 1u);
+  EXPECT_EQ(XpLineAddr(255), 0u);
+  EXPECT_EQ(XpLineAddr(256), 1u);
+  EXPECT_EQ(PageAddr(4095), 0u);
+  EXPECT_EQ(PageAddr(4096), 1u);
+}
+
+}  // namespace
+}  // namespace simmem

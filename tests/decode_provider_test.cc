@@ -1,0 +1,82 @@
+// Adaptive decode: DIALGA's coordinator machinery applied to the decode
+// path ("Other Coding Tasks", section 4.1 — encoding and decoding share
+// the same k-stream load pattern).
+#include <gtest/gtest.h>
+
+#include "bench_util/runner.h"
+#include "dialga/dialga.h"
+#include "ec/isal.h"
+
+namespace dialga {
+namespace {
+
+bench_util::WorkloadConfig Wl(std::size_t k, std::size_t m,
+                              std::size_t threads = 1) {
+  bench_util::WorkloadConfig wl;
+  wl.k = k;
+  wl.m = m;
+  wl.block_size = 1024;
+  wl.threads = threads;
+  wl.total_data_bytes = 8 << 20;
+  return wl;
+}
+
+TEST(DecodeProvider, PlansLoadSurvivorsOnly) {
+  const DialgaCodec codec(10, 4);
+  simmem::SimConfig cfg;
+  auto provider = codec.make_decode_provider({10, 4, 1024, 1}, cfg,
+                                             {0, 5});
+  simmem::MemorySystem mem(cfg, 1);
+  const ec::EncodePlan& plan = provider->next_plan(0, mem);
+  for (const ec::PlanOp& op : plan.ops) {
+    if (op.kind == ec::PlanOp::Kind::kLoad) {
+      EXPECT_NE(op.block, 0u);
+      EXPECT_NE(op.block, 5u);
+    }
+    if (op.kind == ec::PlanOp::Kind::kStore) {
+      EXPECT_TRUE(op.block == 0 || op.block == 5);
+    }
+  }
+  EXPECT_GT(plan.count(ec::PlanOp::Kind::kPrefetch), 0u)
+      << "decode plans carry the same pipelined prefetching";
+}
+
+TEST(DecodeProvider, AdaptsAndBeatsIsalDecode) {
+  simmem::SimConfig cfg;
+  const std::vector<std::size_t> erasures{0, 1};
+  const ec::IsalCodec isal(12, 4);
+  const auto base = bench_util::RunDecode(cfg, Wl(12, 4), isal, erasures);
+
+  const DialgaCodec codec(12, 4);
+  auto provider =
+      codec.make_decode_provider({12, 4, 1024, 1}, cfg, erasures);
+  const auto ours = bench_util::RunTimed(cfg, Wl(12, 4), *provider);
+
+  EXPECT_GT(ours.gbps, 1.3 * base.gbps);
+  EXPECT_GT(provider->coordinator().samples_taken(), 2u);
+}
+
+TEST(DecodeProvider, HighConcurrencyDefeatsStreamer) {
+  simmem::SimConfig cfg;
+  const DialgaCodec codec(28, 24);
+  auto provider = codec.make_decode_provider({28, 24, 1024, 16}, cfg,
+                                             {3});
+  EXPECT_FALSE(provider->coordinator().initial_strategy().hw_prefetch);
+  EXPECT_TRUE(provider->coordinator().initial_strategy().widen_to_xpline);
+
+  const auto r = bench_util::RunTimed(cfg, Wl(28, 24, 16), *provider);
+  EXPECT_LT(r.media_amplification(), 1.2)
+      << "buffer-friendly decode must avoid read amplification";
+}
+
+TEST(DecodeProvider, CachesPlansAcrossStrategies) {
+  simmem::SimConfig cfg;
+  const DialgaCodec codec(12, 4);
+  auto provider = codec.make_decode_provider({12, 4, 1024, 1}, cfg, {2});
+  bench_util::RunTimed(cfg, Wl(12, 4), *provider);
+  EXPECT_GE(provider->plans_built(), 2u)
+      << "the hill climber must have materialized several distances";
+}
+
+}  // namespace
+}  // namespace dialga

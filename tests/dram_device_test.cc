@@ -1,0 +1,62 @@
+#include "simmem/dram_device.h"
+
+#include <gtest/gtest.h>
+
+namespace simmem {
+namespace {
+
+DramConfig TestCfg() {
+  DramConfig cfg;
+  cfg.channels = 2;
+  cfg.load_latency_ns = 80.0;
+  cfg.read_gbps_per_channel = 1.0;  // 64 B -> 64 ns service
+  cfg.interleave_bytes = 4096;
+  return cfg;
+}
+
+TEST(BandwidthServer, ServesInOrderWithQueueing) {
+  BandwidthServer bw(1.0);  // 1 byte per ns
+  EXPECT_DOUBLE_EQ(bw.start_transfer(0.0, 64), 0.0);
+  EXPECT_DOUBLE_EQ(bw.next_free(), 64.0);
+  // Second request at t=10 queues behind the first.
+  EXPECT_DOUBLE_EQ(bw.start_transfer(10.0, 64), 64.0);
+  // A late request after the queue drained starts immediately.
+  EXPECT_DOUBLE_EQ(bw.start_transfer(1000.0, 64), 1000.0);
+  bw.reset();
+  EXPECT_DOUBLE_EQ(bw.start_transfer(0.0, 64), 0.0);
+}
+
+TEST(DramDevice, ReadLatencyAndTraffic) {
+  PmuCounters pmu;
+  DramDevice dev(TestCfg(), &pmu);
+  EXPECT_DOUBLE_EQ(dev.read(0, 0.0), 80.0);
+  EXPECT_EQ(pmu.dram_read_bytes, kCacheLineBytes);
+}
+
+TEST(DramDevice, BackToBackReadsQueuePerChannel) {
+  PmuCounters pmu;
+  DramDevice dev(TestCfg(), &pmu);
+  EXPECT_DOUBLE_EQ(dev.read(0, 0.0), 80.0);
+  EXPECT_DOUBLE_EQ(dev.read(64, 0.0), 64.0 + 80.0);  // queued 64 ns
+  // Other channel is independent.
+  EXPECT_DOUBLE_EQ(dev.read(4096, 0.0), 80.0);
+}
+
+TEST(DramDevice, WritesUseSeparatePath) {
+  PmuCounters pmu;
+  DramDevice dev(TestCfg(), &pmu);
+  dev.read(0, 0.0);
+  // The read queue does not delay writes.
+  EXPECT_DOUBLE_EQ(dev.write(64, 0.0), 0.0);
+}
+
+TEST(DramDevice, ResetClearsQueues) {
+  PmuCounters pmu;
+  DramDevice dev(TestCfg(), &pmu);
+  dev.read(0, 0.0);
+  dev.reset();
+  EXPECT_DOUBLE_EQ(dev.read(64, 0.0), 80.0);
+}
+
+}  // namespace
+}  // namespace simmem

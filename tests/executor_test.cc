@@ -1,0 +1,222 @@
+#include "ec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_util/workload.h"
+#include "ec/isal.h"
+#include "simmem/address_space.h"
+
+namespace ec {
+namespace {
+
+const simmem::ComputeCost kCost{};
+
+TEST(RunPlan, AdvancesClockAndCounters) {
+  const simmem::SimConfig cfg;
+  simmem::MemorySystem mem(cfg, 1);
+  const IsalCodec codec(4, 2);
+  const EncodePlan plan = codec.encode_plan(1024, kCost);
+
+  simmem::AddressSpace space;
+  std::vector<std::uint64_t> slots;
+  for (std::size_t i = 0; i < 6; ++i)
+    slots.push_back(space.alloc(simmem::MemKind::kPm, 1024).base);
+
+  RunPlan(mem, 0, plan, SlotBinding{slots, {}});
+  EXPECT_GT(mem.clock(0), 0.0);
+  EXPECT_EQ(mem.pmu().loads, 4u * 16u);
+  EXPECT_EQ(mem.pmu().stores, 2u * 16u);
+}
+
+TEST(RunPlan, IsDeterministic) {
+  const simmem::SimConfig cfg;
+  const IsalCodec codec(6, 2);
+  const EncodePlan plan = codec.encode_plan(512, kCost);
+
+  double clocks[2];
+  for (int run = 0; run < 2; ++run) {
+    simmem::MemorySystem mem(cfg, 1);
+    simmem::AddressSpace space;
+    std::vector<std::uint64_t> slots;
+    for (std::size_t i = 0; i < 8; ++i)
+      slots.push_back(space.alloc(simmem::MemKind::kPm, 512).base);
+    RunPlan(mem, 0, plan, SlotBinding{slots, {}});
+    clocks[run] = mem.clock(0);
+  }
+  EXPECT_DOUBLE_EQ(clocks[0], clocks[1]);
+}
+
+TEST(RunThreads, PayloadAccountsAllStripes) {
+  const simmem::SimConfig cfg;
+  simmem::MemorySystem mem(cfg, 2);
+  const IsalCodec codec(4, 2);
+  FixedPlanProvider provider(codec.encode_plan(1024, kCost));
+
+  bench_util::WorkloadConfig wcfg;
+  wcfg.k = 4;
+  wcfg.m = 2;
+  wcfg.block_size = 1024;
+  wcfg.threads = 2;
+  wcfg.total_data_bytes = 64 * 1024;
+  bench_util::Workload wl = bench_util::BuildWorkload(wcfg);
+  for (auto& w : wl.work) w.provider = &provider;
+
+  const std::uint64_t payload = RunThreads(mem, wl.work);
+  EXPECT_EQ(payload, wl.num_stripes * 4 * 1024);
+  EXPECT_GT(mem.clock(0), 0.0);
+  EXPECT_GT(mem.clock(1), 0.0);
+}
+
+TEST(RunThreads, EmptyWorkReturnsZero) {
+  const simmem::SimConfig cfg;
+  simmem::MemorySystem mem(cfg, 1);
+  std::vector<ThreadWork> work(1);
+  const IsalCodec codec(4, 2);
+  FixedPlanProvider provider(codec.encode_plan(1024, kCost));
+  work[0].provider = &provider;
+  EXPECT_EQ(RunThreads(mem, work), 0u);
+  EXPECT_DOUBLE_EQ(mem.max_clock(), 0.0);
+}
+
+TEST(RunThreads, InterleavesFairly) {
+  // Two threads, same work: their final clocks must be close (single-
+  // op interleave, shared resources aside).
+  const simmem::SimConfig cfg;
+  simmem::MemorySystem mem(cfg, 2);
+  const IsalCodec codec(8, 2);
+  FixedPlanProvider provider(codec.encode_plan(1024, kCost));
+
+  bench_util::WorkloadConfig wcfg;
+  wcfg.k = 8;
+  wcfg.m = 2;
+  wcfg.block_size = 1024;
+  wcfg.threads = 2;
+  wcfg.total_data_bytes = 512 * 1024;
+  bench_util::Workload wl = bench_util::BuildWorkload(wcfg);
+  for (auto& w : wl.work) w.provider = &provider;
+  RunThreads(mem, wl.work);
+
+  const double skew = std::abs(mem.clock(0) - mem.clock(1));
+  EXPECT_LT(skew / mem.max_clock(), 0.02);
+}
+
+TEST(RunThreads, ProviderCalledOncePerStripe) {
+  class CountingProvider : public PlanProvider {
+   public:
+    explicit CountingProvider(EncodePlan plan) : plan_(std::move(plan)) {}
+    const EncodePlan& next_plan(std::size_t, simmem::MemorySystem&) override {
+      ++calls;
+      return plan_;
+    }
+    std::size_t calls = 0;
+
+   private:
+    EncodePlan plan_;
+  };
+
+  const simmem::SimConfig cfg;
+  simmem::MemorySystem mem(cfg, 1);
+  const IsalCodec codec(4, 2);
+  CountingProvider provider(codec.encode_plan(1024, kCost));
+
+  bench_util::WorkloadConfig wcfg;
+  wcfg.k = 4;
+  wcfg.m = 2;
+  wcfg.block_size = 1024;
+  wcfg.total_data_bytes = 20 * 4 * 1024;  // 20 stripes
+  bench_util::Workload wl = bench_util::BuildWorkload(wcfg);
+  for (auto& w : wl.work) w.provider = &provider;
+  RunThreads(mem, wl.work);
+  EXPECT_EQ(provider.calls, 20u);
+}
+
+TEST(RunThreads, PerThreadProvidersAreIndependent) {
+  // Thread 0 encodes RS(4,2); thread 1 decodes the same shape: each
+  // ThreadWork carries its own provider and both make progress.
+  const simmem::SimConfig cfg;
+  simmem::MemorySystem mem(cfg, 2);
+  const IsalCodec codec(4, 2);
+  FixedPlanProvider enc(codec.encode_plan(1024, kCost));
+  const std::vector<std::size_t> erasures{1};
+  FixedPlanProvider dec(codec.decode_plan(1024, kCost, erasures));
+
+  bench_util::WorkloadConfig wcfg;
+  wcfg.k = 4;
+  wcfg.m = 2;
+  wcfg.block_size = 1024;
+  wcfg.threads = 2;
+  wcfg.total_data_bytes = 40 * 4 * 1024;
+  bench_util::Workload wl = bench_util::BuildWorkload(wcfg);
+  wl.work[0].provider = &enc;
+  wl.work[1].provider = &dec;
+
+  const std::uint64_t payload = RunThreads(mem, wl.work);
+  EXPECT_EQ(payload, wl.num_stripes * 4 * 1024);
+  EXPECT_GT(mem.pmu().stores, 0u);
+  EXPECT_GT(mem.clock(0), 0.0);
+  EXPECT_GT(mem.clock(1), 0.0);
+}
+
+TEST(Workload, StripeLayout) {
+  bench_util::WorkloadConfig wcfg;
+  wcfg.k = 4;
+  wcfg.m = 2;
+  wcfg.extra_parity = 1;
+  wcfg.block_size = 1024;
+  wcfg.threads = 3;
+  wcfg.total_data_bytes = 12 * 4 * 1024;  // 12 stripes
+  wcfg.scratch_blocks = 2;
+  bench_util::Workload wl = bench_util::BuildWorkload(wcfg);
+
+  EXPECT_EQ(wl.num_stripes, 12u);
+  std::size_t total = 0;
+  for (const auto& w : wl.work) {
+    EXPECT_EQ(w.scratch.size(), 2u);
+    for (const auto& stripe : w.stripes) {
+      ASSERT_EQ(stripe.size(), 4u + 2u + 1u);
+      for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(simmem::KindOfAddress(stripe[i]), simmem::MemKind::kPm);
+      for (std::size_t i = 4; i < 7; ++i)
+        EXPECT_EQ(simmem::KindOfAddress(stripe[i]), simmem::MemKind::kPm);
+      EXPECT_EQ(stripe[0] % wcfg.block_size, 0u);
+      ++total;
+    }
+    for (const std::uint64_t s : w.scratch)
+      EXPECT_EQ(simmem::KindOfAddress(s), simmem::MemKind::kDram);
+  }
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  bench_util::WorkloadConfig wcfg;
+  wcfg.k = 4;
+  wcfg.m = 2;
+  wcfg.block_size = 1024;
+  wcfg.total_data_bytes = 8 * 4 * 1024;
+  wcfg.seed = 99;
+  const bench_util::Workload a = bench_util::BuildWorkload(wcfg);
+  const bench_util::Workload b = bench_util::BuildWorkload(wcfg);
+  ASSERT_EQ(a.work.size(), b.work.size());
+  for (std::size_t t = 0; t < a.work.size(); ++t) {
+    EXPECT_EQ(a.work[t].stripes, b.work[t].stripes);
+  }
+}
+
+TEST(Workload, DramKindRespected) {
+  bench_util::WorkloadConfig wcfg;
+  wcfg.k = 2;
+  wcfg.m = 1;
+  wcfg.block_size = 256;
+  wcfg.total_data_bytes = 4 * 2 * 256;
+  wcfg.data_kind = simmem::MemKind::kDram;
+  wcfg.parity_kind = simmem::MemKind::kDram;
+  const bench_util::Workload wl = bench_util::BuildWorkload(wcfg);
+  for (const auto& stripe : wl.work[0].stripes) {
+    for (const std::uint64_t addr : stripe) {
+      EXPECT_EQ(simmem::KindOfAddress(addr), simmem::MemKind::kDram);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ec

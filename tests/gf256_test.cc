@@ -1,0 +1,148 @@
+#include "gf/gf256.h"
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(add(0, 0), 0);
+  EXPECT_EQ(sub(0x53, 0xCA), add(0x53, 0xCA));  // characteristic 2
+}
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<u8>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<u8>(a)), a);
+    EXPECT_EQ(mul(static_cast<u8>(a), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<u8>(a)), 0);
+  }
+}
+
+TEST(Gf256, MulKnownValues) {
+  // Hand-checked products under polynomial 0x11d.
+  EXPECT_EQ(mul(2, 2), 4);
+  EXPECT_EQ(mul(0x80, 2), 0x1d);   // overflow wraps through the poly
+  EXPECT_EQ(mul(0x8e, 2), 0x01);   // 0x8e*x == x^8 == poly tail
+  EXPECT_EQ(inv(2), 0x8e);
+}
+
+TEST(Gf256, MulCommutative) {
+  for (unsigned a = 0; a < 256; a += 7) {
+    for (unsigned b = 0; b < 256; b += 5) {
+      EXPECT_EQ(mul(static_cast<u8>(a), static_cast<u8>(b)),
+                mul(static_cast<u8>(b), static_cast<u8>(a)));
+    }
+  }
+}
+
+TEST(Gf256, MulAssociativeSampled) {
+  for (unsigned a = 1; a < 256; a += 31) {
+    for (unsigned b = 1; b < 256; b += 29) {
+      for (unsigned c = 1; c < 256; c += 37) {
+        const u8 ua = static_cast<u8>(a), ub = static_cast<u8>(b),
+                 uc = static_cast<u8>(c);
+        EXPECT_EQ(mul(mul(ua, ub), uc), mul(ua, mul(ub, uc)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, DistributiveSampled) {
+  for (unsigned a = 0; a < 256; a += 13) {
+    for (unsigned b = 0; b < 256; b += 17) {
+      for (unsigned c = 0; c < 256; c += 19) {
+        const u8 ua = static_cast<u8>(a), ub = static_cast<u8>(b),
+                 uc = static_cast<u8>(c);
+        EXPECT_EQ(mul(ua, add(ub, uc)), add(mul(ua, ub), mul(ua, uc)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const u8 ua = static_cast<u8>(a);
+    EXPECT_EQ(mul(ua, inv(ua)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivRoundTrips) {
+  for (unsigned a = 0; a < 256; a += 3) {
+    for (unsigned b = 1; b < 256; b += 7) {
+      const u8 q = div(static_cast<u8>(a), static_cast<u8>(b));
+      EXPECT_EQ(mul(q, static_cast<u8>(b)), a);
+    }
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (unsigned a = 0; a < 256; a += 11) {
+    u8 acc = 1;
+    for (unsigned n = 0; n < 16; ++n) {
+      EXPECT_EQ(pow(static_cast<u8>(a), n), acc) << "a=" << a << " n=" << n;
+      acc = mul(acc, static_cast<u8>(a));
+    }
+  }
+}
+
+TEST(Gf256, PowZeroExponentIsOne) {
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(123, 0), 1);
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 2 generates the multiplicative group: 2^255 == 1 and no smaller
+  // power of 2 equals 1.
+  u8 x = 1;
+  for (unsigned i = 1; i < 255; ++i) {
+    x = mul(x, kGenerator);
+    EXPECT_NE(x, 1) << "order divides " << i;
+  }
+  EXPECT_EQ(mul(x, kGenerator), 1);
+}
+
+TEST(Gf256, ExhaustiveAgainstCarrylessReference) {
+  // Every product in the field against a bitwise carry-less multiply
+  // with polynomial reduction — a table-independent oracle.
+  auto ref_mul = [](unsigned a, unsigned b) {
+    unsigned acc = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      if (b >> i & 1) acc ^= a << i;
+    }
+    for (int bit = 15; bit >= 8; --bit) {
+      if (acc >> bit & 1) acc ^= kPolynomial << (bit - 8);
+    }
+    return acc & 0xff;
+  };
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      ASSERT_EQ(mul(static_cast<u8>(a), static_cast<u8>(b)), ref_mul(a, b))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gf256, MulRowMatchesMul) {
+  for (unsigned c = 0; c < 256; c += 9) {
+    const auto& row = mul_row(static_cast<u8>(c));
+    for (unsigned x = 0; x < 256; ++x) {
+      EXPECT_EQ(row[x], mul(static_cast<u8>(c), static_cast<u8>(x)));
+    }
+  }
+}
+
+TEST(Gf256, FrobeniusSquareIsLinear) {
+  // In characteristic 2: (a + b)^2 == a^2 + b^2.
+  for (unsigned a = 0; a < 256; a += 5) {
+    for (unsigned b = 0; b < 256; b += 7) {
+      const u8 ua = static_cast<u8>(a), ub = static_cast<u8>(b);
+      EXPECT_EQ(mul(add(ua, ub), add(ua, ub)),
+                add(mul(ua, ua), mul(ub, ub)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gf

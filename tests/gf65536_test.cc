@@ -1,0 +1,188 @@
+#include "gf/gf65536.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ec/rs16.h"
+
+namespace gf16 {
+namespace {
+
+TEST(Gf65536, MulIdentityAndZero) {
+  for (unsigned a = 0; a < kFieldSize; a += 997) {
+    EXPECT_EQ(mul(static_cast<u16>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<u16>(a)), a);
+    EXPECT_EQ(mul(static_cast<u16>(a), 0), 0);
+  }
+}
+
+TEST(Gf65536, MulAgainstCarrylessReference) {
+  // Bitwise carry-less multiply + reduction, independent of the tables.
+  auto ref_mul = [](u16 a, u16 b) {
+    std::uint32_t acc = 0;
+    std::uint32_t aa = a;
+    for (unsigned i = 0; i < 16; ++i) {
+      if (b >> i & 1) acc ^= aa << i;
+    }
+    for (int bit = 31; bit >= 16; --bit) {
+      if (acc >> bit & 1) acc ^= kPolynomial << (bit - 16);
+    }
+    return static_cast<u16>(acc);
+  };
+  std::mt19937 rng(1);
+  for (int t = 0; t < 2000; ++t) {
+    const u16 a = static_cast<u16>(rng());
+    const u16 b = static_cast<u16>(rng());
+    ASSERT_EQ(mul(a, b), ref_mul(a, b)) << a << " * " << b;
+  }
+}
+
+TEST(Gf65536, InverseRoundTripsSampled) {
+  for (unsigned a = 1; a < kFieldSize; a += 251) {
+    EXPECT_EQ(mul(static_cast<u16>(a), inv(static_cast<u16>(a))), 1);
+  }
+}
+
+TEST(Gf65536, PowMatchesRepeatedMul) {
+  for (const u16 a : {u16{2}, u16{0x1234}, u16{0xFFFF}}) {
+    u16 acc = 1;
+    for (unsigned n = 0; n < 12; ++n) {
+      EXPECT_EQ(pow(a, n), acc);
+      acc = mul(acc, a);
+    }
+  }
+}
+
+TEST(Gf65536, GeneratorHasFullOrder) {
+  // 2^(2^16-1) == 1, and the order does not divide the two maximal
+  // proper divisors of 65535 = 3 * 5 * 17 * 257.
+  EXPECT_EQ(pow(kGenerator, 65535), 1);
+  for (const unsigned d : {65535u / 3, 65535u / 5, 65535u / 17, 65535u / 257}) {
+    EXPECT_NE(pow(kGenerator, d), 1) << "order divides " << d;
+  }
+}
+
+TEST(Gf65536, RegionKernelsMatchScalar) {
+  std::mt19937_64 rng(7);
+  const std::size_t n = 1024;
+  std::vector<std::byte> src(n), dst(n), ref(n);
+  for (auto& b : src) b = static_cast<std::byte>(rng());
+  for (std::size_t i = 0; i < n; ++i) ref[i] = dst[i] = std::byte{0};
+
+  const u16 c = 0x1B2D;
+  mul_set(c, src.data(), dst.data(), n);
+  for (std::size_t i = 0; i < n; i += 2) {
+    const u16 x = static_cast<u16>(static_cast<unsigned>(src[i]) |
+                                   (static_cast<unsigned>(src[i + 1]) << 8));
+    const u16 y = mul(c, x);
+    ref[i] = static_cast<std::byte>(y & 0xff);
+    ref[i + 1] = static_cast<std::byte>(y >> 8);
+  }
+  EXPECT_EQ(dst, ref);
+
+  // acc twice by c == set by (c ^ c) == zero.
+  std::vector<std::byte> acc(n, std::byte{0});
+  mul_acc(c, src.data(), acc.data(), n);
+  mul_acc(c, src.data(), acc.data(), n);
+  for (const std::byte b : acc) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(Gf65536, MatrixInvertRoundTrips) {
+  std::mt19937_64 rng(5);
+  Matrix a(8, 8);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 8; ++c)
+      a.at(r, c) = static_cast<u16>(rng());
+  const auto ai = invert(a);
+  if (!ai) GTEST_SKIP() << "random matrix happened to be singular";
+  // a * ai == I, via explicit multiply.
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      u16 acc = 0;
+      for (std::size_t i = 0; i < 8; ++i)
+        acc ^= mul(a.at(r, i), ai->at(i, c));
+      EXPECT_EQ(acc, r == c ? 1 : 0);
+    }
+  }
+}
+
+TEST(Gf65536, SingularMatrixRejected) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 3;
+  a.at(0, 1) = 5;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 5;
+  EXPECT_FALSE(invert(a).has_value());
+}
+
+// ---------------------------------------------------------------------
+
+struct Blocks {
+  std::vector<std::vector<std::byte>> storage;
+  std::vector<const std::byte*> data_ptrs;
+  std::vector<std::byte*> parity_ptrs;
+  std::vector<std::byte*> all_ptrs;
+};
+
+Blocks MakeBlocks(std::size_t k, std::size_t m, std::size_t bs,
+                  std::uint64_t seed) {
+  Blocks b;
+  std::mt19937_64 rng(seed);
+  b.storage.resize(k + m, std::vector<std::byte>(bs));
+  for (std::size_t i = 0; i < k; ++i)
+    for (auto& byte : b.storage[i]) byte = static_cast<std::byte>(rng());
+  for (std::size_t i = 0; i < k; ++i) b.data_ptrs.push_back(b.storage[i].data());
+  for (std::size_t j = 0; j < m; ++j)
+    b.parity_ptrs.push_back(b.storage[k + j].data());
+  for (auto& s : b.storage) b.all_ptrs.push_back(s.data());
+  return b;
+}
+
+TEST(Rs16Codec, RoundTripsBeyondGf256Limit) {
+  // 300 + 6 blocks: impossible in GF(2^8).
+  const std::size_t k = 300, m = 6, bs = 128;
+  const ec::Rs16Codec codec(k, m);
+  Blocks b = MakeBlocks(k, m, bs, 11);
+  codec.encode(bs, b.data_ptrs, b.parity_ptrs);
+  const auto golden = b.storage;
+  const std::vector<std::size_t> erasures{0, 150, 299, 301, 303, 305};
+  for (const std::size_t e : erasures)
+    std::fill(b.storage[e].begin(), b.storage[e].end(), std::byte{0});
+  ASSERT_TRUE(codec.decode(bs, b.all_ptrs, erasures));
+  EXPECT_EQ(b.storage, golden);
+}
+
+TEST(Rs16Codec, RejectsTooManyErasures) {
+  const ec::Rs16Codec codec(10, 2);
+  Blocks b = MakeBlocks(10, 2, 128, 12);
+  codec.encode(128, b.data_ptrs, b.parity_ptrs);
+  EXPECT_FALSE(
+      codec.decode(128, b.all_ptrs, std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Rs16Codec, PlanMatchesGf8StructureWithDoubleCompute) {
+  const simmem::ComputeCost cost{};
+  const ec::Rs16Codec wide(12, 4);
+  const ec::IsalCodec narrow(12, 4);
+  const ec::EncodePlan p16 = wide.encode_plan(1024, cost);
+  const ec::EncodePlan p8 = narrow.encode_plan(1024, cost);
+  EXPECT_EQ(p16.count(ec::PlanOp::Kind::kLoad),
+            p8.count(ec::PlanOp::Kind::kLoad))
+      << "the memory pattern must be identical";
+  EXPECT_EQ(p16.count(ec::PlanOp::Kind::kStore),
+            p8.count(ec::PlanOp::Kind::kStore));
+  EXPECT_GT(p16.total_compute_cycles(), 1.5 * p8.total_compute_cycles());
+}
+
+TEST(Rs16Codec, DialgaOptionsApply) {
+  const simmem::ComputeCost cost{};
+  const ec::Rs16Codec codec(64, 4);
+  ec::IsalPlanOptions opts;
+  opts.prefetch_distance = 64;
+  const ec::EncodePlan plan = codec.encode_plan_with(1024, cost, opts);
+  EXPECT_GT(plan.count(ec::PlanOp::Kind::kPrefetch), 0u);
+}
+
+}  // namespace
+}  // namespace gf16

@@ -1,0 +1,136 @@
+#include "gf/gf_simd.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace gf {
+namespace {
+
+std::vector<std::byte> RandomBytes(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng() & 0xff);
+  return v;
+}
+
+TEST(SplitTable, MatchesFullMultiply) {
+  for (unsigned c = 0; c < 256; c += 3) {
+    const SplitTable t = make_split_table(static_cast<u8>(c));
+    for (unsigned x = 0; x < 256; ++x) {
+      const u8 expect = mul(static_cast<u8>(c), static_cast<u8>(x));
+      EXPECT_EQ(t.lo[x & 0xf] ^ t.hi[x >> 4], expect)
+          << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(IsaDispatch, BestIsaIsAtLeastScalar) {
+  EXPECT_GE(static_cast<int>(best_isa()), static_cast<int>(IsaLevel::kScalar));
+}
+
+TEST(IsaDispatch, SetClampsAboveBest) {
+  const IsaLevel prev = active_isa();
+  set_active_isa(IsaLevel::kAvx2);
+  EXPECT_LE(static_cast<int>(active_isa()), static_cast<int>(best_isa()));
+  set_active_isa(prev);
+}
+
+/// Parameterized over (ISA level, region size): every ISA path must
+/// agree with the scalar reference on every size, including non-SIMD
+/// tails and sub-vector regions.
+class RegionKernelTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {
+ protected:
+  void SetUp() override {
+    prev_ = active_isa();
+    const auto level = static_cast<IsaLevel>(std::get<0>(GetParam()));
+    if (static_cast<int>(level) > static_cast<int>(best_isa())) {
+      GTEST_SKIP() << "host lacks this ISA";
+    }
+    set_active_isa(level);
+  }
+  void TearDown() override { set_active_isa(prev_); }
+
+  std::size_t size() const { return std::get<1>(GetParam()); }
+
+ private:
+  IsaLevel prev_;
+};
+
+TEST_P(RegionKernelTest, MulSetMatchesScalarReference) {
+  const std::size_t n = size();
+  const auto src = RandomBytes(n, 1234 + n);
+  std::vector<std::byte> got(n), want(n);
+  for (const u8 c : {u8{0}, u8{1}, u8{2}, u8{0x53}, u8{0xff}}) {
+    mul_set(c, src.data(), got.data(), n);
+    const SplitTable t = make_split_table(c);
+    detail::mul_set_scalar(t, src.data(), want.data(), n);
+    EXPECT_EQ(got, want) << "c=" << unsigned{c} << " n=" << n;
+  }
+}
+
+TEST_P(RegionKernelTest, MulAccMatchesScalarReference) {
+  const std::size_t n = size();
+  const auto src = RandomBytes(n, 99 + n);
+  const auto init = RandomBytes(n, 7 + n);
+  for (const u8 c : {u8{3}, u8{0x80}, u8{0xCA}}) {
+    std::vector<std::byte> got = init, want = init;
+    mul_acc(c, src.data(), got.data(), n);
+    const SplitTable t = make_split_table(c);
+    detail::mul_acc_scalar(t, src.data(), want.data(), n);
+    EXPECT_EQ(got, want) << "c=" << unsigned{c} << " n=" << n;
+  }
+}
+
+TEST_P(RegionKernelTest, XorAccMatchesScalarReference) {
+  const std::size_t n = size();
+  const auto src = RandomBytes(n, 5 + n);
+  const auto init = RandomBytes(n, 11 + n);
+  std::vector<std::byte> got = init, want = init;
+  xor_acc(src.data(), got.data(), n);
+  detail::xor_acc_scalar(src.data(), want.data(), n);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(RegionKernelTest, MulAccByOneIsXor) {
+  const std::size_t n = size();
+  const auto src = RandomBytes(n, 21 + n);
+  const auto init = RandomBytes(n, 22 + n);
+  std::vector<std::byte> got = init, want = init;
+  mul_acc(1, src.data(), got.data(), n);
+  xor_acc(src.data(), want.data(), n);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(RegionKernelTest, MulSetByZeroClears) {
+  const std::size_t n = size();
+  const auto src = RandomBytes(n, 31 + n);
+  std::vector<std::byte> got(n, std::byte{0xAA});
+  mul_set(0, src.data(), got.data(), n);
+  for (const std::byte b : got) EXPECT_EQ(b, std::byte{0});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsaAndSizes, RegionKernelTest,
+    ::testing::Combine(
+        ::testing::Values(static_cast<int>(IsaLevel::kScalar),
+                          static_cast<int>(IsaLevel::kSsse3),
+                          static_cast<int>(IsaLevel::kAvx2)),
+        ::testing::Values<std::size_t>(1, 15, 16, 17, 31, 32, 33, 63, 64,
+                                       100, 1024, 4096, 5000)));
+
+TEST(RegionKernels, AccumulationIsLinear) {
+  // c1*x + c2*x == (c1+c2)*x region-wise.
+  const std::size_t n = 512;
+  const auto src = RandomBytes(n, 77);
+  std::vector<std::byte> lhs(n, std::byte{0}), rhs(n, std::byte{0});
+  mul_acc(0x1b, src.data(), lhs.data(), n);
+  mul_acc(0x2d, src.data(), lhs.data(), n);
+  mul_set(add(0x1b, 0x2d), src.data(), rhs.data(), n);
+  EXPECT_EQ(lhs, rhs);
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,78 @@
+// Golden snapshots of tiny plans: the exact op sequence IS the access
+// pattern every figure depends on. An intentional change to plan
+// generation must update these strings consciously.
+#include <gtest/gtest.h>
+
+#include "ec/isal.h"
+#include "ec/plan_stats.h"
+#include "ec/update.h"
+
+namespace ec {
+namespace {
+
+const simmem::ComputeCost kCost{};
+
+TEST(GoldenPlan, IsalTinyEncode) {
+  // k=2, m=1, 128 B blocks: 2 rows, row-interleaved, NT stores, fence.
+  const IsalCodec codec(2, 1);
+  const EncodePlan plan = codec.encode_plan(128, kCost);
+  EXPECT_EQ(PlanToString(plan),
+            "L0+0 C L1+0 C S2+0 L0+64 C L1+64 C S2+64 F");
+}
+
+TEST(GoldenPlan, IsalWithPrefetchDistanceTwo) {
+  const IsalCodec codec(2, 1);
+  IsalPlanOptions opts;
+  opts.prefetch_distance = 2;
+  const EncodePlan plan = codec.encode_plan_with(128, kCost, opts);
+  // Task order: L0+0 L1+0 | L0+64 L1+64. Prefetch d=2 leads each load;
+  // the last two tasks have no target (tail reverts to plain kernel).
+  EXPECT_EQ(PlanToString(plan),
+            "P0+64 L0+0 C P1+64 L1+0 C S2+0 L0+64 C L1+64 C S2+64 F");
+}
+
+TEST(GoldenPlan, IsalShuffledRows) {
+  // 4 rows shuffled with stride 3: visit order 0,3,2,1.
+  const IsalCodec codec(1, 1);
+  IsalPlanOptions opts;
+  opts.shuffle_rows = true;
+  const EncodePlan plan = codec.encode_plan_with(256, kCost, opts);
+  EXPECT_EQ(PlanToString(plan),
+            "L0+0 C S1+0 L0+192 C S1+192 L0+128 C S1+128 L0+64 C S1+64 F");
+}
+
+TEST(GoldenPlan, IsalWidenedToXpLine) {
+  // 8 rows, widen: per iteration 4 consecutive rows of each block.
+  const IsalCodec codec(2, 1);
+  IsalPlanOptions opts;
+  opts.widen_to_xpline = true;
+  const EncodePlan plan = codec.encode_plan_with(512, kCost, opts);
+  EXPECT_EQ(PlanToString(plan),
+            "L0+0 C L0+64 C L0+128 C L0+192 C "
+            "L1+0 C L1+64 C L1+128 C L1+192 C "
+            "S2+0 S2+64 S2+128 S2+192 "
+            "L0+256 C L0+320 C L0+384 C L0+448 C "
+            "L1+256 C L1+320 C L1+384 C L1+448 C "
+            "S2+256 S2+320 S2+384 S2+448 F");
+}
+
+TEST(GoldenPlan, DecodeReadsSurvivorsOnly) {
+  // k=2, m=1; block 0 erased: read survivors {1, 2}, store 0.
+  const IsalCodec codec(2, 1);
+  const std::vector<std::size_t> erasures{0};
+  const EncodePlan plan = codec.decode_plan(128, kCost, erasures);
+  EXPECT_EQ(PlanToString(plan),
+            "L1+0 C L2+0 C S0+0 L1+64 C L2+64 C S0+64 F");
+}
+
+TEST(GoldenPlan, UpdateRmwOneLine) {
+  // 64 B update at offset 64 of a (k=2, m=1) stripe: RMW line 1 of the
+  // data block (slot 0) and of the parity (slot 1).
+  const IsalCodec codec(2, 1);
+  const UpdateEngine engine(codec);
+  const EncodePlan plan = engine.update_plan(256, 64, 64, kCost);
+  EXPECT_EQ(PlanToString(plan), "L0+64 C L1+64 C S0+64 S1+64 F");
+}
+
+}  // namespace
+}  // namespace ec

@@ -1,0 +1,201 @@
+// End-to-end integration: functional encoding on host-backed simulated
+// PM regions, fault injection + scrub/repair, and consistency between
+// the functional path and the timed path's accounting.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bench_util/runner.h"
+#include "dialga/dialga.h"
+#include "ec/isal.h"
+#include "ec/xor_codec.h"
+#include "simmem/address_space.h"
+
+namespace {
+
+using simmem::MemKind;
+
+/// A miniature EC-protected PM pool: k+m backed regions, encode, flip
+/// bits, scrub, repair.
+class ProtectedPool {
+ public:
+  ProtectedPool(std::size_t k, std::size_t m, std::size_t bs)
+      : k_(k), m_(m), bs_(bs), codec_(k, m) {
+    for (std::size_t i = 0; i < k + m; ++i) {
+      regions_.push_back(
+          space_.alloc(MemKind::kPm, bs, simmem::kPageBytes, true));
+    }
+  }
+
+  void fill_random(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    for (std::size_t i = 0; i < k_; ++i) {
+      for (std::size_t o = 0; o < bs_; ++o) {
+        regions_[i].host[o] = static_cast<std::byte>(rng());
+      }
+    }
+  }
+
+  void encode() {
+    std::vector<const std::byte*> data;
+    std::vector<std::byte*> parity;
+    for (std::size_t i = 0; i < k_; ++i) data.push_back(regions_[i].host);
+    for (std::size_t j = 0; j < m_; ++j)
+      parity.push_back(regions_[k_ + j].host);
+    codec_.encode(bs_, data, parity);
+  }
+
+  void corrupt(std::size_t block, std::size_t offset) {
+    regions_[block].host[offset] ^= std::byte{0x40};  // media bit flip
+  }
+
+  bool repair(const std::vector<std::size_t>& bad_blocks) {
+    std::vector<std::byte*> all;
+    for (auto& r : regions_) all.push_back(r.host);
+    return codec_.decode(bs_, all, bad_blocks);
+  }
+
+  std::vector<std::byte> snapshot(std::size_t block) const {
+    return {regions_[block].host, regions_[block].host + bs_};
+  }
+
+ private:
+  std::size_t k_, m_, bs_;
+  simmem::AddressSpace space_;
+  std::vector<simmem::Region> regions_;
+  dialga::DialgaCodec codec_;
+};
+
+TEST(Integration, ScrubAndRepairAfterBitFlips) {
+  ProtectedPool pool(8, 3, 4096);
+  pool.fill_random(1);
+  pool.encode();
+  const auto golden2 = pool.snapshot(2);
+  const auto golden5 = pool.snapshot(5);
+  const auto golden9 = pool.snapshot(9);  // a parity block
+
+  pool.corrupt(2, 17);
+  pool.corrupt(5, 4000);
+  pool.corrupt(9, 0);
+  ASSERT_TRUE(pool.repair({2, 5, 9}));
+  EXPECT_EQ(pool.snapshot(2), golden2);
+  EXPECT_EQ(pool.snapshot(5), golden5);
+  EXPECT_EQ(pool.snapshot(9), golden9);
+}
+
+TEST(Integration, RepairFailsBeyondTolerance) {
+  ProtectedPool pool(6, 2, 512);
+  pool.fill_random(2);
+  pool.encode();
+  EXPECT_FALSE(pool.repair({0, 1, 2}));
+}
+
+TEST(Integration, TimedRunCountersAreConsistent) {
+  simmem::SimConfig cfg;
+  bench_util::WorkloadConfig wl;
+  wl.k = 8;
+  wl.m = 2;
+  wl.block_size = 1024;
+  wl.total_data_bytes = 4ull << 20;
+  const ec::IsalCodec codec(8, 2);
+  const auto r = bench_util::RunEncode(cfg, wl, codec);
+
+  const std::size_t stripes = wl.total_data_bytes / (8 * 1024);
+  EXPECT_EQ(r.payload_bytes, stripes * 8 * 1024);
+  // Encode layer reads exactly the payload.
+  EXPECT_EQ(r.pmu.encode_read_bytes, r.payload_bytes);
+  // Every payload byte was written as parity fraction m/k of the data.
+  EXPECT_EQ(r.pmu.write_bytes, r.payload_bytes * 2 / 8);
+  // Controller reads are at least the demand misses.
+  EXPECT_GE(r.pmu.mc_read_bytes,
+            r.pmu.llc_misses * simmem::kCacheLineBytes);
+  EXPECT_GT(r.gbps, 0.0);
+  EXPECT_GT(r.sim_seconds, 0.0);
+}
+
+TEST(Integration, TimedRunsAreReproducible) {
+  simmem::SimConfig cfg;
+  bench_util::WorkloadConfig wl;
+  wl.k = 12;
+  wl.m = 4;
+  wl.block_size = 1024;
+  wl.total_data_bytes = 2ull << 20;
+  const ec::IsalCodec codec(12, 4);
+  const auto a = bench_util::RunEncode(cfg, wl, codec);
+  const auto b = bench_util::RunEncode(cfg, wl, codec);
+  EXPECT_DOUBLE_EQ(a.gbps, b.gbps);
+  EXPECT_EQ(a.pmu.pm_media_read_bytes, b.pmu.pm_media_read_bytes);
+}
+
+TEST(Integration, DialgaAdaptiveRunIsReproducible) {
+  simmem::SimConfig cfg;
+  bench_util::WorkloadConfig wl;
+  wl.k = 12;
+  wl.m = 4;
+  wl.block_size = 1024;
+  wl.total_data_bytes = 4ull << 20;
+  const dialga::DialgaCodec codec(12, 4);
+  double gbps[2];
+  for (int i = 0; i < 2; ++i) {
+    auto provider = codec.make_encode_provider({12, 4, 1024, 1}, cfg);
+    gbps[i] = bench_util::RunTimed(cfg, wl, *provider).gbps;
+  }
+  EXPECT_DOUBLE_EQ(gbps[0], gbps[1]);
+}
+
+TEST(Integration, TableCodecsAgreeOnParity) {
+  // Table-lookup codecs (ISA-L, DIALGA) must produce identical parity;
+  // the bit-sliced XOR codec round-trips in its own domain.
+  const std::size_t k = 6, m = 3, bs = 768;
+  std::mt19937_64 rng(3);
+  std::vector<std::vector<std::byte>> data(k, std::vector<std::byte>(bs));
+  for (auto& blk : data)
+    for (auto& b : blk) b = static_cast<std::byte>(rng());
+  std::vector<const std::byte*> dptr;
+  for (auto& blk : data) dptr.push_back(blk.data());
+
+  auto encode_with = [&](const ec::Codec& codec) {
+    std::vector<std::vector<std::byte>> parity(m,
+                                               std::vector<std::byte>(bs));
+    std::vector<std::byte*> pptr;
+    for (auto& blk : parity) pptr.push_back(blk.data());
+    codec.encode(bs, dptr, pptr);
+    return parity;
+  };
+
+  const ec::IsalCodec isal(k, m);
+  const dialga::DialgaCodec dlg(k, m);
+  EXPECT_EQ(encode_with(isal), encode_with(dlg));
+
+  // XOR codec: self-consistent round trip through its own decode.
+  const ec::XorCodec xorc(k, m, gf::cauchy_generator(k, m), "x");
+  std::vector<std::vector<std::byte>> all(k + m,
+                                          std::vector<std::byte>(bs));
+  for (std::size_t i = 0; i < k; ++i) all[i] = data[i];
+  std::vector<std::byte*> aptr;
+  for (auto& blk : all) aptr.push_back(blk.data());
+  xorc.encode(bs, dptr, std::span<std::byte* const>(aptr).subspan(k));
+  const auto golden = all;
+  std::fill(all[1].begin(), all[1].end(), std::byte{0});
+  std::fill(all[k].begin(), all[k].end(), std::byte{0});
+  ASSERT_TRUE(xorc.decode(bs, aptr, std::vector<std::size_t>{1, k}));
+  EXPECT_EQ(all, golden);
+}
+
+TEST(Integration, CmmHPresetRunsAndIsSlower) {
+  // Section 6 generality: the CMM-H-like device has much higher media
+  // latency; encode throughput must drop but everything still works.
+  bench_util::WorkloadConfig wl;
+  wl.k = 12;
+  wl.m = 4;
+  wl.block_size = 1024;
+  wl.total_data_bytes = 2ull << 20;
+  const ec::IsalCodec codec(12, 4);
+  const auto optane = bench_util::RunEncode(simmem::XeonGold6240Optane100(),
+                                            wl, codec);
+  const auto cmmh = bench_util::RunEncode(simmem::CmmHLike(), wl, codec);
+  EXPECT_GT(optane.gbps, cmmh.gbps);
+  EXPECT_GT(cmmh.gbps, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include "ec/isal_decompose.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "ec/isal.h"
+
+namespace ec {
+namespace {
+
+struct Blocks {
+  std::vector<std::vector<std::byte>> storage;
+  std::vector<const std::byte*> data_ptrs;
+  std::vector<std::byte*> parity_ptrs;
+  std::vector<std::byte*> all_ptrs;
+};
+
+Blocks MakeBlocks(std::size_t k, std::size_t m, std::size_t bs,
+                  std::uint64_t seed) {
+  Blocks b;
+  std::mt19937_64 rng(seed);
+  b.storage.resize(k + m, std::vector<std::byte>(bs));
+  for (std::size_t i = 0; i < k; ++i)
+    for (auto& byte : b.storage[i]) byte = static_cast<std::byte>(rng());
+  for (std::size_t i = 0; i < k; ++i) b.data_ptrs.push_back(b.storage[i].data());
+  for (std::size_t j = 0; j < m; ++j)
+    b.parity_ptrs.push_back(b.storage[k + j].data());
+  for (auto& s : b.storage) b.all_ptrs.push_back(s.data());
+  return b;
+}
+
+TEST(IsalDecompose, ParityIdenticalToPlainIsal) {
+  const std::size_t k = 40, m = 4, bs = 512;
+  const IsalCodec plain(k, m);
+  const IsalDecomposeCodec split(k, m, 16);
+  Blocks a = MakeBlocks(k, m, bs, 21);
+  Blocks b = MakeBlocks(k, m, bs, 21);
+  plain.encode(bs, a.data_ptrs, a.parity_ptrs);
+  split.encode(bs, b.data_ptrs, b.parity_ptrs);
+  EXPECT_EQ(a.storage, b.storage);
+}
+
+TEST(IsalDecompose, RoundTripsThroughErasures) {
+  const std::size_t k = 40, m = 4, bs = 256;
+  const IsalDecomposeCodec codec(k, m);
+  Blocks b = MakeBlocks(k, m, bs, 22);
+  codec.encode(bs, b.data_ptrs, b.parity_ptrs);
+  const auto golden = b.storage;
+  const std::vector<std::size_t> erasures{0, 17, 39, 42};
+  for (const std::size_t e : erasures)
+    std::fill(b.storage[e].begin(), b.storage[e].end(), std::byte{0});
+  ASSERT_TRUE(codec.decode(bs, b.all_ptrs, erasures));
+  EXPECT_EQ(b.storage, golden);
+}
+
+TEST(IsalDecompose, GroupCount) {
+  EXPECT_EQ(IsalDecomposeCodec(48, 4, 16).num_groups(), 3u);
+  EXPECT_EQ(IsalDecomposeCodec(40, 4, 16).num_groups(), 3u);
+  EXPECT_EQ(IsalDecomposeCodec(8, 4, 16).num_groups(), 1u);
+}
+
+TEST(IsalDecompose, PlanHasPartialTrafficAndScratch) {
+  const simmem::ComputeCost cost{};
+  const IsalDecomposeCodec codec(48, 4, 16);
+  const EncodePlan plan = codec.encode_plan(1024, cost);
+  EXPECT_EQ(plan.num_scratch, 3u * 4u);
+
+  // Loads cover the data blocks once each plus the partial reloads.
+  const std::size_t data_lines = 48 * 1024 / 64;
+  const std::size_t partial_lines = 3 * 4 * 1024 / 64;
+  EXPECT_EQ(plan.count(PlanOp::Kind::kLoad), data_lines + partial_lines);
+  // Cached stores for partials, NT stores for the final parity only.
+  EXPECT_EQ(plan.count(PlanOp::Kind::kStoreCached), partial_lines);
+  EXPECT_EQ(plan.count(PlanOp::Kind::kStore), 4u * 1024u / 64u);
+}
+
+TEST(IsalDecompose, GroupLoadsAreContiguousStreams) {
+  // Within a group pass, only that group's blocks are touched — the
+  // property that re-activates the hardware prefetcher.
+  const simmem::ComputeCost cost{};
+  const IsalDecomposeCodec codec(32, 2, 16);
+  const EncodePlan plan = codec.encode_plan(512, cost);
+  std::set<std::uint16_t> first_half_blocks;
+  std::size_t seen_loads = 0;
+  const std::size_t group_loads = 16 * 512 / 64;
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind != PlanOp::Kind::kLoad) continue;
+    if (seen_loads < group_loads) first_half_blocks.insert(op.block);
+    ++seen_loads;
+  }
+  for (const std::uint16_t blk : first_half_blocks) {
+    EXPECT_LT(blk, 16u) << "first pass must only read group 0";
+  }
+}
+
+TEST(IsalDecompose, DecodePlanMatchesPlainIsal) {
+  const simmem::ComputeCost cost{};
+  const IsalDecomposeCodec split(48, 4, 16);
+  const IsalCodec plain(48, 4);
+  const std::vector<std::size_t> erasures{3};
+  const EncodePlan a = split.decode_plan(1024, cost, erasures);
+  const EncodePlan b = plain.decode_plan(1024, cost, erasures);
+  EXPECT_EQ(a.count(PlanOp::Kind::kLoad), b.count(PlanOp::Kind::kLoad));
+  EXPECT_EQ(a.count(PlanOp::Kind::kStore), b.count(PlanOp::Kind::kStore));
+}
+
+TEST(IsalDecompose, Name) {
+  EXPECT_EQ(IsalDecomposeCodec(48, 4).name(), "ISA-L-D");
+}
+
+}  // namespace
+}  // namespace ec

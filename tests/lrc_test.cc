@@ -1,0 +1,168 @@
+#include "ec/lrc.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ec/isal.h"
+#include "gf/gf_simd.h"
+
+namespace ec {
+namespace {
+
+struct Blocks {
+  std::vector<std::vector<std::byte>> storage;
+  std::vector<const std::byte*> data_ptrs;
+  std::vector<std::byte*> parity_ptrs;
+  std::vector<std::byte*> all_ptrs;
+};
+
+Blocks MakeBlocks(std::size_t k, std::size_t parities, std::size_t bs,
+                  std::uint64_t seed) {
+  Blocks b;
+  std::mt19937_64 rng(seed);
+  b.storage.resize(k + parities, std::vector<std::byte>(bs));
+  for (std::size_t i = 0; i < k; ++i)
+    for (auto& byte : b.storage[i]) byte = static_cast<std::byte>(rng());
+  for (std::size_t i = 0; i < k; ++i) b.data_ptrs.push_back(b.storage[i].data());
+  for (std::size_t j = 0; j < parities; ++j)
+    b.parity_ptrs.push_back(b.storage[k + j].data());
+  for (auto& s : b.storage) b.all_ptrs.push_back(s.data());
+  return b;
+}
+
+TEST(Lrc, GlobalParitiesMatchPlainRs) {
+  const std::size_t k = 8, m = 2, l = 2, bs = 512;
+  const LrcCodec lrc(k, m, l);
+  const IsalCodec rs(k, m);
+  Blocks a = MakeBlocks(k, m + l, bs, 3);
+  Blocks b = MakeBlocks(k, m, bs, 3);
+  lrc.encode(bs, a.data_ptrs, a.parity_ptrs);
+  rs.encode(bs, b.data_ptrs, b.parity_ptrs);
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_EQ(a.storage[k + j], b.storage[k + j]) << "global parity " << j;
+  }
+}
+
+TEST(Lrc, LocalParityIsGroupXor) {
+  const std::size_t k = 6, m = 2, l = 2, bs = 256;
+  const LrcCodec lrc(k, m, l);
+  Blocks b = MakeBlocks(k, m + l, bs, 4);
+  lrc.encode(bs, b.data_ptrs, b.parity_ptrs);
+  ASSERT_EQ(lrc.group_size(), 3u);
+  for (std::size_t grp = 0; grp < l; ++grp) {
+    for (std::size_t o = 0; o < bs; ++o) {
+      std::byte expect{0};
+      for (std::size_t j = grp * 3; j < (grp + 1) * 3; ++j)
+        expect ^= b.storage[j][o];
+      ASSERT_EQ(b.storage[k + m + grp][o], expect) << "group " << grp;
+    }
+  }
+}
+
+TEST(Lrc, LocallyRepairableClassification) {
+  const LrcCodec lrc(8, 2, 2);
+  EXPECT_TRUE(lrc.locally_repairable(std::vector<std::size_t>{1}));
+  EXPECT_TRUE(lrc.locally_repairable(std::vector<std::size_t>{1, 6}));
+  // Two erasures in the same group: needs global decode.
+  EXPECT_FALSE(lrc.locally_repairable(std::vector<std::size_t>{1, 2}));
+  // Parity erasures are never local repairs.
+  EXPECT_FALSE(lrc.locally_repairable(std::vector<std::size_t>{8}));
+  EXPECT_FALSE(lrc.locally_repairable(std::vector<std::size_t>{}));
+}
+
+TEST(Lrc, LocalRepairRecoversData) {
+  const std::size_t k = 8, m = 2, l = 2, bs = 1024;
+  const LrcCodec lrc(k, m, l);
+  Blocks b = MakeBlocks(k, m + l, bs, 5);
+  lrc.encode(bs, b.data_ptrs, b.parity_ptrs);
+  const auto golden = b.storage;
+  // One erasure per group: both repaired locally.
+  const std::vector<std::size_t> erasures{2, 5};
+  for (const std::size_t e : erasures)
+    std::fill(b.storage[e].begin(), b.storage[e].end(), std::byte{0});
+  ASSERT_TRUE(lrc.decode(bs, b.all_ptrs, erasures));
+  EXPECT_EQ(b.storage, golden);
+}
+
+TEST(Lrc, GlobalDecodeHandlesGroupDoubleFault) {
+  const std::size_t k = 8, m = 2, l = 2, bs = 512;
+  const LrcCodec lrc(k, m, l);
+  Blocks b = MakeBlocks(k, m + l, bs, 6);
+  lrc.encode(bs, b.data_ptrs, b.parity_ptrs);
+  const auto golden = b.storage;
+  const std::vector<std::size_t> erasures{0, 1};  // same group
+  for (const std::size_t e : erasures)
+    std::fill(b.storage[e].begin(), b.storage[e].end(), std::byte{0});
+  ASSERT_TRUE(lrc.decode(bs, b.all_ptrs, erasures));
+  EXPECT_EQ(b.storage, golden);
+}
+
+TEST(Lrc, RecoversErasedParities) {
+  const std::size_t k = 6, m = 2, l = 2, bs = 256;
+  const LrcCodec lrc(k, m, l);
+  Blocks b = MakeBlocks(k, m + l, bs, 7);
+  lrc.encode(bs, b.data_ptrs, b.parity_ptrs);
+  const auto golden = b.storage;
+  const std::vector<std::size_t> erasures{k, k + m};  // one global, one local
+  for (const std::size_t e : erasures)
+    std::fill(b.storage[e].begin(), b.storage[e].end(), std::byte{0});
+  ASSERT_TRUE(lrc.decode(bs, b.all_ptrs, erasures));
+  EXPECT_EQ(b.storage, golden);
+}
+
+TEST(Lrc, MixedDataAndLocalParityBeyondLocalRepair) {
+  const std::size_t k = 8, m = 2, l = 2, bs = 256;
+  const LrcCodec lrc(k, m, l);
+  Blocks b = MakeBlocks(k, m + l, bs, 8);
+  lrc.encode(bs, b.data_ptrs, b.parity_ptrs);
+  const auto golden = b.storage;
+  // Data block 0 plus its own group's local parity: must fall back to
+  // the global path.
+  const std::vector<std::size_t> erasures{0, k + m + 0};
+  for (const std::size_t e : erasures)
+    std::fill(b.storage[e].begin(), b.storage[e].end(), std::byte{0});
+  ASSERT_TRUE(lrc.decode(bs, b.all_ptrs, erasures));
+  EXPECT_EQ(b.storage, golden);
+}
+
+TEST(Lrc, EncodePlanCoversAllParities) {
+  const std::size_t k = 8, m = 2, l = 2, bs = 1024;
+  const LrcCodec lrc(k, m, l);
+  const simmem::ComputeCost cost{};
+  const EncodePlan plan = lrc.encode_plan(bs, cost);
+  EXPECT_EQ(plan.num_parity, m + l);
+  EXPECT_EQ(plan.count(PlanOp::Kind::kStore), (m + l) * bs / 64);
+  EXPECT_EQ(plan.count(PlanOp::Kind::kLoad), k * bs / 64);
+}
+
+TEST(Lrc, LocalRepairPlanReadsOnlyTheGroup) {
+  const std::size_t k = 8, m = 2, l = 2, bs = 512;
+  const LrcCodec lrc(k, m, l);
+  const simmem::ComputeCost cost{};
+  const std::vector<std::size_t> erasures{1};
+  const EncodePlan plan = lrc.decode_plan(bs, cost, erasures);
+  std::set<std::uint16_t> loads;
+  for (const PlanOp& op : plan.ops)
+    if (op.kind == PlanOp::Kind::kLoad) loads.insert(op.block);
+  // Group of block 1 = blocks 0..3 plus local parity k+m.
+  EXPECT_EQ(loads, std::set<std::uint16_t>({0, 2, 3, 10}));
+  // Far fewer loads than a global decode.
+  const EncodePlan global = lrc.decode_plan(bs, cost,
+                                            std::vector<std::size_t>{0, 1});
+  EXPECT_LT(plan.count(PlanOp::Kind::kLoad),
+            global.count(PlanOp::Kind::kLoad));
+}
+
+TEST(Lrc, NameIncludesParameters) {
+  const LrcCodec lrc(12, 2, 3);
+  EXPECT_EQ(lrc.name(), "LRC(12,2,3)");
+  EXPECT_EQ(lrc.params().m, 5u);
+  EXPECT_EQ(lrc.global_parities(), 2u);
+  EXPECT_EQ(lrc.local_parities(), 3u);
+  EXPECT_EQ(lrc.group_of(0), 0u);
+  EXPECT_EQ(lrc.group_of(11), 2u);
+}
+
+}  // namespace
+}  // namespace ec

@@ -1,0 +1,304 @@
+#include "simmem/memory_system.h"
+
+#include <gtest/gtest.h>
+
+#include "simmem/address_space.h"
+
+namespace simmem {
+namespace {
+
+SimConfig TestCfg() {
+  SimConfig cfg;
+  cfg.prefetcher.enabled = true;
+  return cfg;
+}
+
+TEST(AddressSpace, DeterministicDisjointRegions) {
+  AddressSpace a;
+  const Region r1 = a.alloc(MemKind::kPm, 1 << 20);
+  const Region r2 = a.alloc(MemKind::kPm, 1 << 20);
+  const Region d1 = a.alloc(MemKind::kDram, 4096);
+  EXPECT_GE(r1.base, kPmBase);
+  EXPECT_GE(r2.base, r1.end());
+  EXPECT_LT(d1.base, kPmBase);
+  EXPECT_EQ(KindOfAddress(r1.base), MemKind::kPm);
+  EXPECT_EQ(KindOfAddress(d1.base), MemKind::kDram);
+
+  AddressSpace b;
+  EXPECT_EQ(b.alloc(MemKind::kPm, 1 << 20).base, r1.base)
+      << "allocation must be deterministic across instances";
+}
+
+TEST(AddressSpace, BackedRegionZeroed) {
+  AddressSpace a;
+  const Region r = a.alloc(MemKind::kDram, 256, kPageBytes, true);
+  ASSERT_NE(r.host, nullptr);
+  for (std::size_t i = 0; i < 256; ++i) EXPECT_EQ(r.host[i], std::byte{0});
+  EXPECT_EQ(r.host_ptr(r.base + 10), r.host + 10);
+}
+
+TEST(AddressSpace, AlignmentHonored) {
+  AddressSpace a;
+  a.alloc(MemKind::kPm, 100);
+  const Region r = a.alloc(MemKind::kPm, 100, 1 << 16);
+  EXPECT_EQ(r.base % (1 << 16), 0u);
+}
+
+TEST(MemorySystem, ColdPmLoadPaysMediaLatency) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.load(0, kPmBase);
+  // media latency plus nothing else pending
+  EXPECT_NEAR(mem.clock(0), cfg.pm.media_latency_ns, 1.0);
+  EXPECT_EQ(mem.pmu().llc_misses, 1u);
+  EXPECT_EQ(mem.pmu().pm_media_read_bytes, kXpLineBytes);
+}
+
+TEST(MemorySystem, ColdDramLoadPaysDramLatency) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.load(0, kDramBase);
+  EXPECT_NEAR(mem.clock(0), cfg.dram.load_latency_ns, 1.0);
+  EXPECT_EQ(mem.pmu().dram_read_bytes, kCacheLineBytes);
+}
+
+TEST(MemorySystem, RepeatLoadHitsL1) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.load(0, kPmBase);
+  const double after_first = mem.clock(0);
+  mem.load(0, kPmBase + 32);  // same line
+  EXPECT_NEAR(mem.clock(0) - after_first, cfg.l1.hit_latency_ns, 0.01);
+  EXPECT_EQ(mem.pmu().l1_hits, 1u);
+}
+
+TEST(MemorySystem, SecondLineOfXpLineHitsPmBuffer) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.load(0, kPmBase);
+  const double t1 = mem.clock(0);
+  mem.load(0, kPmBase + kCacheLineBytes);  // same XPLine, new cacheline
+  EXPECT_NEAR(mem.clock(0) - t1, cfg.pm.buffer_hit_latency_ns, 1.0);
+}
+
+TEST(MemorySystem, SwPrefetchHidesLatency) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.sw_prefetch(0, kPmBase);
+  mem.compute_cycles(0, cfg.pm.media_latency_ns * cfg.cpu_freq_ghz * 2);
+  const double before = mem.clock(0);
+  mem.load(0, kPmBase);
+  EXPECT_NEAR(mem.clock(0) - before, cfg.l1.hit_latency_ns, 0.01)
+      << "a completed prefetch must make the load an L1 hit";
+  EXPECT_EQ(mem.pmu().sw_prefetch_hits, 1u);
+}
+
+TEST(MemorySystem, EarlyLoadOnPrefetchWaitsResidualOnly) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.sw_prefetch(0, kPmBase);
+  // Load immediately: waits the residual fill, not a fresh miss.
+  mem.load(0, kPmBase);
+  EXPECT_LT(mem.clock(0), cfg.pm.media_latency_ns * 1.5);
+  EXPECT_GT(mem.clock(0), cfg.pm.media_latency_ns * 0.9);
+}
+
+TEST(MemorySystem, HwPrefetcherCoversSequentialStream) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem on(cfg, 1);
+  MemorySystem off(cfg, 1);
+  off.set_hw_prefetcher_enabled(false);
+  for (std::uint64_t l = 0; l < 64; ++l) {
+    on.load(0, kPmBase + l * kCacheLineBytes);
+    off.load(0, kPmBase + l * kCacheLineBytes);
+  }
+  EXPECT_LT(on.clock(0), off.clock(0));
+  EXPECT_GT(on.pmu().hw_prefetches_issued, 0u);
+  EXPECT_EQ(off.pmu().hw_prefetches_issued, 0u);
+}
+
+TEST(MemorySystem, UselessPrefetchCountedOnEviction) {
+  SimConfig cfg = TestCfg();
+  cfg.l2 = {8 * 1024, 2, 4.0};  // tiny L2 forces evictions
+  cfg.prefetcher.min_confidence = 2;
+  cfg.prefetcher.max_degree = 8;
+  MemorySystem mem(cfg, 1);
+  // March through many pages; overshoot past each page end is evicted
+  // unused eventually.
+  for (std::uint64_t l = 0; l < 4096; ++l) {
+    mem.load(0, kPmBase + l * kCacheLineBytes * 2);  // stride 2: no train
+  }
+  // Sequential within one page to generate overshoot:
+  for (std::uint64_t l = 0; l < 16; ++l) {
+    mem.load(0, kPmBase + (1 << 20) + l * kCacheLineBytes);
+  }
+  // Flush L2 with more strided traffic.
+  for (std::uint64_t l = 0; l < 4096; ++l) {
+    mem.load(0, kPmBase + (1 << 22) + l * kCacheLineBytes * 2);
+  }
+  EXPECT_GT(mem.pmu().hw_prefetches_useless, 0u);
+}
+
+TEST(MemorySystem, NtStoreBypassesCachesAndCountsTraffic) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.load(0, kPmBase);  // cache the line
+  mem.store_nt(0, kPmBase);
+  EXPECT_EQ(mem.pmu().write_bytes, kCacheLineBytes);
+  // Line was invalidated: next load misses again (buffer was also
+  // invalidated by the write).
+  const std::uint64_t misses_before = mem.pmu().llc_misses;
+  mem.load(0, kPmBase);
+  EXPECT_EQ(mem.pmu().llc_misses, misses_before + 1);
+}
+
+TEST(MemorySystem, CachedStoreMakesLaterLoadHit) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.store_cached(0, kDramBase);
+  mem.compute_cycles(0, 1000.0);
+  const double before = mem.clock(0);
+  mem.load(0, kDramBase);
+  EXPECT_NEAR(mem.clock(0) - before, cfg.l1.hit_latency_ns, 0.01);
+}
+
+TEST(MemorySystem, CachedStoreDoesNotStall) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.store_cached(0, kPmBase);  // RFO from PM, hidden by store buffer
+  EXPECT_LT(mem.clock(0), 10.0);
+  EXPECT_EQ(mem.pmu().write_bytes, kCacheLineBytes);
+}
+
+TEST(MemorySystem, WriteQueueBackpressure) {
+  const SimConfig cfg = TestCfg();  // PM write bw 0.76 GB/s/ch
+  MemorySystem mem(cfg, 1);
+  // Hammer one channel with NT stores; eventually the queue slack is
+  // exhausted and the clock is dragged forward.
+  for (int i = 0; i < 100; ++i) mem.store_nt(0, kPmBase + i * 64);
+  const double naive = 100 * 1.0 / cfg.cpu_freq_ghz;
+  EXPECT_GT(mem.clock(0), naive) << "backpressure should stall the core";
+}
+
+TEST(MemorySystem, FenceWaitsForWriteDrain) {
+  const SimConfig cfg;
+  MemorySystem mem(cfg, 1);
+  // Overflow channel 0's write-combining buffer (64 XPLines) so real
+  // media flushes queue up behind the 0.76 GB/s write path.
+  for (std::uint64_t page = 0; page < 8; ++page) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      mem.store_nt(0, kPmBase + page * 6 * kPageBytes + i * 64);
+    }
+  }
+  const double before = mem.clock(0);
+  mem.fence(0);
+  EXPECT_GT(mem.clock(0), before)
+      << "sfence must wait for posted writes to drain";
+  // A second fence with no new writes is free.
+  const double after = mem.clock(0);
+  mem.fence(0);
+  EXPECT_DOUBLE_EQ(mem.clock(0), after);
+}
+
+TEST(MemorySystem, FenceWithoutWritesIsFree) {
+  const SimConfig cfg;
+  MemorySystem mem(cfg, 1);
+  mem.load(0, kPmBase);
+  const double t = mem.clock(0);
+  mem.fence(0);
+  EXPECT_DOUBLE_EQ(mem.clock(0), t);
+}
+
+TEST(MemorySystem, FenceIsPerCore) {
+  const SimConfig cfg;
+  MemorySystem mem(cfg, 2);
+  for (int i = 0; i < 64; ++i) mem.store_nt(0, kPmBase + i * 64);
+  mem.fence(1);  // other core has nothing pending
+  EXPECT_DOUBLE_EQ(mem.clock(1), 0.0);
+}
+
+TEST(MemorySystem, PerCoreClocksAreIndependent) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 2);
+  mem.load(0, kPmBase);
+  EXPECT_GT(mem.clock(0), 0.0);
+  EXPECT_DOUBLE_EQ(mem.clock(1), 0.0);
+  mem.compute_cycles(1, 33.0);
+  EXPECT_NEAR(mem.clock(1), 10.0, 0.01);  // 33 cycles @3.3 GHz
+  EXPECT_DOUBLE_EQ(mem.max_clock(), mem.clock(0));
+}
+
+TEST(MemorySystem, SharedPmBufferAcrossCores) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 2);
+  mem.load(0, kPmBase);  // core 0 pulls the XPLine
+  mem.advance_to(1, mem.clock(0));
+  const double before = mem.clock(1);
+  mem.load(1, kPmBase + kCacheLineBytes);  // core 1, same XPLine
+  // Core 1 misses its own caches but hits the shared PM read buffer.
+  EXPECT_NEAR(mem.clock(1) - before, cfg.pm.buffer_hit_latency_ns, 1.0);
+}
+
+TEST(MemorySystem, SharedLlcAcrossCores) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 2);
+  mem.load(0, kDramBase);
+  mem.advance_to(1, mem.clock(0) + 100.0);
+  const double before = mem.clock(1);
+  mem.load(1, kDramBase);
+  EXPECT_NEAR(mem.clock(1) - before, cfg.llc.hit_latency_ns, 0.01);
+  EXPECT_EQ(mem.pmu().llc_hits, 1u);
+}
+
+TEST(MemorySystem, ResetRestoresColdState) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.set_hw_prefetcher_enabled(false);
+  mem.load(0, kPmBase);
+  mem.reset();
+  EXPECT_DOUBLE_EQ(mem.clock(0), 0.0);
+  EXPECT_EQ(mem.pmu().loads, 0u);
+  EXPECT_FALSE(mem.hw_prefetcher_enabled()) << "switch survives reset";
+  mem.load(0, kPmBase);
+  EXPECT_EQ(mem.pmu().llc_misses, 1u) << "caches must be cold";
+}
+
+TEST(MemorySystem, StallAccounting) {
+  const SimConfig cfg = TestCfg();
+  MemorySystem mem(cfg, 1);
+  mem.load(0, kPmBase);
+  EXPECT_NEAR(mem.pmu().load_stall_ns, mem.clock(0), 1e-9);
+  EXPECT_NEAR(mem.pmu().llc_miss_stall_ns, cfg.pm.media_latency_ns, 1.0);
+}
+
+TEST(PmuCounters, DeltaArithmetic) {
+  PmuCounters a;
+  a.loads = 10;
+  a.load_stall_ns = 100.0;
+  PmuCounters b;
+  b.loads = 4;
+  b.load_stall_ns = 40.0;
+  const PmuCounters d = a - b;
+  EXPECT_EQ(d.loads, 6u);
+  EXPECT_DOUBLE_EQ(d.load_stall_ns, 60.0);
+  PmuCounters c = b;
+  c += d;
+  EXPECT_EQ(c.loads, a.loads);
+}
+
+TEST(PmuCounters, DerivedRatios) {
+  PmuCounters p;
+  p.hw_prefetches_issued = 10;
+  p.hw_prefetches_useless = 4;
+  EXPECT_DOUBLE_EQ(p.useless_prefetch_ratio(), 0.4);
+  p.encode_read_bytes = 100;
+  p.pm_media_read_bytes = 150;
+  EXPECT_DOUBLE_EQ(p.media_read_amplification(), 1.5);
+  PmuCounters zero;
+  EXPECT_DOUBLE_EQ(zero.useless_prefetch_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.media_read_amplification(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.avg_load_latency_ns(), 0.0);
+}
+
+}  // namespace
+}  // namespace simmem

@@ -1,0 +1,109 @@
+#include "ec/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dialga/dialga.h"
+#include "ec/isal.h"
+
+namespace ec {
+namespace {
+
+struct Corpus {
+  std::size_t k, m, bs, stripes;
+  std::vector<std::vector<std::byte>> storage;  // stripes x (k+m) blocks
+  std::vector<std::vector<const std::byte*>> data_ptrs;
+  std::vector<std::vector<std::byte*>> parity_ptrs;
+  std::vector<StripeBuffers> buffers;
+
+  Corpus(std::size_t k_, std::size_t m_, std::size_t bs_, std::size_t n,
+         std::uint64_t seed)
+      : k(k_), m(m_), bs(bs_), stripes(n) {
+    std::mt19937_64 rng(seed);
+    storage.resize(n * (k + m), std::vector<std::byte>(bs));
+    data_ptrs.resize(n);
+    parity_ptrs.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t i = 0; i < k; ++i) {
+        auto& blk = storage[s * (k + m) + i];
+        for (auto& b : blk) b = static_cast<std::byte>(rng());
+        data_ptrs[s].push_back(blk.data());
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        parity_ptrs[s].push_back(storage[s * (k + m) + k + j].data());
+      }
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      buffers.push_back({data_ptrs[s], parity_ptrs[s]});
+    }
+  }
+};
+
+TEST(ParallelEncode, MatchesSerialEncode) {
+  const IsalCodec codec(6, 3);
+  Corpus serial(6, 3, 512, 24, 9);
+  Corpus parallel(6, 3, 512, 24, 9);
+  for (const StripeBuffers& sb : serial.buffers) {
+    codec.encode(512, sb.data, sb.parity);
+  }
+  ParallelEncode(codec, 512, parallel.buffers, 4);
+  EXPECT_EQ(serial.storage, parallel.storage);
+}
+
+TEST(ParallelEncode, SingleThreadAndZeroAutoWork) {
+  const dialga::DialgaCodec codec(4, 2);
+  Corpus a(4, 2, 256, 7, 3);
+  Corpus b(4, 2, 256, 7, 3);
+  ParallelEncode(codec, 256, a.buffers, 1);
+  ParallelEncode(codec, 256, b.buffers, 0);  // hardware concurrency
+  EXPECT_EQ(a.storage, b.storage);
+}
+
+TEST(ParallelEncode, EmptyIsNoOp) {
+  const IsalCodec codec(4, 2);
+  ParallelEncode(codec, 256, {}, 8);  // must not crash or hang
+}
+
+TEST(ParallelDecode, RepairsManyStripes) {
+  const IsalCodec codec(5, 2);
+  Corpus corpus(5, 2, 512, 16, 5);
+  ParallelEncode(codec, 512, corpus.buffers, 2);
+  const auto golden = corpus.storage;
+
+  // Damage two blocks of every stripe.
+  std::vector<std::vector<std::byte*>> all(corpus.stripes);
+  const std::vector<std::size_t> erasures{1, 5};
+  std::vector<DecodeJob> jobs;
+  for (std::size_t s = 0; s < corpus.stripes; ++s) {
+    for (std::size_t b = 0; b < 7; ++b) {
+      all[s].push_back(corpus.storage[s * 7 + b].data());
+    }
+    for (const std::size_t e : erasures) {
+      std::fill(corpus.storage[s * 7 + e].begin(),
+                corpus.storage[s * 7 + e].end(), std::byte{0});
+    }
+    jobs.push_back({all[s], erasures});
+  }
+  EXPECT_EQ(ParallelDecode(codec, 512, jobs, 4), 0u);
+  EXPECT_EQ(corpus.storage, golden);
+}
+
+TEST(ParallelDecode, CountsFailures) {
+  const IsalCodec codec(4, 2);
+  Corpus corpus(4, 2, 256, 3, 7);
+  ParallelEncode(codec, 256, corpus.buffers, 2);
+  std::vector<std::vector<std::byte*>> all(corpus.stripes);
+  const std::vector<std::size_t> too_many{0, 1, 2};
+  std::vector<DecodeJob> jobs;
+  for (std::size_t s = 0; s < corpus.stripes; ++s) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      all[s].push_back(corpus.storage[s * 6 + b].data());
+    }
+    jobs.push_back({all[s], too_many});
+  }
+  EXPECT_EQ(ParallelDecode(codec, 256, jobs, 3), 3u);
+}
+
+}  // namespace
+}  // namespace ec

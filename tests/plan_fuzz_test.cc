@@ -1,0 +1,120 @@
+// Randomized plan-option fuzzing: every combination of scheduling
+// options must preserve the structural invariants (full coverage,
+// bounded slots, at-most-once prefetch per line, trailing fence) —
+// these are the properties that make a strategy switch safe at any
+// sampling boundary.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+
+#include "ec/isal.h"
+#include "ec/plan_stats.h"
+
+namespace ec {
+namespace {
+
+const simmem::ComputeCost kCost{};
+
+TEST(PlanFuzz, RandomOptionCombosKeepInvariants) {
+  std::mt19937_64 rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 1 + rng() % 48;
+    const std::size_t m = 1 + rng() % 8;
+    const std::size_t bs = (1 + rng() % 80) * 64;  // 64 B .. 5 KiB
+    const std::size_t rows = bs / 64;
+
+    IsalPlanOptions opts;
+    opts.shuffle_rows = rng() % 2;
+    opts.widen_to_xpline = rng() % 2;
+    opts.prefetch_distance = rng() % (2 * k * rows + 8);
+    if (rng() % 2) {
+      opts.xpline_first_distance = rng() % (2 * k * rows + 8);
+    }
+    if (rng() % 3 == 0) {
+      opts.prefetch_tail_offset = (rng() % (rows + 1)) * 64;
+    }
+    if (rng() % 4 == 0) opts.naive_prefetch_penalty_cycles = 14.0;
+
+    const IsalCodec codec(k, m);
+    const EncodePlan plan = codec.encode_plan_with(bs, kCost, opts);
+    SCOPED_TRACE("trial " + std::to_string(trial) + " k=" +
+                 std::to_string(k) + " m=" + std::to_string(m) +
+                 " bs=" + std::to_string(bs) + " d=" +
+                 std::to_string(opts.prefetch_distance));
+
+    // Coverage: every data line loaded exactly once; every parity line
+    // stored exactly once; offsets in range; plan ends with a fence.
+    std::map<std::pair<std::uint16_t, std::uint32_t>, int> loads, stores,
+        prefetches;
+    for (const PlanOp& op : plan.ops) {
+      if (op.kind == PlanOp::Kind::kCompute ||
+          op.kind == PlanOp::Kind::kFence) {
+        continue;
+      }
+      ASSERT_LT(op.block, k + m);
+      ASSERT_LT(op.offset, bs);
+      ASSERT_EQ(op.offset % 64, 0u);
+      if (op.kind == PlanOp::Kind::kLoad) ++loads[{op.block, op.offset}];
+      if (op.kind == PlanOp::Kind::kStore) ++stores[{op.block, op.offset}];
+      if (op.kind == PlanOp::Kind::kPrefetch)
+        ++prefetches[{op.block, op.offset}];
+    }
+    ASSERT_EQ(loads.size(), k * rows);
+    for (const auto& [key, n] : loads) ASSERT_EQ(n, 1);
+    ASSERT_EQ(stores.size(), m * rows);
+    for (const auto& [key, n] : stores) ASSERT_EQ(n, 1);
+    for (const auto& [key, n] : prefetches) {
+      ASSERT_LE(n, 1) << "line must not be prefetched twice";
+      ASSERT_LT(key.first, k) << "only data lines are prefetched";
+      if (opts.prefetch_tail_offset > 0) {
+        ASSERT_GE(key.second, opts.prefetch_tail_offset);
+      }
+    }
+    ASSERT_EQ(plan.ops.back().kind, PlanOp::Kind::kFence);
+
+    // The analyzer must agree and report no orphaned prefetches.
+    const PlanStats st = AnalyzePlan(plan);
+    ASSERT_EQ(st.orphan_prefetches, 0u);
+    ASSERT_EQ(st.loads, k * rows);
+  }
+}
+
+TEST(PlanFuzz, DecodePlansKeepInvariants) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = 2 + rng() % 30;
+    const std::size_t m = 1 + rng() % 6;
+    const std::size_t bs = (4 + rng() % 28) * 64;
+    const std::size_t rows = bs / 64;
+
+    // Random erasure set of size 1..m.
+    std::vector<std::size_t> idx(k + m);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::shuffle(idx.begin(), idx.end(), rng);
+    const std::size_t count = 1 + rng() % m;
+    std::vector<std::size_t> erasures(idx.begin(), idx.begin() + count);
+
+    const IsalCodec codec(k, m);
+    const EncodePlan plan = codec.decode_plan(bs, kCost, erasures);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+
+    const std::set<std::size_t> erased(erasures.begin(), erasures.end());
+    std::set<std::uint16_t> loaded, stored;
+    for (const PlanOp& op : plan.ops) {
+      if (op.kind == PlanOp::Kind::kLoad) {
+        ASSERT_EQ(erased.count(op.block), 0u)
+            << "decode must not read an erased block";
+        loaded.insert(op.block);
+      }
+      if (op.kind == PlanOp::Kind::kStore) stored.insert(op.block);
+    }
+    ASSERT_EQ(loaded.size(), k) << "decode reads exactly k survivors";
+    ASSERT_EQ(stored.size(), erasures.size());
+    ASSERT_EQ(plan.count(PlanOp::Kind::kLoad), k * rows);
+  }
+}
+
+}  // namespace
+}  // namespace ec

@@ -1,0 +1,74 @@
+#include "ec/plan_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "ec/isal.h"
+#include "ec/xor_codec.h"
+
+namespace ec {
+namespace {
+
+const simmem::ComputeCost kCost{};
+
+TEST(PlanStats, IsalEncodeCounts) {
+  const IsalCodec codec(4, 2);
+  const EncodePlan plan = codec.encode_plan(1024, kCost);
+  const PlanStats st = AnalyzePlan(plan);
+  EXPECT_EQ(st.loads, 4u * 16u);
+  EXPECT_EQ(st.distinct_lines_loaded, 4u * 16u);
+  EXPECT_EQ(st.repeat_loads, 0u);
+  EXPECT_EQ(st.stores_nt, 2u * 16u);
+  EXPECT_EQ(st.stores_cached, 0u);
+  EXPECT_EQ(st.prefetches, 0u);
+  EXPECT_EQ(st.fences, 1u);
+  EXPECT_DOUBLE_EQ(st.compute_cycles, plan.total_compute_cycles());
+  EXPECT_EQ(st.read_bytes(), 4u * 1024u);
+  EXPECT_EQ(st.write_bytes(), 2u * 1024u);
+  EXPECT_DOUBLE_EQ(st.repeat_load_fraction(), 0.0);
+}
+
+TEST(PlanStats, PrefetchLeadsMatchDistance) {
+  const IsalCodec codec(4, 2);
+  IsalPlanOptions opts;
+  opts.prefetch_distance = 9;
+  const EncodePlan plan = codec.encode_plan_with(1024, kCost, opts);
+  const PlanStats st = AnalyzePlan(plan);
+  EXPECT_EQ(st.prefetches, st.loads - 9);
+  EXPECT_EQ(st.prefetch_lead_min, 9u);
+  EXPECT_EQ(st.prefetch_lead_max, 9u);
+  EXPECT_NEAR(st.prefetch_lead_avg, 9.0, 1e-9);
+  EXPECT_EQ(st.orphan_prefetches, 0u);
+}
+
+TEST(PlanStats, SplitDistancesGiveTwoLeads) {
+  const IsalCodec codec(4, 2);
+  IsalPlanOptions opts;
+  opts.prefetch_distance = 6;
+  opts.xpline_first_distance = 10;
+  const EncodePlan plan = codec.encode_plan_with(1024, kCost, opts);
+  const PlanStats st = AnalyzePlan(plan);
+  EXPECT_EQ(st.prefetch_lead_min, 6u);
+  EXPECT_EQ(st.prefetch_lead_max, 10u);
+  EXPECT_EQ(st.orphan_prefetches, 0u);
+}
+
+TEST(PlanStats, XorCodecShowsRepeatLoads) {
+  const XorCodec codec(8, 4, gf::cauchy_generator(8, 4), "x");
+  const EncodePlan plan = codec.encode_plan(1024, kCost);
+  const PlanStats st = AnalyzePlan(plan);
+  EXPECT_GT(st.repeat_load_fraction(), 0.3)
+      << "XOR schedules re-read data sub-rows per parity row";
+  EXPECT_GT(st.stores_cached, 0u) << "temporaries use cached stores";
+}
+
+TEST(PlanStats, FormatMentionsKeyNumbers) {
+  const IsalCodec codec(4, 2);
+  const EncodePlan plan = codec.encode_plan(1024, kCost);
+  const std::string text = FormatPlanStats(plan, AnalyzePlan(plan));
+  EXPECT_NE(text.find("4 data + 2 parity"), std::string::npos);
+  EXPECT_NE(text.find("loads:"), std::string::npos);
+  EXPECT_NE(text.find("4096 B read"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ec

@@ -1,0 +1,302 @@
+// Properties of the plan builder: op counts, coverage, shuffle
+// bijection, prefetch-distance semantics, XPLine widening — the plan IS
+// the access pattern the simulator times, so these properties gate
+// every figure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ec/isal.h"
+#include "simmem/config.h"
+
+namespace ec {
+namespace {
+
+const simmem::ComputeCost kCost{};
+
+std::vector<PlanOp> OpsOfKind(const EncodePlan& p, PlanOp::Kind k) {
+  std::vector<PlanOp> out;
+  for (const PlanOp& op : p.ops)
+    if (op.kind == k) out.push_back(op);
+  return out;
+}
+
+class PlanShapeTest : public ::testing::TestWithParam<
+                          std::tuple<std::size_t, std::size_t, std::size_t>> {
+};
+
+TEST_P(PlanShapeTest, LoadsEveryDataLineExactlyOnce) {
+  const auto [k, m, bs] = GetParam();
+  const IsalCodec codec(k, m);
+  const EncodePlan plan = codec.encode_plan(bs, kCost);
+  std::map<std::pair<std::uint16_t, std::uint32_t>, int> seen;
+  for (const PlanOp& op : OpsOfKind(plan, PlanOp::Kind::kLoad)) {
+    ++seen[{op.block, op.offset}];
+  }
+  EXPECT_EQ(seen.size(), k * bs / simmem::kCacheLineBytes);
+  for (const auto& [key, count] : seen) {
+    EXPECT_EQ(count, 1);
+    EXPECT_LT(key.first, k);
+    EXPECT_LT(key.second, bs);
+    EXPECT_EQ(key.second % simmem::kCacheLineBytes, 0u);
+  }
+}
+
+TEST_P(PlanShapeTest, StoresEveryParityLineExactlyOnce) {
+  const auto [k, m, bs] = GetParam();
+  const IsalCodec codec(k, m);
+  const EncodePlan plan = codec.encode_plan(bs, kCost);
+  std::map<std::pair<std::uint16_t, std::uint32_t>, int> seen;
+  for (const PlanOp& op : OpsOfKind(plan, PlanOp::Kind::kStore)) {
+    ++seen[{op.block, op.offset}];
+  }
+  EXPECT_EQ(seen.size(), m * bs / simmem::kCacheLineBytes);
+  for (const auto& [key, count] : seen) {
+    EXPECT_EQ(count, 1);
+    EXPECT_GE(key.first, k);
+    EXPECT_LT(key.first, k + m);
+  }
+}
+
+TEST_P(PlanShapeTest, ComputeChargedPerLoadedLine) {
+  const auto [k, m, bs] = GetParam();
+  const IsalCodec codec(k, m);
+  const EncodePlan plan = codec.encode_plan(bs, kCost);
+  const std::size_t lines = k * bs / simmem::kCacheLineBytes;
+  const double expect =
+      lines * (kCost.per_line_overhead_cycles +
+               m * kCost.avx512_cycles_per_line_parity);
+  EXPECT_NEAR(plan.total_compute_cycles(), expect, 1e-6);
+}
+
+TEST_P(PlanShapeTest, RowInterleavedOrder) {
+  // Stock ISA-L: the k loads of row r come before any load of row r+1.
+  const auto [k, m, bs] = GetParam();
+  const IsalCodec codec(k, m);
+  const EncodePlan plan = codec.encode_plan(bs, kCost);
+  std::uint32_t current_offset = 0;
+  std::size_t in_row = 0;
+  for (const PlanOp& op : OpsOfKind(plan, PlanOp::Kind::kLoad)) {
+    if (in_row == k) {
+      in_row = 0;
+      current_offset += simmem::kCacheLineBytes;
+    }
+    EXPECT_EQ(op.offset, current_offset);
+    ++in_row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlanShapeTest,
+    ::testing::Values(std::make_tuple(4, 2, 256),
+                      std::make_tuple(12, 4, 1024),
+                      std::make_tuple(28, 24, 1024),
+                      std::make_tuple(48, 4, 4096),
+                      std::make_tuple(12, 4, 5120)));
+
+TEST(ShuffledOrder, IsBijection) {
+  for (const std::size_t rows : {4u, 16u, 64u, 80u, 128u}) {
+    const auto order = ShuffledRowOrder(rows);
+    ASSERT_EQ(order.size(), rows);
+    std::set<std::size_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), rows);
+    EXPECT_EQ(*unique.begin(), 0u);
+    EXPECT_EQ(*unique.rbegin(), rows - 1);
+  }
+}
+
+TEST(ShuffledOrder, NeverStepsPlusOne) {
+  for (const std::size_t rows : {8u, 16u, 64u, 128u}) {
+    const auto order = ShuffledRowOrder(rows);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      EXPECT_NE(order[i], order[i - 1] + 1)
+          << "rows=" << rows << " at i=" << i
+          << ": +1 delta would train the streamer";
+    }
+  }
+}
+
+TEST(PlanOptions, ShufflePreservesCoverage) {
+  const IsalCodec codec(12, 4);
+  IsalPlanOptions opts;
+  opts.shuffle_rows = true;
+  const EncodePlan plan = codec.encode_plan_with(1024, kCost, opts);
+  const EncodePlan plain = codec.encode_plan(1024, kCost);
+  // Same multiset of loads/stores, different order.
+  auto key_set = [](const EncodePlan& p, PlanOp::Kind k) {
+    std::multiset<std::pair<std::uint16_t, std::uint32_t>> s;
+    for (const PlanOp& op : p.ops)
+      if (op.kind == k) s.insert({op.block, op.offset});
+    return s;
+  };
+  EXPECT_EQ(key_set(plan, PlanOp::Kind::kLoad),
+            key_set(plain, PlanOp::Kind::kLoad));
+  EXPECT_EQ(key_set(plan, PlanOp::Kind::kStore),
+            key_set(plain, PlanOp::Kind::kStore));
+}
+
+TEST(PlanOptions, PrefetchTargetsLeadLoadsByDistance) {
+  const std::size_t k = 4, bs = 1024, d = 7;
+  const IsalCodec codec(k, 2);
+  IsalPlanOptions opts;
+  opts.prefetch_distance = d;
+  const EncodePlan plan = codec.encode_plan_with(bs, kCost, opts);
+
+  // Reconstruct the load task order and check: the i-th prefetch (which
+  // precedes the i-th load) targets the (i+d)-th load's line.
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> loads;
+  for (const PlanOp& op : plan.ops)
+    if (op.kind == PlanOp::Kind::kLoad) loads.push_back({op.block, op.offset});
+
+  std::size_t li = 0;
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind == PlanOp::Kind::kPrefetch) {
+      ASSERT_LT(li + d, loads.size());
+      EXPECT_EQ(op.block, loads[li + d].first);
+      EXPECT_EQ(op.offset, loads[li + d].second);
+    } else if (op.kind == PlanOp::Kind::kLoad) {
+      ++li;
+    }
+  }
+}
+
+TEST(PlanOptions, PrefetchCountSkipsTail) {
+  const std::size_t k = 4, bs = 1024, d = 10;
+  const IsalCodec codec(k, 2);
+  IsalPlanOptions opts;
+  opts.prefetch_distance = d;
+  const EncodePlan plan = codec.encode_plan_with(bs, kCost, opts);
+  const std::size_t loads = plan.count(PlanOp::Kind::kLoad);
+  EXPECT_EQ(plan.count(PlanOp::Kind::kPrefetch), loads - d)
+      << "tail tasks revert to the plain kernel";
+}
+
+TEST(PlanOptions, EveryLinePrefetchedOnceUnderSplitDistances) {
+  const IsalCodec codec(8, 2);
+  IsalPlanOptions opts;
+  opts.prefetch_distance = 8;
+  opts.xpline_first_distance = 12;
+  const EncodePlan plan = codec.encode_plan_with(2048, kCost, opts);
+  std::map<std::pair<std::uint16_t, std::uint32_t>, int> pf;
+  for (const PlanOp& op : plan.ops)
+    if (op.kind == PlanOp::Kind::kPrefetch) ++pf[{op.block, op.offset}];
+  for (const auto& [key, n] : pf) {
+    EXPECT_EQ(n, 1) << "line prefetched " << n << " times";
+  }
+  EXPECT_GT(pf.size(), 0u);
+}
+
+TEST(PlanOptions, SplitDistancesClassifyByXpLine) {
+  const std::size_t d = 6, d_first = 10;
+  const IsalCodec codec(4, 2);
+  IsalPlanOptions opts;
+  opts.prefetch_distance = d;
+  opts.xpline_first_distance = d_first;
+  const EncodePlan plan = codec.encode_plan_with(1024, kCost, opts);
+
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> loads;
+  for (const PlanOp& op : plan.ops)
+    if (op.kind == PlanOp::Kind::kLoad) loads.push_back({op.block, op.offset});
+  std::map<std::pair<std::uint16_t, std::uint32_t>, std::size_t> load_index;
+  for (std::size_t i = 0; i < loads.size(); ++i) load_index[loads[i]] = i;
+
+  std::size_t li = 0;
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind == PlanOp::Kind::kPrefetch) {
+      const std::size_t target = load_index.at({op.block, op.offset});
+      const bool opens = op.offset % simmem::kXpLineBytes == 0;
+      EXPECT_EQ(target - li, opens ? d_first : d)
+          << "offset=" << op.offset;
+    } else if (op.kind == PlanOp::Kind::kLoad) {
+      ++li;
+    }
+  }
+}
+
+TEST(PlanOptions, TailOffsetRestrictsPrefetchTargets) {
+  const IsalCodec codec(4, 2);
+  IsalPlanOptions opts;
+  opts.prefetch_distance = 6;
+  opts.prefetch_tail_offset = 4096;  // 5 KiB block: prefetch last 1 KiB
+  const EncodePlan plan = codec.encode_plan_with(5120, kCost, opts);
+  std::size_t prefetches = 0;
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind != PlanOp::Kind::kPrefetch) continue;
+    EXPECT_GE(op.offset, 4096u);
+    ++prefetches;
+  }
+  EXPECT_GT(prefetches, 0u);
+  // Only the 1 KiB tail's lines are prefetched.
+  EXPECT_LE(prefetches, 4u * 1024u / 64u);
+}
+
+TEST(PlanOptions, WidenToXpLineGroupsFourRowsPerBlock) {
+  const std::size_t k = 3, bs = 1024;
+  const IsalCodec codec(k, 2);
+  IsalPlanOptions opts;
+  opts.widen_to_xpline = true;
+  const EncodePlan plan = codec.encode_plan_with(bs, kCost, opts);
+  // Load order: 4 consecutive rows of block 0, then 4 of block 1, ...
+  std::vector<PlanOp> loads = OpsOfKind(plan, PlanOp::Kind::kLoad);
+  ASSERT_EQ(loads.size(), k * bs / 64);
+  for (std::size_t i = 0; i < loads.size(); i += 4) {
+    for (std::size_t j = 1; j < 4; ++j) {
+      EXPECT_EQ(loads[i + j].block, loads[i].block);
+      EXPECT_EQ(loads[i + j].offset, loads[i].offset + j * 64);
+    }
+    EXPECT_EQ(loads[i].offset % simmem::kXpLineBytes, 0u);
+  }
+}
+
+TEST(PlanOptions, NaivePrefetchPenaltyChargesExtraCycles) {
+  const IsalCodec codec(4, 2);
+  IsalPlanOptions cheap;
+  cheap.prefetch_distance = 6;
+  IsalPlanOptions pricey = cheap;
+  pricey.naive_prefetch_penalty_cycles = 14.0;
+  const EncodePlan a = codec.encode_plan_with(1024, kCost, cheap);
+  const EncodePlan b = codec.encode_plan_with(1024, kCost, pricey);
+  const std::size_t prefetches = a.count(PlanOp::Kind::kPrefetch);
+  EXPECT_NEAR(b.total_compute_cycles() - a.total_compute_cycles(),
+              14.0 * prefetches, 1e-6);
+}
+
+TEST(DecodePlan, LoadsSurvivorsStoresErased) {
+  const std::size_t k = 6, m = 3, bs = 512;
+  const IsalCodec codec(k, m);
+  const std::vector<std::size_t> erasures{1, 4};
+  const EncodePlan plan = codec.decode_plan(bs, kCost, erasures);
+
+  std::set<std::uint16_t> load_blocks, store_blocks;
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind == PlanOp::Kind::kLoad) load_blocks.insert(op.block);
+    if (op.kind == PlanOp::Kind::kStore) store_blocks.insert(op.block);
+  }
+  EXPECT_EQ(load_blocks.size(), k) << "decode reads exactly k survivors";
+  EXPECT_EQ(load_blocks.count(1), 0u);
+  EXPECT_EQ(load_blocks.count(4), 0u);
+  EXPECT_EQ(store_blocks, std::set<std::uint16_t>({1, 4}));
+}
+
+TEST(EncodePlan, EndsWithPersistenceFence) {
+  const IsalCodec codec(4, 2);
+  const EncodePlan plan = codec.encode_plan(1024, kCost);
+  ASSERT_FALSE(plan.ops.empty());
+  EXPECT_EQ(plan.ops.back().kind, PlanOp::Kind::kFence);
+  EXPECT_EQ(plan.count(PlanOp::Kind::kFence), 1u);
+}
+
+TEST(EncodePlan, CountersAndDataBytes) {
+  const IsalCodec codec(4, 2);
+  const EncodePlan plan = codec.encode_plan(1024, kCost);
+  EXPECT_EQ(plan.data_bytes(), 4u * 1024u);
+  EXPECT_EQ(plan.count(PlanOp::Kind::kLoad), 4u * 16u);
+  EXPECT_EQ(plan.count(PlanOp::Kind::kStore), 2u * 16u);
+  EXPECT_EQ(plan.count(PlanOp::Kind::kPrefetch), 0u);
+  EXPECT_EQ(plan.num_slots(), 6u);
+}
+
+}  // namespace
+}  // namespace ec

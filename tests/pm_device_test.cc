@@ -1,0 +1,172 @@
+#include "simmem/pm_device.h"
+
+#include <gtest/gtest.h>
+
+#include "simmem/address_space.h"
+
+namespace simmem {
+namespace {
+
+PmConfig TestCfg() {
+  PmConfig cfg;
+  cfg.channels = 2;
+  cfg.read_buffer_bytes_per_channel = 4 * kXpLineBytes;  // 4 XPLines each
+  cfg.buffer_hit_latency_ns = 100.0;
+  cfg.media_latency_ns = 300.0;
+  cfg.media_read_gbps_per_channel = 1.0;  // 256 B -> 256 ns service
+  cfg.interleave_bytes = 4096;
+  return cfg;
+}
+
+TEST(PmDevice, MissPaysMediaLatencyAndTraffic) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  const double done = dev.read(0, 0.0);
+  EXPECT_DOUBLE_EQ(done, 300.0);
+  EXPECT_EQ(pmu.pm_buffer_misses, 1u);
+  EXPECT_EQ(pmu.pm_media_read_bytes, kXpLineBytes);
+}
+
+TEST(PmDevice, ImplicitLoadServesWholeXpLine) {
+  // A 64 B miss pulls the 256 B XPLine: the other three lines hit the
+  // buffer at buffer latency with no extra media traffic.
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  dev.read(0, 0.0);
+  for (const std::uint64_t off : {64u, 128u, 192u}) {
+    const double done = dev.read(off, 1000.0);
+    EXPECT_DOUBLE_EQ(done, 1100.0) << "off=" << off;
+  }
+  EXPECT_EQ(pmu.pm_media_read_bytes, kXpLineBytes);
+  EXPECT_EQ(pmu.pm_buffer_hits, 3u);
+}
+
+TEST(PmDevice, BufferHitBeforeFillCompletesWaitsResidual) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  dev.read(0, 0.0);                       // XPLine ready at 300
+  const double done = dev.read(64, 50.0); // hit on the in-flight fill
+  EXPECT_DOUBLE_EQ(done, 400.0);          // max(50, 300) + 100
+}
+
+TEST(PmDevice, LruEvictionAndWastedFillAccounting) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  // Fill channel 0's buffer (4 XPLines) without re-touching any line.
+  for (std::uint64_t i = 0; i < 4; ++i) dev.read(i * kXpLineBytes, 0.0);
+  EXPECT_EQ(dev.buffer_lines(0), 4u);
+  // Fifth distinct XPLine evicts the LRU one whose only access was the
+  // triggering read: a wasted fill (Observation 5's thrashing).
+  dev.read(4 * kXpLineBytes, 0.0);
+  EXPECT_EQ(dev.buffer_lines(0), 4u);
+  EXPECT_EQ(pmu.pm_buffer_wasted_fills, 1u);
+}
+
+TEST(PmDevice, ReaccessedFillIsNotWasted) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  dev.read(0, 0.0);
+  dev.read(64, 500.0);  // second access to XPLine 0
+  for (std::uint64_t i = 1; i < 5; ++i) dev.read(i * kXpLineBytes, 1000.0);
+  EXPECT_EQ(pmu.pm_buffer_wasted_fills, 0u);
+}
+
+TEST(PmDevice, ChannelInterleaveSplitsTraffic) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  dev.read(0, 0.0);     // page 0 -> channel 0
+  dev.read(4096, 0.0);  // page 1 -> channel 1
+  EXPECT_EQ(dev.buffer_lines(0), 1u);
+  EXPECT_EQ(dev.buffer_lines(1), 1u);
+}
+
+TEST(PmDevice, BandwidthQueueingDelaysBackToBackMisses) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  // Two misses on the same channel at t=0: the second queues behind the
+  // first 256 ns transfer.
+  const double first = dev.read(0, 0.0);
+  const double second = dev.read(kXpLineBytes, 0.0);
+  EXPECT_DOUBLE_EQ(first, 300.0);
+  EXPECT_DOUBLE_EQ(second, 256.0 + 300.0);
+}
+
+TEST(PmDevice, IndependentChannelsDoNotQueue) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  const double a = dev.read(0, 0.0);
+  const double b = dev.read(4096, 0.0);  // other channel
+  EXPECT_DOUBLE_EQ(a, 300.0);
+  EXPECT_DOUBLE_EQ(b, 300.0);
+}
+
+TEST(PmDevice, WriteInvalidatesBufferedLine) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  dev.read(0, 0.0);
+  EXPECT_EQ(dev.buffer_lines(0), 1u);
+  dev.write(0, 1000.0);
+  EXPECT_EQ(dev.buffer_lines(0), 0u);
+  // Next read misses again.
+  dev.read(64, 2000.0);
+  EXPECT_EQ(pmu.pm_buffer_misses, 2u);
+}
+
+TEST(PmDevice, ResetClearsState) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  dev.read(0, 0.0);
+  dev.reset();
+  EXPECT_EQ(dev.buffer_lines(0), 0u);
+  const double done = dev.read(64, 0.0);  // cold again, no queueing
+  EXPECT_DOUBLE_EQ(done, 300.0);
+}
+
+TEST(PmDevice, SequentialWritesCoalescePerfectly) {
+  PmuCounters pmu;
+  PmConfig cfg = TestCfg();
+  cfg.write_buffer_bytes_per_channel = 4 * kXpLineBytes;
+  PmDevice dev(cfg, &pmu);
+  // Fill 4 XPLines densely (16 x 64 B), then overflow with 2 more to
+  // force flushes of fully-dirty entries.
+  for (std::uint64_t i = 0; i < 24; ++i) dev.write(i * kCacheLineBytes, 0.0);
+  EXPECT_EQ(pmu.pm_write_bytes, 24 * kCacheLineBytes);
+  EXPECT_EQ(pmu.pm_media_write_bytes, 2 * kXpLineBytes);
+  EXPECT_EQ(pmu.pm_wc_partial_flushes, 0u)
+      << "dense sequential writes must flush full XPLines";
+}
+
+TEST(PmDevice, ScatteredWritesAmplify) {
+  PmuCounters pmu;
+  PmConfig cfg = TestCfg();
+  cfg.write_buffer_bytes_per_channel = 4 * kXpLineBytes;
+  PmDevice dev(cfg, &pmu);
+  // One 64 B write per distinct XPLine: every flush is 3/4 wasted.
+  for (std::uint64_t i = 0; i < 8; ++i) dev.write(i * kXpLineBytes, 0.0);
+  EXPECT_EQ(pmu.pm_media_write_bytes, 4 * kXpLineBytes);  // 4 flushed so far
+  EXPECT_EQ(pmu.pm_wc_partial_flushes, 4u);
+  dev.flush_writes(0.0);
+  EXPECT_EQ(pmu.pm_media_write_bytes, 8 * kXpLineBytes);
+  EXPECT_EQ(pmu.pm_wc_partial_flushes, 8u);
+  EXPECT_DOUBLE_EQ(pmu.media_write_amplification(), 4.0);
+}
+
+TEST(PmDevice, FlushWritesDrainsEverything) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  dev.write(0, 0.0);
+  dev.write(4096, 0.0);  // other channel
+  dev.flush_writes(10.0);
+  EXPECT_EQ(pmu.pm_media_write_bytes, 2 * kXpLineBytes);
+  dev.flush_writes(20.0);  // idempotent
+  EXPECT_EQ(pmu.pm_media_write_bytes, 2 * kXpLineBytes);
+}
+
+TEST(PmDevice, CapacityFromConfig) {
+  PmuCounters pmu;
+  PmDevice dev(TestCfg(), &pmu);
+  EXPECT_EQ(dev.buffer_capacity_lines(), 4u);
+}
+
+}  // namespace
+}  // namespace simmem

@@ -1,0 +1,141 @@
+#include "pmpool/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace pmpool {
+namespace {
+
+std::vector<std::byte> RandomBytes(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng());
+  return v;
+}
+
+TEST(Pool, PutGetRoundTrip) {
+  Pool pool;
+  const auto small = RandomBytes(100, 1);
+  const auto exact = RandomBytes(pool.config().stripe_payload(), 2);
+  const auto big = RandomBytes(3 * pool.config().stripe_payload() + 7, 3);
+  const auto id1 = pool.put(small);
+  const auto id2 = pool.put(exact);
+  const auto id3 = pool.put(big);
+  EXPECT_EQ(pool.get(id1), small);
+  EXPECT_EQ(pool.get(id2), exact);
+  EXPECT_EQ(pool.get(id3), big);
+  EXPECT_FALSE(pool.get(999).has_value());
+}
+
+TEST(Pool, StatsTrackUsage) {
+  PoolConfig cfg;
+  cfg.k = 4;
+  cfg.m = 2;
+  cfg.block_size = 256;
+  Pool pool(cfg);
+  pool.put(RandomBytes(1000, 4));  // 1000 B -> 1 stripe (1024 payload)
+  pool.put(RandomBytes(1100, 5));  // -> 2 stripes
+  const PoolStats st = pool.stats();
+  EXPECT_EQ(st.objects, 2u);
+  EXPECT_EQ(st.stripes, 3u);
+  EXPECT_EQ(st.payload_bytes, 2100u);
+  EXPECT_EQ(st.pm_bytes, 3u * 6u * 256u);
+  EXPECT_GT(st.storage_overhead(), 1.5);  // (k+m)/k = 1.5 plus padding
+}
+
+TEST(Pool, ScrubRepairsWithinTolerance) {
+  PoolConfig cfg;
+  cfg.k = 6;
+  cfg.m = 2;
+  cfg.block_size = 512;
+  Pool pool(cfg);
+  const auto value = RandomBytes(2 * cfg.stripe_payload(), 6);
+  const auto id = pool.put(value);
+
+  pool.inject_fault(id, 0, 1, 100);   // data block, stripe 0
+  pool.inject_fault(id, 0, 7, 0);     // parity block, stripe 0
+  pool.inject_fault(id, 1, 3, 511);   // data block, stripe 1
+
+  const ScrubReport report = pool.scrub();
+  EXPECT_EQ(report.blocks_damaged, 3u);
+  EXPECT_EQ(report.blocks_repaired, 3u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.objects_lost, 0u);
+  EXPECT_EQ(pool.get(id), value);
+
+  // A second scrub finds nothing.
+  const ScrubReport again = pool.scrub();
+  EXPECT_EQ(again.blocks_damaged, 0u);
+}
+
+TEST(Pool, ScrubReportsLossBeyondTolerance) {
+  PoolConfig cfg;
+  cfg.k = 4;
+  cfg.m = 2;
+  cfg.block_size = 256;
+  Pool pool(cfg);
+  const auto id = pool.put(RandomBytes(500, 7));
+  pool.inject_fault(id, 0, 0, 1);
+  pool.inject_fault(id, 0, 1, 1);
+  pool.inject_fault(id, 0, 2, 1);
+  const ScrubReport report = pool.scrub();
+  EXPECT_EQ(report.blocks_damaged, 3u);
+  EXPECT_EQ(report.blocks_repaired, 0u);
+  EXPECT_EQ(report.objects_lost, 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(Pool, UpdateRewritesRangeAndParity) {
+  PoolConfig cfg;
+  cfg.k = 4;
+  cfg.m = 2;
+  cfg.block_size = 512;
+  Pool pool(cfg);
+  auto value = RandomBytes(2 * cfg.stripe_payload(), 8);
+  const auto id = pool.put(value);
+
+  // Overwrite a range spanning a block boundary and a stripe boundary.
+  const auto patch = RandomBytes(1500, 9);
+  const std::size_t at = cfg.stripe_payload() - 700;
+  ASSERT_TRUE(pool.update(id, at, patch));
+  std::copy(patch.begin(), patch.end(), value.begin() + at);
+  EXPECT_EQ(pool.get(id), value);
+
+  // Parity must still be consistent: damage the updated region's data
+  // block and scrub-repair it back to the NEW contents.
+  pool.inject_fault(id, 1, 0, 10);
+  EXPECT_TRUE(pool.scrub().clean());
+  EXPECT_EQ(pool.get(id), value);
+}
+
+TEST(Pool, UpdateRejectsOutOfRange) {
+  Pool pool;
+  const auto id = pool.put(RandomBytes(100, 10));
+  const auto patch = RandomBytes(10, 11);
+  EXPECT_FALSE(pool.update(id, 95, patch));  // would grow the object
+  EXPECT_FALSE(pool.update(id + 1, 0, patch));
+  EXPECT_TRUE(pool.update(id, 90, patch));
+}
+
+TEST(Pool, ManyObjectsIndependent) {
+  PoolConfig cfg;
+  cfg.k = 4;
+  cfg.m = 2;
+  cfg.block_size = 256;
+  Pool pool(cfg);
+  std::vector<std::pair<Pool::ObjectId, std::vector<std::byte>>> stored;
+  for (int i = 0; i < 32; ++i) {
+    auto v = RandomBytes(50 + i * 37, 100 + i);
+    stored.emplace_back(pool.put(v), std::move(v));
+  }
+  // Damage one object; others must be untouched.
+  pool.inject_fault(stored[10].first, 0, 2, 5);
+  ASSERT_TRUE(pool.scrub().clean());
+  for (const auto& [id, v] : stored) {
+    EXPECT_EQ(pool.get(id), v) << "object " << id;
+  }
+}
+
+}  // namespace
+}  // namespace pmpool

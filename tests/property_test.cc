@@ -1,0 +1,238 @@
+// Cross-cutting property sweeps: every codec must round-trip every
+// random erasure pattern at every shape; plans must keep their
+// structural invariants under every option combination; and the
+// simulator must respond monotonically to its physical knobs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "bench_util/runner.h"
+#include "dialga/dialga.h"
+#include "ec/isal.h"
+#include "ec/isal_decompose.h"
+#include "ec/xor_codec.h"
+
+namespace {
+
+enum class Kind { kIsal, kIsalVandermonde, kIsalD, kZerasure, kCerasure,
+                  kDialga };
+
+std::unique_ptr<ec::Codec> Make(Kind kind, std::size_t k, std::size_t m) {
+  switch (kind) {
+    case Kind::kIsal:
+      return std::make_unique<ec::IsalCodec>(k, m);
+    case Kind::kIsalVandermonde:
+      return std::make_unique<ec::IsalCodec>(k, m, ec::SimdWidth::kAvx512,
+                                             ec::GeneratorKind::kVandermonde);
+    case Kind::kIsalD:
+      return std::make_unique<ec::IsalDecomposeCodec>(k, m, 5);
+    case Kind::kZerasure:
+      return ec::MakeZerasure(k, m, 4);
+    case Kind::kCerasure:
+      return ec::MakeCerasure(k, m, 5);
+    case Kind::kDialga:
+      return std::make_unique<dialga::DialgaCodec>(k, m);
+  }
+  return nullptr;
+}
+
+class CodecPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, std::pair<std::size_t, std::size_t>>> {};
+
+TEST_P(CodecPropertyTest, RandomErasurePatternsRoundTrip) {
+  const auto [kind_int, shape] = GetParam();
+  const auto [k, m] = shape;
+  const auto codec = Make(static_cast<Kind>(kind_int), k, m);
+  ASSERT_NE(codec, nullptr);
+  const std::size_t bs = 512;
+
+  std::mt19937_64 rng(k * 1000 + m);
+  std::vector<std::vector<std::byte>> blocks(k + m,
+                                             std::vector<std::byte>(bs));
+  for (std::size_t i = 0; i < k; ++i)
+    for (auto& b : blocks[i]) b = static_cast<std::byte>(rng());
+  std::vector<const std::byte*> data;
+  std::vector<std::byte*> parity, all;
+  for (std::size_t i = 0; i < k; ++i) data.push_back(blocks[i].data());
+  for (std::size_t j = 0; j < m; ++j) parity.push_back(blocks[k + j].data());
+  for (auto& b : blocks) all.push_back(b.data());
+
+  codec->encode(bs, data, parity);
+  const auto golden = blocks;
+
+  for (int trial = 0; trial < 8; ++trial) {
+    // Random erasure count in [1, m], random pattern.
+    std::vector<std::size_t> idx(k + m);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::shuffle(idx.begin(), idx.end(), rng);
+    const std::size_t count = 1 + rng() % m;
+    std::vector<std::size_t> erasures(idx.begin(), idx.begin() + count);
+    for (const std::size_t e : erasures)
+      std::fill(blocks[e].begin(), blocks[e].end(), std::byte{0xCC});
+    ASSERT_TRUE(codec->decode(bs, all, erasures))
+        << codec->name() << " trial " << trial;
+    ASSERT_EQ(blocks, golden) << codec->name() << " trial " << trial;
+  }
+}
+
+TEST_P(CodecPropertyTest, PlanStructuralInvariants) {
+  const auto [kind_int, shape] = GetParam();
+  const auto [k, m] = shape;
+  const auto codec = Make(static_cast<Kind>(kind_int), k, m);
+  ASSERT_NE(codec, nullptr);
+  const simmem::ComputeCost cost{};
+
+  for (const std::size_t bs : {256u, 1024u, 4096u}) {
+    const ec::EncodePlan plan = codec->encode_plan(bs, cost);
+    EXPECT_EQ(plan.block_size, bs);
+    EXPECT_EQ(plan.num_data, k);
+    EXPECT_GE(plan.num_parity, m);
+    EXPECT_EQ(plan.data_bytes(), k * bs);
+    // Every non-compute op stays inside the declared slot space and
+    // block bounds.
+    for (const ec::PlanOp& op : plan.ops) {
+      if (op.kind == ec::PlanOp::Kind::kCompute) continue;
+      EXPECT_LT(op.block, plan.num_slots());
+      EXPECT_LT(op.offset, bs);
+    }
+    // Encoding must read every data line at least once and cover every
+    // parity line with NT stores (XOR codecs may store sub-line
+    // packets, so per-line counts can exceed one).
+    std::map<std::pair<std::uint16_t, std::uint32_t>, int> loads, stores;
+    for (const ec::PlanOp& op : plan.ops) {
+      if (op.kind == ec::PlanOp::Kind::kLoad && op.block < k)
+        ++loads[{op.block, op.offset / 64 * 64}];
+      if (op.kind == ec::PlanOp::Kind::kStore && op.block >= k &&
+          op.block < k + plan.num_parity)
+        ++stores[{op.block, op.offset / 64 * 64}];
+    }
+    EXPECT_EQ(loads.size(), k * bs / 64) << codec->name();
+    EXPECT_EQ(stores.size(), plan.num_parity * bs / 64) << codec->name();
+    EXPECT_GT(plan.total_compute_cycles(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(static_cast<int>(Kind::kIsal),
+                          static_cast<int>(Kind::kIsalVandermonde),
+                          static_cast<int>(Kind::kIsalD),
+                          static_cast<int>(Kind::kZerasure),
+                          static_cast<int>(Kind::kCerasure),
+                          static_cast<int>(Kind::kDialga)),
+        ::testing::Values(std::pair<std::size_t, std::size_t>{4, 2},
+                          std::pair<std::size_t, std::size_t>{9, 3},
+                          std::pair<std::size_t, std::size_t>{12, 4})));
+
+// ---------------------------------------------------------------------
+// Simulator monotonicity: physical knobs must move throughput the
+// obvious direction.
+// ---------------------------------------------------------------------
+
+double EncodeGbps(const simmem::SimConfig& cfg, std::size_t threads = 1,
+                  std::size_t bs = 1024) {
+  bench_util::WorkloadConfig wl;
+  wl.k = 12;
+  wl.m = 4;
+  wl.block_size = bs;
+  wl.threads = threads;
+  wl.total_data_bytes = (4 + 2 * threads) << 20;
+  const ec::IsalCodec codec(12, 4);
+  return bench_util::RunEncode(cfg, wl, codec).gbps;
+}
+
+TEST(SimMonotonicity, SlowerMediaIsSlower) {
+  simmem::SimConfig fast, slow;
+  slow.pm.media_latency_ns *= 2.0;
+  EXPECT_GT(EncodeGbps(fast), EncodeGbps(slow));
+}
+
+TEST(SimMonotonicity, SlowerBufferIsSlower) {
+  simmem::SimConfig fast, slow;
+  slow.pm.buffer_hit_latency_ns *= 2.0;
+  EXPECT_GT(EncodeGbps(fast), EncodeGbps(slow));
+}
+
+TEST(SimMonotonicity, HigherFrequencyIsFasterOnDram) {
+  simmem::SimConfig lo, hi;
+  lo.cpu_freq_ghz = 1.0;
+  hi.cpu_freq_ghz = 3.3;
+  bench_util::WorkloadConfig wl;
+  wl.k = 12;
+  wl.m = 4;
+  wl.block_size = 1024;
+  wl.total_data_bytes = 4 << 20;
+  wl.data_kind = simmem::MemKind::kDram;
+  wl.parity_kind = simmem::MemKind::kDram;
+  const ec::IsalCodec codec(12, 4);
+  EXPECT_GT(bench_util::RunEncode(hi, wl, codec).gbps,
+            bench_util::RunEncode(lo, wl, codec).gbps);
+}
+
+TEST(SimMonotonicity, FrequencyMattersLessOnPm) {
+  // Observation 2: PM encode gains less from frequency than DRAM.
+  auto gain = [](simmem::MemKind kind) {
+    simmem::SimConfig lo, hi;
+    lo.cpu_freq_ghz = 1.0;
+    hi.cpu_freq_ghz = 3.3;
+    bench_util::WorkloadConfig wl;
+    wl.k = 12;
+    wl.m = 4;
+    wl.block_size = 1024;
+    wl.total_data_bytes = 4 << 20;
+    wl.data_kind = kind;
+    wl.parity_kind = kind;
+    const ec::IsalCodec codec(12, 4);
+    return bench_util::RunEncode(hi, wl, codec).gbps /
+           bench_util::RunEncode(lo, wl, codec).gbps;
+  };
+  EXPECT_GT(gain(simmem::MemKind::kDram), gain(simmem::MemKind::kPm));
+}
+
+TEST(SimMonotonicity, ThreadsScaleUntilSaturation) {
+  const simmem::SimConfig cfg;
+  EXPECT_GT(EncodeGbps(cfg, 4), EncodeGbps(cfg, 1) * 2.0);
+}
+
+TEST(SimMonotonicity, PrefetcherHelpsLargeBlocksOnly) {
+  // Observation 4's boundary, as a regression test on the calibration.
+  const simmem::SimConfig cfg;
+  bench_util::WorkloadConfig wl;
+  wl.k = 12;
+  wl.m = 4;
+  wl.total_data_bytes = 8 << 20;
+  const ec::IsalCodec codec(12, 4);
+
+  wl.block_size = 512;
+  const double small_on = bench_util::RunEncode(cfg, wl, codec, true).gbps;
+  const double small_off = bench_util::RunEncode(cfg, wl, codec, false).gbps;
+  EXPECT_NEAR(small_on / small_off, 1.0, 0.05)
+      << "512 B blocks must see no prefetcher effect";
+
+  wl.block_size = 4096;
+  const double big_on = bench_util::RunEncode(cfg, wl, codec, true).gbps;
+  const double big_off = bench_util::RunEncode(cfg, wl, codec, false).gbps;
+  EXPECT_GT(big_on / big_off, 1.5)
+      << "4 KiB blocks must benefit strongly from the prefetcher";
+}
+
+TEST(SimMonotonicity, MoreParityMeansSlowerEncode) {
+  const simmem::SimConfig cfg;
+  bench_util::WorkloadConfig wl;
+  wl.k = 12;
+  wl.block_size = 1024;
+  wl.total_data_bytes = 4 << 20;
+  double prev = 1e9;
+  for (const std::size_t m : {2u, 4u, 8u}) {
+    wl.m = m;
+    const ec::IsalCodec codec(12, m);
+    const double gbps = bench_util::RunEncode(cfg, wl, codec).gbps;
+    EXPECT_LT(gbps, prev) << "m=" << m;
+    prev = gbps;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+#include "dialga/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace dialga {
+namespace {
+
+TEST(Registry, BuildsEveryKnownCodec) {
+  for (const std::string& name : KnownCodecs()) {
+    CodecSpec spec;
+    spec.name = name;
+    spec.k = 8;
+    spec.m = 3;
+    const auto codec = MakeCodec(spec);
+    ASSERT_NE(codec, nullptr) << name;
+    EXPECT_EQ(codec->params().k, 8u) << name;
+  }
+}
+
+TEST(Registry, AcceptsAliases) {
+  for (const std::string& alias :
+       {"isal", "ISA-L", "isa_l", "Isal", "dialga", "DIALGA"}) {
+    CodecSpec spec;
+    spec.name = alias;
+    spec.k = 4;
+    spec.m = 2;
+    EXPECT_NE(MakeCodec(spec), nullptr) << alias;
+  }
+}
+
+TEST(Registry, UnknownNameIsNull) {
+  CodecSpec spec;
+  spec.name = "jerasure";
+  EXPECT_EQ(MakeCodec(spec), nullptr);
+}
+
+TEST(Registry, ZerasureWideStripeIsNull) {
+  CodecSpec spec;
+  spec.name = "Zerasure";
+  spec.k = 48;
+  spec.m = 4;
+  EXPECT_EQ(MakeCodec(spec), nullptr);
+}
+
+TEST(Registry, SimdAndLrcParamsApply) {
+  CodecSpec spec;
+  spec.name = "LRC";
+  spec.k = 12;
+  spec.m = 2;
+  spec.l = 3;
+  spec.simd = ec::SimdWidth::kAvx256;
+  const auto codec = MakeCodec(spec);
+  ASSERT_NE(codec, nullptr);
+  EXPECT_EQ(codec->params().m, 5u);  // m global + l local
+  EXPECT_EQ(codec->simd(), ec::SimdWidth::kAvx256);
+}
+
+}  // namespace
+}  // namespace dialga

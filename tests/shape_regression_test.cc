@@ -1,0 +1,142 @@
+// Shape-regression tests: pin the paper's qualitative results as cheap
+// assertions so calibration drift is caught by ctest, not by eyeballing
+// bench output. Workloads are scaled down (4-8 MiB) — these check
+// orderings and coarse ratios, not the figures themselves.
+#include <gtest/gtest.h>
+
+#include "bench_util/runner.h"
+#include "dialga/dialga.h"
+#include "ec/isal.h"
+#include "ec/isal_decompose.h"
+#include "ec/lrc.h"
+#include "ec/xor_codec.h"
+
+namespace {
+
+using bench_util::RunEncode;
+using bench_util::RunDecode;
+using bench_util::WorkloadConfig;
+
+WorkloadConfig Wl(std::size_t k, std::size_t m, std::size_t bs,
+                  std::size_t mib = 6) {
+  WorkloadConfig wl;
+  wl.k = k;
+  wl.m = m;
+  wl.block_size = bs;
+  wl.total_data_bytes = mib << 20;
+  return wl;
+}
+
+TEST(ShapeObservation3, StreamerCliffBeyond32Streams) {
+  const simmem::SimConfig cfg;
+  const double at_32 =
+      RunEncode(cfg, Wl(32, 4, 4096), ec::IsalCodec(32, 4)).gbps;
+  const double at_40 =
+      RunEncode(cfg, Wl(40, 4, 4096), ec::IsalCodec(40, 4)).gbps;
+  EXPECT_GT(at_32, 3.0 * at_40) << "the k > 32 cliff must be dramatic";
+}
+
+TEST(ShapeObservation4, OneKbAmplificationBand) {
+  // Fig. 6: 1 KB blocks amplify media reads by roughly 23-37 % under
+  // hardware prefetching. Allow a wide band; catching gross drift is
+  // the point.
+  const simmem::SimConfig cfg;
+  const auto r = RunEncode(cfg, Wl(28, 24, 1024), ec::IsalCodec(28, 24));
+  EXPECT_GT(r.media_amplification(), 1.15);
+  EXPECT_LT(r.media_amplification(), 1.6);
+}
+
+TEST(ShapeObservation4, FourKbNoAmplification) {
+  const simmem::SimConfig cfg;
+  const auto r = RunEncode(cfg, Wl(28, 24, 4096), ec::IsalCodec(28, 24));
+  EXPECT_LT(r.media_amplification(), 1.05);
+}
+
+TEST(ShapeObservation5, HighConcurrencyThrashesBuffer) {
+  simmem::SimConfig cfg;
+  WorkloadConfig wl = Wl(28, 24, 1024, 24);
+  wl.threads = 18;
+  const auto r = RunEncode(cfg, wl, ec::IsalCodec(28, 24));
+  EXPECT_GT(r.media_amplification(), 1.8)
+      << "18 threads x 28 streams must thrash the 96 KB buffer";
+  EXPECT_GT(r.pmu.pm_buffer_wasted_fills, 10000u);
+}
+
+TEST(ShapeFig10, SystemOrderingNarrowStripe) {
+  const simmem::SimConfig cfg;
+  const auto wl = Wl(12, 4, 1024);
+  const double isal = RunEncode(cfg, wl, ec::IsalCodec(12, 4)).gbps;
+  const double isal_d =
+      RunEncode(cfg, wl, ec::IsalDecomposeCodec(12, 4)).gbps;
+  const double cerasure = RunEncode(cfg, wl, *ec::MakeCerasure(12, 4)).gbps;
+  EXPECT_GT(isal, isal_d);
+  EXPECT_GT(isal_d, cerasure);
+}
+
+TEST(ShapeFig10, WideStripeOrderingFlips) {
+  const simmem::SimConfig cfg;
+  const auto wl = Wl(48, 4, 1024);
+  const double isal = RunEncode(cfg, wl, ec::IsalCodec(48, 4)).gbps;
+  const double isal_d =
+      RunEncode(cfg, wl, ec::IsalDecomposeCodec(48, 4)).gbps;
+  EXPECT_GT(isal_d, isal)
+      << "decompose must beat plain ISA-L once the streamer dies";
+}
+
+TEST(ShapeFig14, XorDecodeCollapses) {
+  const simmem::SimConfig cfg;
+  const auto wl = Wl(12, 4, 1024);
+  const std::vector<std::size_t> erasures{0, 1, 2, 3};
+  const double isal =
+      RunDecode(cfg, wl, ec::IsalCodec(12, 4), erasures).gbps;
+  const double cerasure =
+      RunDecode(cfg, wl, *ec::MakeCerasure(12, 4), erasures).gbps;
+  EXPECT_GT(isal, 1.3 * cerasure)
+      << "table-lookup decode must dominate XOR decode";
+}
+
+TEST(ShapeFig15, Avx256HurtsWideParityMost) {
+  const simmem::SimConfig cfg;
+  const auto wl = Wl(28, 24, 1024);
+  const double wide =
+      RunEncode(cfg, wl, ec::IsalCodec(28, 24, ec::SimdWidth::kAvx512)).gbps;
+  const double narrow =
+      RunEncode(cfg, wl, ec::IsalCodec(28, 24, ec::SimdWidth::kAvx256)).gbps;
+  const double drop = 1.0 - narrow / wide;
+  EXPECT_GT(drop, 0.10);
+  EXPECT_LT(drop, 0.35);
+}
+
+TEST(ShapeFig16, LrcSlowerThanRs) {
+  const simmem::SimConfig cfg;
+  const ec::IsalCodec rs(12, 4);
+  const ec::LrcCodec lrc(12, 4, 2);
+  auto wl_rs = Wl(12, 4, 1024);
+  const double rs_gbps = RunEncode(cfg, wl_rs, rs).gbps;
+  auto wl_lrc = Wl(12, 4, 1024);
+  const double lrc_gbps = RunEncode(cfg, wl_lrc, lrc).gbps;
+  EXPECT_LT(lrc_gbps, rs_gbps)
+      << "local parities cost extra compute and stores";
+  EXPECT_GT(lrc_gbps, 0.5 * rs_gbps);
+}
+
+TEST(ShapeFig19, DialgaKillsHighPressureAmplification) {
+  simmem::SimConfig cfg;
+  WorkloadConfig wl = Wl(28, 24, 1024, 24);
+  wl.threads = 18;
+  const auto base = RunEncode(cfg, wl, ec::IsalCodec(28, 24));
+  const dialga::DialgaCodec codec(28, 24);
+  auto provider = codec.make_encode_provider({28, 24, 1024, 18}, cfg);
+  const auto ours = bench_util::RunTimed(cfg, wl, *provider);
+  EXPECT_LT(ours.media_amplification(), 0.6 * base.media_amplification());
+  EXPECT_GT(ours.gbps, base.gbps);
+}
+
+TEST(ShapeWrites, SequentialParityWritesDoNotAmplify) {
+  const simmem::SimConfig cfg;
+  const auto r = RunEncode(cfg, Wl(12, 4, 1024), ec::IsalCodec(12, 4));
+  EXPECT_NEAR(r.pmu.media_write_amplification(), 1.0, 0.05)
+      << "streamed parity blocks must coalesce in the XPBuffer";
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+#include "shard/shard_store.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+
+#include "dialga/dialga.h"
+#include "ec/isal.h"
+
+namespace shard {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ShardStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dialga_shard_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path write_input(std::size_t bytes, std::uint64_t seed) {
+    const fs::path p = dir_ / "input.bin";
+    std::mt19937_64 rng(seed);
+    std::ofstream out(p, std::ios::binary);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      const char c = static_cast<char>(rng());
+      out.write(&c, 1);
+    }
+    return p;
+  }
+
+  std::vector<char> slurp(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary | std::ios::ate);
+    std::vector<char> v(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(v.data(), static_cast<std::streamsize>(v.size()));
+    return v;
+  }
+
+  void corrupt_shard(std::size_t index, std::size_t offset) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard_%03zu", index);
+    std::fstream f(dir_ / "shards" / name,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(offset));
+    const char garbage = 0x55;
+    f.write(&garbage, 1);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ShardStoreTest, ManifestRoundTrips) {
+  Manifest mf;
+  mf.k = 8;
+  mf.m = 3;
+  mf.block_size = 4096;
+  mf.file_size = 123456;
+  mf.shard_checksums.assign(11, 42);
+  mf.shard_checksums[5] = 7;
+  const auto parsed = Manifest::parse(mf.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->k, 8u);
+  EXPECT_EQ(parsed->m, 3u);
+  EXPECT_EQ(parsed->block_size, 4096u);
+  EXPECT_EQ(parsed->file_size, 123456u);
+  EXPECT_EQ(parsed->shard_checksums, mf.shard_checksums);
+  EXPECT_EQ(parsed->stripes(), (123456 + 8 * 4096 - 1) / (8 * 4096));
+}
+
+TEST_F(ShardStoreTest, ManifestRejectsGarbage) {
+  EXPECT_FALSE(Manifest::parse("").has_value());
+  EXPECT_FALSE(Manifest::parse("not-a-manifest\n").has_value());
+  EXPECT_FALSE(Manifest::parse("dialga-shard-v1\nk 0\nm 2\nblock 64\nsize 1\n")
+                   .has_value());
+  EXPECT_FALSE(
+      Manifest::parse("dialga-shard-v1\nk 2\nm 1\nblock 64\nsize 1\n")
+          .has_value())
+      << "missing checksums";
+}
+
+TEST_F(ShardStoreTest, EncodeVerifyDecodeCleanPath) {
+  const ec::IsalCodec codec(4, 2);
+  const ShardStore store(codec, 1024);
+  const fs::path input = write_input(10000, 1);  // not stripe-aligned
+  ASSERT_TRUE(store.encode_file(input, dir_ / "shards"));
+
+  EXPECT_TRUE(store.verify(dir_ / "shards").empty());
+  ASSERT_TRUE(store.decode_file(dir_ / "shards", dir_ / "out.bin"));
+  EXPECT_EQ(slurp(input), slurp(dir_ / "out.bin"));
+}
+
+TEST_F(ShardStoreTest, DetectsCorruptShards) {
+  const ec::IsalCodec codec(4, 2);
+  const ShardStore store(codec, 1024);
+  ASSERT_TRUE(store.encode_file(write_input(8192, 2), dir_ / "shards"));
+  corrupt_shard(1, 17);
+  corrupt_shard(5, 0);
+  const auto damaged = store.verify(dir_ / "shards");
+  EXPECT_EQ(damaged, (std::vector<std::size_t>{1, 5}));
+}
+
+TEST_F(ShardStoreTest, DetectsMissingShards) {
+  const ec::IsalCodec codec(4, 2);
+  const ShardStore store(codec, 1024);
+  ASSERT_TRUE(store.encode_file(write_input(8192, 3), dir_ / "shards"));
+  fs::remove(dir_ / "shards" / "shard_002");
+  const auto damaged = store.verify(dir_ / "shards");
+  EXPECT_EQ(damaged, (std::vector<std::size_t>{2}));
+}
+
+TEST_F(ShardStoreTest, RepairsUpToMShards) {
+  const dialga::DialgaCodec codec(6, 2);
+  const ShardStore store(codec, 512);
+  ASSERT_TRUE(store.encode_file(write_input(20000, 4), dir_ / "shards"));
+  corrupt_shard(0, 100);
+  fs::remove(dir_ / "shards" / "shard_007");  // a parity shard
+
+  const RepairReport report = store.repair(dir_ / "shards");
+  EXPECT_EQ(report.damaged, (std::vector<std::size_t>{0, 7}));
+  EXPECT_EQ(report.repaired, report.damaged);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(store.verify(dir_ / "shards").empty());
+}
+
+TEST_F(ShardStoreTest, RefusesBeyondTolerance) {
+  const ec::IsalCodec codec(4, 2);
+  const ShardStore store(codec, 1024);
+  ASSERT_TRUE(store.encode_file(write_input(8192, 5), dir_ / "shards"));
+  corrupt_shard(0, 1);
+  corrupt_shard(1, 1);
+  corrupt_shard(2, 1);
+  const RepairReport report = store.repair(dir_ / "shards");
+  EXPECT_EQ(report.damaged.size(), 3u);
+  EXPECT_TRUE(report.repaired.empty());
+  EXPECT_FALSE(store.decode_file(dir_ / "shards", dir_ / "out.bin"));
+}
+
+TEST_F(ShardStoreTest, DecodeRepairsInMemory) {
+  const ec::IsalCodec codec(5, 3);
+  const ShardStore store(codec, 512);
+  const fs::path input = write_input(7777, 6);
+  ASSERT_TRUE(store.encode_file(input, dir_ / "shards"));
+  corrupt_shard(2, 50);
+  corrupt_shard(4, 200);
+  ASSERT_TRUE(store.decode_file(dir_ / "shards", dir_ / "out.bin"));
+  EXPECT_EQ(slurp(input), slurp(dir_ / "out.bin"));
+}
+
+TEST_F(ShardStoreTest, TinyFileSingleStripe) {
+  const ec::IsalCodec codec(4, 2);
+  const ShardStore store(codec, 256);
+  const fs::path input = write_input(10, 7);
+  ASSERT_TRUE(store.encode_file(input, dir_ / "shards"));
+  fs::remove(dir_ / "shards" / "shard_000");
+  ASSERT_TRUE(store.repair(dir_ / "shards").ok());
+  ASSERT_TRUE(store.decode_file(dir_ / "shards", dir_ / "out.bin"));
+  EXPECT_EQ(slurp(input), slurp(dir_ / "out.bin"));
+}
+
+TEST_F(ShardStoreTest, ManifestParserSurvivesFuzz) {
+  // Random garbage, random truncations of a valid manifest, and random
+  // token substitutions: parse() must never crash and must reject
+  // anything structurally incomplete.
+  Manifest valid;
+  valid.k = 6;
+  valid.m = 2;
+  valid.block_size = 1024;
+  valid.file_size = 5000;
+  valid.shard_checksums.assign(8, 17);
+  const std::string good = valid.serialize();
+
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    switch (trial % 3) {
+      case 0: {  // pure garbage
+        const std::size_t n = rng() % 200;
+        for (std::size_t i = 0; i < n; ++i)
+          text += static_cast<char>(rng() % 128);
+        break;
+      }
+      case 1:  // truncated valid manifest
+        text = good.substr(0, rng() % good.size());
+        break;
+      case 2: {  // single-byte corruption of a valid manifest
+        text = good;
+        text[rng() % text.size()] = static_cast<char>(rng() % 128);
+        break;
+      }
+    }
+    const auto parsed = Manifest::parse(text);  // must not crash
+    if (parsed) {
+      // Anything accepted must be structurally consistent.
+      EXPECT_EQ(parsed->shard_checksums.size(), parsed->k + parsed->m);
+      EXPECT_GT(parsed->k, 0u);
+      EXPECT_GT(parsed->block_size, 0u);
+    }
+  }
+}
+
+TEST_F(ShardStoreTest, ChecksumIsStable) {
+  const std::vector<std::byte> data{std::byte{1}, std::byte{2},
+                                    std::byte{3}};
+  EXPECT_EQ(Checksum(data.data(), data.size()),
+            Checksum(data.data(), data.size()));
+  EXPECT_NE(Checksum(data.data(), 2), Checksum(data.data(), 3));
+}
+
+}  // namespace
+}  // namespace shard

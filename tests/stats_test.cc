@@ -1,0 +1,49 @@
+#include "bench_util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "ec/isal.h"
+
+namespace bench_util {
+namespace {
+
+TEST(Stats, SummarizeBasics) {
+  const double samples[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Stats s = Summarize(samples);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stdev, 2.138, 1e-3);  // sample stdev
+  EXPECT_NEAR(s.cv(), 0.4276, 1e-3);
+}
+
+TEST(Stats, EmptyAndSingle) {
+  EXPECT_EQ(Summarize({}).n, 0u);
+  const double one[] = {3.5};
+  const Stats s = Summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stdev, 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Stats, RepeatedRunsHaveLowVariance) {
+  // Different workload seeds shuffle stripe placement; steady-state
+  // throughput must be stable (a few percent), like the paper's
+  // 10-run averages.
+  simmem::SimConfig cfg;
+  WorkloadConfig wl;
+  wl.k = 12;
+  wl.m = 4;
+  wl.block_size = 1024;
+  wl.total_data_bytes = 4 << 20;
+  const ec::IsalCodec codec(12, 4);
+  const Stats s = RunEncodeRepeated(cfg, wl, codec, 5);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_GT(s.mean, 0.0);
+  EXPECT_LT(s.cv(), 0.05) << "seed-to-seed variance should be small";
+  EXPECT_GT(s.min, 0.9 * s.mean);
+}
+
+}  // namespace
+}  // namespace bench_util

@@ -1,0 +1,168 @@
+#include "simmem/stream_prefetcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace simmem {
+namespace {
+
+PrefetcherConfig TestCfg() {
+  PrefetcherConfig cfg;
+  cfg.stream_capacity = 4;
+  cfg.min_confidence = 2;
+  cfg.max_degree = 4;
+  return cfg;
+}
+
+/// Feed a sequential stream of `n` lines starting at `first`; returns
+/// all prefetch candidates.
+std::vector<std::uint64_t> FeedSequential(StreamPrefetcher& pf,
+                                          std::uint64_t first,
+                                          std::size_t n) {
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < n; ++i) pf.observe(first + i, &out);
+  return out;
+}
+
+TEST(StreamPrefetcher, NoPrefetchBeforeConfidence) {
+  StreamPrefetcher pf(TestCfg());
+  std::vector<std::uint64_t> out;
+  pf.observe(100, &out);
+  pf.observe(101, &out);  // confidence 1 < 2
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamPrefetcher, PrefetchesAheadOnceConfident) {
+  StreamPrefetcher pf(TestCfg());
+  const auto out = FeedSequential(pf, 100, 4);
+  // Access 102 reaches confidence 2 -> prefetch 103; access 103 ->
+  // confidence 3, degree 2 -> prefetch up to 105 (104, 105).
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), 103u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  // No duplicates: max_pf_line advances monotonically.
+  EXPECT_TRUE(std::adjacent_find(out.begin(), out.end()) == out.end());
+}
+
+TEST(StreamPrefetcher, DegreeRampsWithConfidence) {
+  StreamPrefetcher pf(TestCfg());
+  std::vector<std::uint64_t> out;
+  FeedSequential(pf, 0, 10);
+  const std::uint64_t issued_10 = pf.issued();
+  StreamPrefetcher pf2(TestCfg());
+  FeedSequential(pf2, 0, 5);
+  const std::uint64_t issued_5 = pf2.issued();
+  EXPECT_GT(issued_10, issued_5);
+}
+
+TEST(StreamPrefetcher, StopsAtPageBoundary) {
+  StreamPrefetcher pf(TestCfg());
+  // Lines 60..63 are the last lines of page 0 (64 lines per page).
+  const auto out = FeedSequential(pf, 58, 6);
+  for (const std::uint64_t line : out) {
+    EXPECT_LT(line, 64u) << "prefetch crossed the 4 KiB boundary";
+  }
+}
+
+TEST(StreamPrefetcher, NewPageStartsColdStream) {
+  StreamPrefetcher pf(TestCfg());
+  FeedSequential(pf, 0, 64);  // page 0, fully confident
+  std::vector<std::uint64_t> out;
+  pf.observe(64, &out);  // first line of page 1
+  EXPECT_TRUE(out.empty()) << "confidence must not carry across pages";
+}
+
+TEST(StreamPrefetcher, NonSequentialDeltaResetsConfidence) {
+  StreamPrefetcher pf(TestCfg());
+  std::vector<std::uint64_t> out;
+  FeedSequential(pf, 0, 8);  // confident stream in page 0
+  out.clear();
+  pf.observe(20, &out);  // jump within the same page
+  EXPECT_TRUE(out.empty());
+  pf.observe(21, &out);  // confidence restarts from 0
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamPrefetcher, ShuffledAccessesNeverTrigger) {
+  // DIALGA's shuffle defeat: strided (non +1) order within a page.
+  StreamPrefetcher pf(TestCfg());
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < 64; ++i) {
+    pf.observe((i * 13) % 64, &out);
+  }
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(pf.issued(), 0u);
+}
+
+TEST(StreamPrefetcher, CapacityEvictionKillsTraining) {
+  // Observation 3: more concurrent streams than table entries ->
+  // each stream is evicted before gaining confidence -> no prefetches.
+  StreamPrefetcher pf(TestCfg());  // capacity 4
+  std::vector<std::uint64_t> out;
+  // 8 interleaved streams (pages 0..7), round-robin accesses.
+  for (std::size_t step = 0; step < 16; ++step) {
+    for (std::size_t s = 0; s < 8; ++s) {
+      pf.observe(s * 64 + step, &out);
+    }
+  }
+  EXPECT_TRUE(out.empty()) << "streams beyond capacity must not train";
+}
+
+TEST(StreamPrefetcher, AtCapacityStreamsStillTrain) {
+  StreamPrefetcher pf(TestCfg());  // capacity 4
+  std::vector<std::uint64_t> out;
+  for (std::size_t step = 0; step < 16; ++step) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      pf.observe(s * 64 + step, &out);
+    }
+  }
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(pf.active_streams(), 4u);
+}
+
+TEST(StreamPrefetcher, DisableStopsEverything) {
+  StreamPrefetcher pf(TestCfg());
+  pf.set_enabled(false);
+  std::vector<std::uint64_t> out;
+  FeedSequential(pf, 0, 32);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(pf.issued(), 0u);
+  pf.set_enabled(true);
+  const auto out2 = FeedSequential(pf, 128, 8);
+  EXPECT_FALSE(out2.empty());
+}
+
+TEST(StreamPrefetcher, SameLineReaccessIsIgnored) {
+  StreamPrefetcher pf(TestCfg());
+  std::vector<std::uint64_t> out;
+  FeedSequential(pf, 0, 4);
+  const std::uint64_t before = pf.issued();
+  pf.observe(3, &out);  // repeat the last line
+  pf.observe(3, &out);
+  EXPECT_EQ(pf.issued(), before);
+}
+
+TEST(StreamPrefetcher, ResetClearsStreams) {
+  StreamPrefetcher pf(TestCfg());
+  FeedSequential(pf, 0, 8);
+  EXPECT_GT(pf.active_streams(), 0u);
+  pf.reset();
+  EXPECT_EQ(pf.active_streams(), 0u);
+}
+
+TEST(StreamPrefetcher, DefaultConfigMatchesObservation4) {
+  // With the calibrated defaults, a 512 B block (8 lines) must never
+  // trigger prefetching while a 4 KiB block (64 lines) must.
+  StreamPrefetcher small{PrefetcherConfig{}};
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < 8; ++i) small.observe(i, &out);
+  EXPECT_TRUE(out.empty());
+
+  StreamPrefetcher large{PrefetcherConfig{}};
+  for (std::size_t i = 0; i < 64; ++i) large.observe(i, &out);
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace simmem

@@ -1,0 +1,77 @@
+#include "simmem/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "simmem/address_space.h"
+
+namespace simmem {
+namespace {
+
+TEST(Trace, RecordsInOrder) {
+  Trace t;
+  t.load(0, 0x100);
+  t.compute(0, 33.0);
+  t.sw_prefetch(1, 0x200);
+  t.store_nt(0, 0x300);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.records()[0].op, TraceOp::kLoad);
+  EXPECT_EQ(t.records()[1].op, TraceOp::kCompute);
+  EXPECT_DOUBLE_EQ(t.records()[1].cycles, 33.0);
+  EXPECT_EQ(t.records()[2].tid, 1u);
+  EXPECT_EQ(t.records()[3].addr, 0x300u);
+}
+
+TEST(Trace, ReplayMatchesDirectExecution) {
+  const SimConfig cfg;
+  // Direct execution.
+  MemorySystem direct(cfg, 2);
+  direct.load(0, kPmBase);
+  direct.load(0, kPmBase + 64);
+  direct.compute_cycles(0, 100.0);
+  direct.sw_prefetch(1, kPmBase + 4096);
+  direct.load(1, kPmBase + 4096);
+  direct.store_nt(0, kPmBase + 8192);
+
+  // Same operations through a trace.
+  Trace t;
+  t.load(0, kPmBase);
+  t.load(0, kPmBase + 64);
+  t.compute(0, 100.0);
+  t.sw_prefetch(1, kPmBase + 4096);
+  t.load(1, kPmBase + 4096);
+  t.store_nt(0, kPmBase + 8192);
+  MemorySystem replayed(cfg, 2);
+  t.replay(&replayed);
+
+  EXPECT_DOUBLE_EQ(direct.clock(0), replayed.clock(0));
+  EXPECT_DOUBLE_EQ(direct.clock(1), replayed.clock(1));
+  EXPECT_EQ(direct.pmu().loads, replayed.pmu().loads);
+  EXPECT_EQ(direct.pmu().pm_media_read_bytes,
+            replayed.pmu().pm_media_read_bytes);
+  EXPECT_DOUBLE_EQ(direct.pmu().load_stall_ns, replayed.pmu().load_stall_ns);
+}
+
+TEST(Trace, ToStringFormat) {
+  Trace t;
+  t.load(0, 0x40);
+  t.store_nt(1, 0x80);
+  t.sw_prefetch(0, 0xc0);
+  t.compute(2, 5.5);
+  const std::string s = t.to_string();
+  EXPECT_EQ(s,
+            "L t0 0x40\n"
+            "S t1 0x80\n"
+            "P t0 0xc0\n"
+            "C t2 5.5\n");
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.load(0, 0x40);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.to_string().empty());
+}
+
+}  // namespace
+}  // namespace simmem

@@ -1,0 +1,281 @@
+#include "ec/xor_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ec/codec_util.h"
+#include "ec/isal.h"
+
+namespace ec {
+namespace {
+
+struct Blocks {
+  std::vector<std::vector<std::byte>> storage;
+  std::vector<const std::byte*> data_ptrs;
+  std::vector<std::byte*> parity_ptrs;
+  std::vector<std::byte*> all_ptrs;
+};
+
+Blocks MakeBlocks(std::size_t k, std::size_t m, std::size_t bs,
+                  std::uint64_t seed) {
+  Blocks b;
+  std::mt19937_64 rng(seed);
+  b.storage.resize(k + m, std::vector<std::byte>(bs));
+  for (std::size_t i = 0; i < k; ++i)
+    for (auto& byte : b.storage[i]) byte = static_cast<std::byte>(rng());
+  for (std::size_t i = 0; i < k; ++i) b.data_ptrs.push_back(b.storage[i].data());
+  for (std::size_t j = 0; j < m; ++j)
+    b.parity_ptrs.push_back(b.storage[k + j].data());
+  for (auto& s : b.storage) b.all_ptrs.push_back(s.data());
+  return b;
+}
+
+class XorCodecTest : public ::testing::TestWithParam<
+                         std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(XorCodecTest, ParityDiffersFromByteOrientedEncode) {
+  // Bitmatrix codes run on bit-sliced symbols: their parity bytes are
+  // legitimately different from a byte-oriented matrix encode with the
+  // same generator (as with real jerasure/Zerasure vs ISA-L).
+  const auto [k, m, bs] = GetParam();
+  const XorCodec codec(k, m, gf::cauchy_generator(k, m), "test");
+  Blocks bits = MakeBlocks(k, m, bs, 55);
+  Blocks bytes = MakeBlocks(k, m, bs, 55);
+  codec.encode(bs, bits.data_ptrs, bits.parity_ptrs);
+  SystematicEncode(gf::cauchy_generator(k, m), k, m, bs, bytes.data_ptrs,
+                   bytes.parity_ptrs);
+  EXPECT_NE(bits.storage, bytes.storage);
+}
+
+TEST_P(XorCodecTest, EveryParityBlockDependsOnEveryDataBlock) {
+  // Flip one byte in each data block: every parity block must change.
+  const auto [k, m, bs] = GetParam();
+  const XorCodec codec(k, m, gf::cauchy_generator(k, m), "test");
+  Blocks base = MakeBlocks(k, m, bs, 56);
+  codec.encode(bs, base.data_ptrs, base.parity_ptrs);
+  for (std::size_t i = 0; i < k; ++i) {
+    Blocks mod = MakeBlocks(k, m, bs, 56);
+    mod.storage[i][0] ^= std::byte{1};
+    codec.encode(bs, mod.data_ptrs, mod.parity_ptrs);
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_NE(mod.storage[k + j], base.storage[k + j])
+          << "data " << i << " parity " << j;
+    }
+  }
+}
+
+TEST_P(XorCodecTest, DecompositionDoesNotChangeParity) {
+  const auto [k, m, bs] = GetParam();
+  if (k < 4) GTEST_SKIP();
+  const XorCodec plain(k, m, gf::cauchy_generator(k, m), "plain");
+  const XorCodec split(k, m, gf::cauchy_generator(k, m), "split",
+                       /*decompose_group=*/3);
+  Blocks a = MakeBlocks(k, m, bs, 77);
+  Blocks b = MakeBlocks(k, m, bs, 77);
+  plain.encode_via_schedule(bs, a.data_ptrs, a.parity_ptrs);
+  split.encode_via_schedule(bs, b.data_ptrs, b.parity_ptrs);
+  EXPECT_EQ(a.storage, b.storage);
+}
+
+TEST_P(XorCodecTest, RoundTripsThroughErasures) {
+  const auto [k, m, bs] = GetParam();
+  const XorCodec codec(k, m, gf::cauchy_generator(k, m), "test");
+  Blocks b = MakeBlocks(k, m, bs, 99);
+  codec.encode(bs, b.data_ptrs, b.parity_ptrs);
+  const auto golden = b.storage;
+  std::vector<std::size_t> erasures;
+  for (std::size_t e = 0; e < m; ++e) erasures.push_back(e);  // worst case
+  for (const std::size_t e : erasures)
+    std::fill(b.storage[e].begin(), b.storage[e].end(), std::byte{0});
+  ASSERT_TRUE(codec.decode(bs, b.all_ptrs, erasures));
+  EXPECT_EQ(b.storage, golden);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, XorCodecTest,
+    ::testing::Values(std::make_tuple(4, 2, 256),
+                      std::make_tuple(6, 3, 512),
+                      std::make_tuple(8, 4, 1024),
+                      std::make_tuple(12, 4, 2048),
+                      std::make_tuple(10, 2, 5120)));
+
+TEST(Zerasure, ProducesValidMdsCode) {
+  const auto z = MakeZerasure(8, 4);
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->name(), "Zerasure");
+  EXPECT_EQ(z->simd(), SimdWidth::kAvx256);
+  Blocks b = MakeBlocks(8, 4, 512, 5);
+  z->encode(512, b.data_ptrs, b.parity_ptrs);
+  const auto golden = b.storage;
+  const std::vector<std::size_t> erasures{0, 3, 9, 11};
+  for (const std::size_t e : erasures)
+    std::fill(b.storage[e].begin(), b.storage[e].end(), std::byte{0});
+  ASSERT_TRUE(z->decode(512, b.all_ptrs, erasures));
+  EXPECT_EQ(b.storage, golden);
+}
+
+TEST(Zerasure, SearchBeatsPlainCauchy) {
+  // The whole point of the matrix search: fewer scheduled XORs than the
+  // unoptimized Cauchy construction.
+  const XorCodec plain(8, 4, gf::cauchy_generator(8, 4), "plain");
+  const auto z = MakeZerasure(8, 4);
+  ASSERT_NE(z, nullptr);
+  EXPECT_LT(z->schedule_xor_count(), plain.schedule_xor_count());
+}
+
+TEST(Zerasure, WideStripeSearchDoesNotConverge) {
+  // Fig. 10: Zerasure has no results for k > 32.
+  EXPECT_EQ(MakeZerasure(33, 4), nullptr);
+  EXPECT_EQ(MakeZerasure(48, 4), nullptr);
+  EXPECT_NE(MakeZerasure(32, 4), nullptr);
+}
+
+TEST(Zerasure, DeterministicForFixedSeed) {
+  const auto a = MakeZerasure(6, 3, 8, 123);
+  const auto b = MakeZerasure(6, 3, 8, 123);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->generator(), b->generator());
+}
+
+TEST(Cerasure, ProducesValidMdsCode) {
+  const auto c = MakeCerasure(10, 4);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name(), "Cerasure");
+  Blocks b = MakeBlocks(10, 4, 1024, 6);
+  c->encode(1024, b.data_ptrs, b.parity_ptrs);
+  const auto golden = b.storage;
+  const std::vector<std::size_t> erasures{2, 5, 7, 12};
+  for (const std::size_t e : erasures)
+    std::fill(b.storage[e].begin(), b.storage[e].end(), std::byte{0});
+  ASSERT_TRUE(c->decode(1024, b.all_ptrs, erasures));
+  EXPECT_EQ(b.storage, golden);
+}
+
+TEST(Cerasure, GreedySearchBeatsPlainCauchy) {
+  const XorCodec plain(10, 4, gf::cauchy_generator(10, 4), "plain");
+  const auto c = MakeCerasure(10, 4);
+  EXPECT_LT(c->schedule_xor_count(), plain.schedule_xor_count());
+}
+
+TEST(Cerasure, DecomposesWideStripesOnly) {
+  EXPECT_EQ(MakeCerasure(12, 4)->decompose_group(), 12u);  // == k: off
+  EXPECT_EQ(MakeCerasure(48, 4)->decompose_group(), 16u);
+}
+
+TEST(Cerasure, WideStripeStillRoundTrips) {
+  const auto c = MakeCerasure(40, 4);
+  Blocks b = MakeBlocks(40, 4, 256, 8);
+  c->encode(256, b.data_ptrs, b.parity_ptrs);
+  const auto golden = b.storage;
+  const std::vector<std::size_t> erasures{0, 20, 41};
+  for (const std::size_t e : erasures)
+    std::fill(b.storage[e].begin(), b.storage[e].end(), std::byte{0});
+  ASSERT_TRUE(c->decode(256, b.all_ptrs, erasures));
+  EXPECT_EQ(b.storage, golden);
+}
+
+TEST(XorPlan, ScratchSlotsCoverTempsAndPartials) {
+  const simmem::ComputeCost cost{};
+  const XorCodec plain(8, 2, gf::cauchy_generator(8, 2), "plain");
+  const EncodePlan p1 = plain.encode_plan(512, cost);
+  EXPECT_EQ(p1.num_data, 8u);
+  EXPECT_EQ(p1.num_parity, 2u);
+
+  const XorCodec split(8, 2, gf::cauchy_generator(8, 2), "split", 4);
+  const EncodePlan p2 = split.encode_plan(512, cost);
+  EXPECT_GE(p2.num_scratch, 2u * 2u) << "partials for 2 groups x 2 parities";
+
+  // Every op's slot must be within the declared slot space.
+  for (const EncodePlan* p : {&p1, &p2}) {
+    for (const PlanOp& op : p->ops) {
+      if (op.kind == PlanOp::Kind::kCompute) continue;
+      EXPECT_LT(op.block, p->num_slots());
+    }
+  }
+}
+
+TEST(XorPlan, ParityStoresAreNonTemporalScratchStoresCached) {
+  const simmem::ComputeCost cost{};
+  const XorCodec split(8, 2, gf::cauchy_generator(8, 2), "split", 4);
+  const EncodePlan p = split.encode_plan(512, cost);
+  for (const PlanOp& op : p.ops) {
+    if (op.kind == PlanOp::Kind::kStore) {
+      EXPECT_GE(op.block, 8u);
+      EXPECT_LT(op.block, 10u) << "NT stores only target final parity";
+    }
+    if (op.kind == PlanOp::Kind::kStoreCached) {
+      EXPECT_GE(op.block, 10u) << "cached stores only target scratch";
+    }
+  }
+}
+
+TEST(XorPlan, MoreXorsMeansMoreLoads) {
+  // The memory-access penalty of XOR codes vs the table approach.
+  const simmem::ComputeCost cost{};
+  const XorCodec xorc(8, 4, gf::cauchy_generator(8, 4), "x");
+  const IsalCodec tbl(8, 4);
+  const EncodePlan px = xorc.encode_plan(1024, cost);
+  const EncodePlan pt = tbl.encode_plan(1024, cost);
+  EXPECT_GT(px.count(PlanOp::Kind::kLoad), pt.count(PlanOp::Kind::kLoad));
+}
+
+TEST(XorPacketBytes, GranularityRules) {
+  EXPECT_EQ(XorPacketBytes(256), 32u);   // sub-row 32 B < one line
+  EXPECT_EQ(XorPacketBytes(512), 64u);   // sub-row exactly one line
+  EXPECT_EQ(XorPacketBytes(1024), 64u);  // line-sized packets
+  EXPECT_EQ(XorPacketBytes(5120), 64u);
+}
+
+TEST(XorDecodePlan, ParityErasureReencodes) {
+  const simmem::ComputeCost cost{};
+  const XorCodec codec(6, 3, gf::cauchy_generator(6, 3), "x");
+  // One parity block erased: the plan must read data and store the
+  // erased parity block (re-encode), not be empty.
+  const std::vector<std::size_t> erasures{7};
+  const EncodePlan p = codec.decode_plan(512, cost, erasures);
+  EXPECT_GT(p.count(PlanOp::Kind::kLoad), 0u);
+  std::set<std::uint16_t> stores;
+  for (const PlanOp& op : p.ops)
+    if (op.kind == PlanOp::Kind::kStore) stores.insert(op.block);
+  EXPECT_EQ(stores, std::set<std::uint16_t>({7}));
+}
+
+TEST(XorDecodePlan, MixedDataAndParityErasures) {
+  const simmem::ComputeCost cost{};
+  const XorCodec codec(6, 3, gf::cauchy_generator(6, 3), "x");
+  const std::vector<std::size_t> erasures{1, 8};
+  const EncodePlan p = codec.decode_plan(512, cost, erasures);
+  std::set<std::uint16_t> stores;
+  for (const PlanOp& op : p.ops) {
+    if (op.kind == PlanOp::Kind::kLoad) {
+      EXPECT_NE(op.block, 1u);
+      EXPECT_NE(op.block, 8u);
+    }
+    if (op.kind == PlanOp::Kind::kStore) stores.insert(op.block);
+  }
+  EXPECT_EQ(stores, (std::set<std::uint16_t>({1, 8})));
+}
+
+TEST(XorDecodePlan, UsesNaiveScheduleOverSurvivors) {
+  const simmem::ComputeCost cost{};
+  const XorCodec codec(6, 3, gf::cauchy_generator(6, 3), "x");
+  const std::vector<std::size_t> erasures{1, 3};
+  const EncodePlan p = codec.decode_plan(512, cost, erasures);
+  std::set<std::uint16_t> loads, stores;
+  for (const PlanOp& op : p.ops) {
+    if (op.kind == PlanOp::Kind::kLoad) loads.insert(op.block);
+    if (op.kind == PlanOp::Kind::kStore) stores.insert(op.block);
+  }
+  EXPECT_EQ(loads.count(1), 0u);
+  EXPECT_EQ(loads.count(3), 0u);
+  EXPECT_EQ(stores, std::set<std::uint16_t>({1, 3}));
+  // Decode-matrix schedules cannot be optimized (section 5.4): expect
+  // materially more XOR work than the encode of the same shape.
+  const EncodePlan enc = codec.encode_plan(512, cost);
+  EXPECT_GT(p.total_compute_cycles(), 0.5 * enc.total_compute_cycles());
+}
+
+}  // namespace
+}  // namespace ec
