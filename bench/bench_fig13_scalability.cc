@@ -74,5 +74,35 @@ int main(int argc, char** argv) {
   figure.check("RS(52,48): ISA-L degrades after ~8-10 threads (Eq. 1)",
                g(52, 1024, 10, System::kIsal) <
                    0.9 * g(52, 1024, 8, System::kIsal));
+
+  // Host-pool companion series: both figure code shapes encoded
+  // functionally on the one persistent pool, reused across all points
+  // (stripe costs differ by ~3.6x between the shapes, which is the load
+  // imbalance work stealing absorbs).
+  {
+    bench_util::Table host(
+        {"config", "workers", "host GB/s", "tasks", "steals", "max_queue"});
+    for (const Config& c : {Config{28, 24, 1024}, Config{52, 48, 1024}}) {
+      const ec::IsalCodec host_codec(c.k, c.m);
+      bench_util::WorkloadConfig hwl;
+      hwl.k = c.k;
+      hwl.m = c.m;
+      hwl.block_size = c.bs;
+      hwl.total_data_bytes = 2 * fig::kMiB;
+      const auto hr =
+          bench_util::RunHostEncode(hwl, host_codec, fig::HostPool());
+      const std::string label = "RS(" + std::to_string(c.k) + "," +
+                                std::to_string(c.m) + ")/" +
+                                std::to_string(c.bs) + "B";
+      host.row({label, std::to_string(fig::HostPool().worker_count()),
+                bench_util::Table::num(hr.gbps, 3),
+                std::to_string(hr.pool.tasks_run),
+                std::to_string(hr.pool.steals),
+                std::to_string(hr.pool.max_queue_depth)});
+      fig::RegisterHostPoint("fig13/host_pool/" + label, hr);
+    }
+    std::cout << "\n--- host work-stealing pool, functional encode ---\n";
+    host.print(std::cout);
+  }
   return figure.run(argc, argv);
 }

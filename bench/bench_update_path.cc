@@ -7,9 +7,11 @@
 //     over the touched lines) and a full stripe re-encode?
 //  2. How much does prefetch scheduling help the (load-dominated) RMW
 //     path itself?
+#include <chrono>
 #include <numeric>
 #include <random>
 
+#include "ec/parallel.h"
 #include "ec/update.h"
 #include "fig_common.h"
 
@@ -88,6 +90,66 @@ int main(int argc, char** argv) {
          bench_util::Table::pct(traffic_ratio),
          bench_util::Table::num(tuned.pmu.media_write_amplification())},
         tuned, {{"plain_GBps", plain.gbps}});
+  }
+
+  // Host-pool delta updates: real RMW parity updates across stripes on
+  // the persistent work-stealing pool (one update per stripe, uneven
+  // offsets). Reuses the same shared pool as the other benches.
+  {
+    const ec::IsalCodec codec(k, m);
+    const ec::UpdateEngine engine(codec);
+    bench_util::WorkloadConfig hwl;
+    hwl.k = k;
+    hwl.m = m;
+    hwl.block_size = bs;
+    hwl.total_data_bytes = 2 * fig::kMiB;
+    const std::size_t stripes = hwl.total_data_bytes / (k * bs);
+    std::vector<std::byte> storage(stripes * (k + m) * bs);
+    const auto block = [&](std::size_t s, std::size_t b) {
+      return storage.data() + (s * (k + m) + b) * bs;
+    };
+    // Consistent parity first, so the updates maintain a valid stripe.
+    {
+      std::vector<std::vector<const std::byte*>> data(stripes);
+      std::vector<std::vector<std::byte*>> parity(stripes);
+      std::vector<ec::StripeBuffers> buffers;
+      for (std::size_t s = 0; s < stripes; ++s) {
+        for (std::size_t i = 0; i < k; ++i) data[s].push_back(block(s, i));
+        for (std::size_t j = 0; j < m; ++j)
+          parity[s].push_back(block(s, k + j));
+        buffers.push_back({data[s], parity[s]});
+      }
+      ec::ParallelEncode(fig::HostPool(), codec, bs, buffers);
+    }
+
+    const std::size_t len = 256;
+    const auto before = fig::HostPool().stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    fig::HostPool().parallel_for(stripes, [&](std::size_t s) {
+      std::mt19937_64 rng(s + 1);
+      std::vector<std::byte> fresh(len);
+      for (auto& b : fresh) b = static_cast<std::byte>(rng());
+      const std::size_t offset =
+          (rng() % ((bs - len) / simmem::kCacheLineBytes + 1)) *
+          simmem::kCacheLineBytes;
+      std::vector<std::byte*> parity;
+      for (std::size_t j = 0; j < m; ++j) parity.push_back(block(s, k + j));
+      engine.apply(bs, s % k, offset, fresh, block(s, s % k), parity);
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto delta = fig::HostPool().stats() - before;
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double gbps =
+        secs > 0.0 ? static_cast<double>(stripes * len) / (secs * 1e9) : 0.0;
+    bench_util::Table host(
+        {"updates", "host GB/s", "tasks", "steals", "max_queue"});
+    host.row({std::to_string(stripes), bench_util::Table::num(gbps, 3),
+              std::to_string(delta.tasks_run), std::to_string(delta.steals),
+              std::to_string(delta.max_queue_depth)});
+    std::cout << "\n--- host work-stealing pool, delta parity updates ---\n";
+    host.print(std::cout);
+    figure.check("host pool applied one update per stripe",
+                 delta.tasks_run == stripes);
   }
   return figure.run(argc, argv);
 }

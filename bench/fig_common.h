@@ -127,6 +127,32 @@ inline void RegisterPoint(
       ->Unit(benchmark::kMillisecond);
 }
 
+/// Process-wide host thread pool shared by every figure point. It is
+/// constructed on first use and reused across points and benchmark
+/// iterations, so the host-parallel companion series never constructs
+/// std::threads in a hot loop.
+inline ec::ThreadPool& HostPool() { return ec::ThreadPool::Shared(); }
+
+/// Register one host-pool run with the benchmark tooling: the point's
+/// time is the real wall time of the pooled run and the pool counters
+/// (tasks, steals, max queue depth) ride along as counters.
+inline void RegisterHostPoint(const std::string& name,
+                              const bench_util::HostRunResult& r) {
+  bench_util::RunResult as_run;
+  as_run.sim_seconds = r.seconds;
+  as_run.gbps = r.gbps;
+  as_run.payload_bytes = r.payload_bytes;
+  RegisterPoint(name, [as_run, r] {
+    return std::pair{
+        as_run,
+        std::map<std::string, double>{
+            {"pool_tasks", static_cast<double>(r.pool.tasks_run)},
+            {"pool_steals", static_cast<double>(r.pool.steals)},
+            {"pool_max_queue",
+             static_cast<double>(r.pool.max_queue_depth)}}};
+  });
+}
+
 }  // namespace fig
 
 namespace fig {

@@ -1,8 +1,61 @@
 #include "bench_util/runner.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <random>
+
+#include "ec/parallel.h"
 
 namespace bench_util {
+
+namespace {
+
+/// Real host buffers in the workload's stripe shape: contiguous
+/// storage, per-stripe pointer tables, randomized data blocks.
+struct HostCorpus {
+  std::size_t k, m, block_size, stripes;
+  std::vector<std::byte> storage;  // stripes * (k + m) blocks
+  std::vector<std::vector<const std::byte*>> data_ptrs;
+  std::vector<std::vector<std::byte*>> parity_ptrs;
+  std::vector<ec::StripeBuffers> buffers;
+
+  explicit HostCorpus(const WorkloadConfig& wl)
+      : k(wl.k),
+        m(wl.m),
+        block_size(wl.block_size),
+        stripes(std::max<std::size_t>(
+            1, wl.total_data_bytes / (wl.k * wl.block_size))) {
+    storage.resize(stripes * (k + m) * block_size);
+    std::mt19937_64 rng(wl.seed);
+    // Fill data blocks 8 bytes at a time; parity starts zeroed.
+    auto* words = reinterpret_cast<std::uint64_t*>(storage.data());
+    for (std::size_t s = 0; s < stripes; ++s) {
+      const std::size_t data_words = k * block_size / sizeof(std::uint64_t);
+      const std::size_t base =
+          s * (k + m) * block_size / sizeof(std::uint64_t);
+      for (std::size_t w = 0; w < data_words; ++w) words[base + w] = rng();
+    }
+    data_ptrs.resize(stripes);
+    parity_ptrs.resize(stripes);
+    buffers.reserve(stripes);
+    for (std::size_t s = 0; s < stripes; ++s) {
+      for (std::size_t i = 0; i < k; ++i) {
+        data_ptrs[s].push_back(block(s, i));
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        parity_ptrs[s].push_back(block(s, k + j));
+      }
+      buffers.push_back({data_ptrs[s], parity_ptrs[s]});
+    }
+  }
+
+  std::byte* block(std::size_t stripe, std::size_t idx) {
+    return storage.data() + (stripe * (k + m) + idx) * block_size;
+  }
+};
+
+}  // namespace
 
 RunResult RunTimed(const simmem::SimConfig& sim_cfg,
                    const WorkloadConfig& wl_cfg, ec::PlanProvider& provider,
@@ -48,6 +101,62 @@ RunResult RunDecode(const simmem::SimConfig& sim_cfg, WorkloadConfig wl_cfg,
   wl_cfg.m = provider.plan().num_parity;
   wl_cfg.extra_parity = 0;
   return RunTimed(sim_cfg, wl_cfg, provider, hw_prefetch);
+}
+
+HostRunResult RunHostEncode(const WorkloadConfig& wl, const ec::Codec& codec,
+                            ec::ThreadPool& pool) {
+  HostCorpus corpus(wl);
+  HostRunResult r;
+  r.stripes = corpus.stripes;
+  r.payload_bytes =
+      static_cast<std::uint64_t>(corpus.stripes) * wl.k * wl.block_size;
+
+  const ec::ThreadPoolStats before = pool.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  ec::ParallelEncode(pool, codec, wl.block_size, corpus.buffers);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.pool = pool.stats() - before;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.gbps = r.seconds > 0.0
+               ? static_cast<double>(r.payload_bytes) / (r.seconds * 1e9)
+               : 0.0;
+  return r;
+}
+
+HostRunResult RunHostScrub(const WorkloadConfig& wl, const ec::Codec& codec,
+                           std::span<const std::size_t> erasures,
+                           ec::ThreadPool& pool) {
+  HostCorpus corpus(wl);
+  ec::ParallelEncode(pool, codec, wl.block_size, corpus.buffers);
+
+  // Lose the erased blocks of every stripe, then repair them in place.
+  std::vector<std::vector<std::byte*>> all(corpus.stripes);
+  std::vector<ec::DecodeJob> jobs;
+  jobs.reserve(corpus.stripes);
+  for (std::size_t s = 0; s < corpus.stripes; ++s) {
+    for (std::size_t b = 0; b < wl.k + wl.m; ++b) {
+      all[s].push_back(corpus.block(s, b));
+    }
+    for (const std::size_t e : erasures) {
+      std::fill_n(corpus.block(s, e), wl.block_size, std::byte{0});
+    }
+    jobs.push_back({all[s], erasures});
+  }
+
+  HostRunResult r;
+  r.stripes = corpus.stripes;
+  r.payload_bytes =
+      static_cast<std::uint64_t>(corpus.stripes) * wl.k * wl.block_size;
+  const ec::ThreadPoolStats before = pool.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  r.failed_stripes = ec::ParallelDecode(pool, codec, wl.block_size, jobs);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.pool = pool.stats() - before;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.gbps = r.seconds > 0.0
+               ? static_cast<double>(r.payload_bytes) / (r.seconds * 1e9)
+               : 0.0;
+  return r;
 }
 
 }  // namespace bench_util

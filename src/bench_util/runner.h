@@ -7,6 +7,7 @@
 #include "bench_util/workload.h"
 #include "ec/codec.h"
 #include "ec/executor.h"
+#include "ec/thread_pool.h"
 #include "simmem/memory_system.h"
 
 namespace bench_util {
@@ -40,5 +41,30 @@ RunResult RunDecode(const simmem::SimConfig& sim_cfg, WorkloadConfig wl_cfg,
                     const ec::Codec& codec,
                     std::span<const std::size_t> erasures,
                     bool hw_prefetch = true);
+
+/// Host-side (real wall-clock) companion to the simulated runs: the
+/// same RS(k, m) stripe shape encoded/scrubbed functionally on a
+/// persistent thread pool. The pool is passed in so successive calls —
+/// bench iterations, thread-count sweeps — reuse one set of workers
+/// with no per-iteration std::thread construction.
+struct HostRunResult {
+  double seconds = 0.0;             ///< wall-clock of the timed phase
+  double gbps = 0.0;                ///< payload bytes / wall second
+  std::uint64_t payload_bytes = 0;  ///< k * block_size * stripes
+  std::size_t stripes = 0;
+  std::size_t failed_stripes = 0;   ///< scrub only
+  ec::ThreadPoolStats pool;         ///< counters attributed to this run
+};
+
+/// Timed ParallelEncode of `wl`-shaped random stripes on `pool`
+/// (uses k, m, block_size, total_data_bytes and seed from `wl`).
+HostRunResult RunHostEncode(const WorkloadConfig& wl, const ec::Codec& codec,
+                            ec::ThreadPool& pool);
+
+/// Encode, erase `erasures` of every stripe, then timed ParallelDecode
+/// on `pool`; failed_stripes counts undecodable stripes.
+HostRunResult RunHostScrub(const WorkloadConfig& wl, const ec::Codec& codec,
+                           std::span<const std::size_t> erasures,
+                           ec::ThreadPool& pool);
 
 }  // namespace bench_util

@@ -1,37 +1,58 @@
 #include "ec/parallel.h"
 
-#include <atomic>
-#include <thread>
-#include <vector>
+#include <algorithm>
+#include <mutex>
 
 namespace ec {
 
 namespace {
 
-std::size_t WorkerCount(std::size_t requested, std::size_t jobs) {
-  std::size_t n = requested != 0 ? requested
-                                 : std::max(1u, std::thread::hardware_concurrency());
-  return std::min(n, std::max<std::size_t>(1, jobs));
+/// Resolve the `threads` hint with std::size_t arithmetic throughout;
+/// the `hardware_concurrency() == 0` fallback lives in
+/// ThreadPool::DefaultWorkerCount().
+std::size_t WorkerCount(std::size_t requested) {
+  return requested != 0 ? requested : ThreadPool::DefaultWorkerCount();
 }
 
-template <typename Fn>
-void RunWorkers(std::size_t threads, std::size_t jobs, Fn&& body) {
-  if (threads <= 1) {
+/// Serial on the caller for threads <= 1 or trivial job counts,
+/// otherwise the given pool (or the process-wide shared one).
+void Dispatch(ThreadPool* pool, std::size_t threads, std::size_t jobs,
+              const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->parallel_for(jobs, body);
+    return;
+  }
+  if (WorkerCount(threads) <= 1 || jobs <= 1) {
     for (std::size_t i = 0; i < jobs; ++i) body(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-           i < jobs; i = next.fetch_add(1, std::memory_order_relaxed)) {
-        body(i);
-      }
-    });
-  }
-  for (std::thread& th : pool) th.join();
+  ThreadPool::Shared().parallel_for(jobs, body);
+}
+
+void EncodeImpl(ThreadPool* pool, std::size_t threads, const Codec& codec,
+                std::size_t block_size,
+                std::span<const StripeBuffers> stripes) {
+  Dispatch(pool, threads, stripes.size(), [&](std::size_t i) {
+    codec.encode(block_size, stripes[i].data, stripes[i].parity);
+  });
+}
+
+std::size_t DecodeImpl(ThreadPool* pool, std::size_t threads,
+                       const Codec& codec, std::size_t block_size,
+                       std::span<const DecodeJob> jobs,
+                       std::vector<std::size_t>* failed) {
+  std::mutex mu;
+  std::vector<std::size_t> failed_indices;
+  Dispatch(pool, threads, jobs.size(), [&](std::size_t i) {
+    if (!codec.decode(block_size, jobs[i].blocks, jobs[i].erasures)) {
+      std::lock_guard<std::mutex> lk(mu);
+      failed_indices.push_back(i);
+    }
+  });
+  std::sort(failed_indices.begin(), failed_indices.end());
+  const std::size_t failures = failed_indices.size();
+  if (failed != nullptr) *failed = std::move(failed_indices);
+  return failures;
 }
 
 }  // namespace
@@ -39,24 +60,27 @@ void RunWorkers(std::size_t threads, std::size_t jobs, Fn&& body) {
 void ParallelEncode(const Codec& codec, std::size_t block_size,
                     std::span<const StripeBuffers> stripes,
                     std::size_t threads) {
-  RunWorkers(WorkerCount(threads, stripes.size()), stripes.size(),
-             [&](std::size_t i) {
-               codec.encode(block_size, stripes[i].data, stripes[i].parity);
-             });
+  EncodeImpl(nullptr, threads, codec, block_size, stripes);
+}
+
+void ParallelEncode(ThreadPool& pool, const Codec& codec,
+                    std::size_t block_size,
+                    std::span<const StripeBuffers> stripes) {
+  EncodeImpl(&pool, 0, codec, block_size, stripes);
 }
 
 std::size_t ParallelDecode(const Codec& codec, std::size_t block_size,
                            std::span<const DecodeJob> jobs,
-                           std::size_t threads) {
-  std::atomic<std::size_t> failures{0};
-  RunWorkers(WorkerCount(threads, jobs.size()), jobs.size(),
-             [&](std::size_t i) {
-               if (!codec.decode(block_size, jobs[i].blocks,
-                                 jobs[i].erasures)) {
-                 failures.fetch_add(1, std::memory_order_relaxed);
-               }
-             });
-  return failures.load();
+                           std::size_t threads,
+                           std::vector<std::size_t>* failed) {
+  return DecodeImpl(nullptr, threads, codec, block_size, jobs, failed);
+}
+
+std::size_t ParallelDecode(ThreadPool& pool, const Codec& codec,
+                           std::size_t block_size,
+                           std::span<const DecodeJob> jobs,
+                           std::vector<std::size_t>* failed) {
+  return DecodeImpl(&pool, 0, codec, block_size, jobs, failed);
 }
 
 }  // namespace ec

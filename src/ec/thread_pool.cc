@@ -1,0 +1,181 @@
+#include "ec/thread_pool.h"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+
+namespace ec {
+
+namespace {
+/// Set while a thread is executing inside WorkerLoop, so nested
+/// parallel_for calls can detect they already run on this pool.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
+
+/// Shared bookkeeping of one parallel_for call. Lives on the caller's
+/// stack: parallel_for does not return before `remaining` hits zero,
+/// and workers never touch the state after their decrement (the final
+/// notify happens with `mu` held, so the caller cannot outrun it).
+struct ThreadPool::ForState {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;
+  std::exception_ptr error;
+  std::atomic<bool> cancelled{false};
+};
+
+struct ThreadPool::Worker {
+  std::mutex mu;
+  std::deque<Task> queue;
+  std::uint64_t max_depth = 0;  // guarded by mu
+  std::atomic<std::uint64_t> tasks_run{0};
+  std::atomic<std::uint64_t> tasks_skipped{0};
+  std::atomic<std::uint64_t> steals{0};
+};
+
+std::size_t ThreadPool::DefaultWorkerCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(DefaultWorkerCount());
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? DefaultWorkerCount() : threads;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& th : workers_) th.join();
+}
+
+bool ThreadPool::TryPop(std::size_t id, Task& out) {
+  Worker& own = *queues_[id];
+  {
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.queue.empty()) {
+      out = own.queue.front();
+      own.queue.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal from the back of the first non-empty victim, scanning round-
+  // robin from our right neighbour so load spreads evenly.
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    Worker& victim = *queues_[(id + off) % queues_.size()];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (!victim.queue.empty()) {
+      out = victim.queue.back();
+      victim.queue.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      own.steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::Execute(std::size_t id, const Task& task) {
+  ForState& st = *task.state;
+  Worker& self = *queues_[id];
+  if (!st.cancelled.load(std::memory_order_relaxed)) {
+    try {
+      (*st.body)(task.index);
+      self.tasks_run.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      self.tasks_run.fetch_add(1, std::memory_order_relaxed);
+      st.cancelled.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(st.mu);
+      if (!st.error) st.error = std::current_exception();
+    }
+  } else {
+    self.tasks_skipped.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lk(st.mu);
+  if (--st.remaining == 0) st.done_cv.notify_all();
+}
+
+void ThreadPool::WorkerLoop(std::size_t id) {
+  tls_worker_pool = this;
+  for (;;) {
+    Task task;
+    if (TryPop(id, task)) {
+      Execute(id, task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait(lk, [this] {
+      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_ && pending_.load(std::memory_order_relaxed) == 0) return;
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t jobs, const std::function<void(std::size_t)>& body) {
+  if (jobs == 0) return;
+  if (tls_worker_pool == this) {
+    // Nested call from one of our own workers: that worker cannot block
+    // on itself, so run the loop inline (exceptions propagate as-is).
+    for (std::size_t i = 0; i < jobs; ++i) body(i);
+    return;
+  }
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+
+  ForState st;
+  st.body = &body;
+  st.remaining = jobs;
+
+  const std::size_t n = queues_.size();
+  // Publish the task count before the pushes: a worker that wakes early
+  // and finds a queue still empty just re-checks the predicate.
+  pending_.fetch_add(jobs, std::memory_order_relaxed);
+  for (std::size_t q = 0; q < n && q < jobs; ++q) {
+    Worker& w = *queues_[q];
+    std::lock_guard<std::mutex> lk(w.mu);
+    for (std::size_t i = q; i < jobs; i += n) {
+      w.queue.push_back(Task{&st, i});
+    }
+    w.max_depth = std::max<std::uint64_t>(w.max_depth, w.queue.size());
+  }
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+  }
+  wake_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lk(st.mu);
+  st.done_cv.wait(lk, [&st] { return st.remaining == 0; });
+  if (st.error) std::rethrow_exception(st.error);
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+  for (const auto& w : queues_) {
+    s.tasks_run += w->tasks_run.load(std::memory_order_relaxed);
+    s.tasks_skipped += w->tasks_skipped.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(w->mu);
+    s.max_queue_depth = std::max(s.max_queue_depth, w->max_depth);
+  }
+  return s;
+}
+
+}  // namespace ec

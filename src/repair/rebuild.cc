@@ -77,4 +77,32 @@ RebuildProgress RunRebuild(
   return progress;
 }
 
+ScrubReport ScrubStripes(const ec::Codec& codec, std::size_t block_size,
+                         std::span<const ec::DecodeJob> jobs,
+                         std::size_t threads, std::size_t max_retries) {
+  ScrubReport report;
+  report.stripes = jobs.size();
+
+  std::vector<std::size_t> failed;
+  ec::ParallelDecode(codec, block_size, jobs, threads, &failed);
+  report.failed_first_pass = failed.size();
+
+  for (std::size_t round = 0; round < max_retries && !failed.empty();
+       ++round) {
+    ++report.retry_rounds;
+    std::vector<ec::DecodeJob> subset;
+    subset.reserve(failed.size());
+    for (const std::size_t idx : failed) subset.push_back(jobs[idx]);
+
+    std::vector<std::size_t> still_failed;
+    ec::ParallelDecode(codec, block_size, subset, threads, &still_failed);
+    std::vector<std::size_t> next;
+    next.reserve(still_failed.size());
+    for (const std::size_t s : still_failed) next.push_back(failed[s]);
+    failed = std::move(next);
+  }
+  report.unrecovered = std::move(failed);
+  return report;
+}
+
 }  // namespace repair

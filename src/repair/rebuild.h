@@ -8,9 +8,11 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "bench_util/workload.h"
 #include "ec/codec.h"
+#include "ec/parallel.h"
 #include "simmem/memory_system.h"
 
 namespace repair {
@@ -48,5 +50,27 @@ RebuildProgress RunRebuild(
     const bench_util::WorkloadConfig& wl_cfg, std::size_t failed_block,
     const RebuildConfig& cfg,
     const std::function<void(const RebuildProgress&)>& on_batch = {});
+
+/// Outcome of a functional scrub pass (ScrubStripes).
+struct ScrubReport {
+  std::size_t stripes = 0;            ///< jobs submitted
+  std::size_t failed_first_pass = 0;  ///< failures before any retry
+  std::size_t retry_rounds = 0;       ///< selective retry passes run
+  /// Job indices (into the caller's span) still failing after retries.
+  std::vector<std::size_t> unrecovered;
+
+  bool clean() const { return unrecovered.empty(); }
+};
+
+/// Decode every stripe on the shared pool and retry only the failing
+/// subset — ParallelDecode reports failed job indices, so a transient
+/// fault (torn read, racing writer) costs one extra pass over the few
+/// affected stripes, not a re-decode of the whole set. Stripes with
+/// more than m erasures stay in `unrecovered`. `threads` follows the
+/// ParallelEncode convention (0 = hardware concurrency, 1 = serial).
+ScrubReport ScrubStripes(const ec::Codec& codec, std::size_t block_size,
+                         std::span<const ec::DecodeJob> jobs,
+                         std::size_t threads = 0,
+                         std::size_t max_retries = 1);
 
 }  // namespace repair

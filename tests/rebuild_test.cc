@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <random>
+#include <set>
+
 #include "dialga/dialga.h"
 #include "ec/isal.h"
+#include "ec/parallel.h"
 
 namespace repair {
 namespace {
@@ -93,6 +98,151 @@ TEST(Rebuild, DialgaRebuildsFasterThanIsal) {
   const double dlg_t = RunRebuild(dlg, cfg, SmallWl(), 0, rc).sim_seconds;
   EXPECT_LT(dlg_t, isal_t)
       << "even the static DIALGA snapshot plan should rebuild faster";
+}
+
+/// Real host buffers for the functional scrub tests: `stripes` RS(k, m)
+/// stripes with valid parity, plus the pointer tables ParallelDecode
+/// needs.
+struct ScrubCorpus {
+  std::size_t k, m, bs, stripes;
+  std::vector<std::vector<std::byte>> storage;
+  std::vector<std::vector<std::byte*>> all;
+  std::vector<ec::DecodeJob> jobs;
+
+  ScrubCorpus(const ec::Codec& codec, std::size_t bs_, std::size_t n,
+              std::span<const std::size_t> erasures)
+      : k(codec.params().k), m(codec.params().m), bs(bs_), stripes(n) {
+    storage.resize(n * (k + m), std::vector<std::byte>(bs));
+    std::vector<const std::byte*> data(k);
+    std::vector<std::byte*> parity(m);
+    std::mt19937_64 rng(4242);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t i = 0; i < k; ++i) {
+        auto& blk = storage[s * (k + m) + i];
+        for (auto& b : blk) b = static_cast<std::byte>(rng());
+        data[i] = blk.data();
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        parity[j] = storage[s * (k + m) + k + j].data();
+      }
+      codec.encode(bs, data, parity);
+    }
+    all.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t b = 0; b < k + m; ++b) {
+        all[s].push_back(storage[s * (k + m) + b].data());
+      }
+      for (const std::size_t e : erasures) {
+        std::fill(storage[s * (k + m) + e].begin(),
+                  storage[s * (k + m) + e].end(), std::byte{0});
+      }
+      jobs.push_back({all[s], erasures});
+    }
+  }
+};
+
+TEST(Scrub, CleanPassRepairsEverything) {
+  const ec::IsalCodec codec(6, 2);
+  const std::vector<std::size_t> erasures{1, 6};
+  ScrubCorpus corpus(codec, 512, 20, erasures);
+  const ScrubReport r = ScrubStripes(codec, 512, corpus.jobs, 2);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.stripes, 20u);
+  EXPECT_EQ(r.failed_first_pass, 0u);
+  EXPECT_EQ(r.retry_rounds, 0u);
+}
+
+TEST(Scrub, UnrecoverableStripesKeepTheirIndices) {
+  const ec::IsalCodec codec(4, 2);
+  const std::vector<std::size_t> ok{0};
+  const std::vector<std::size_t> fatal{0, 1, 2};  // > m erasures
+  ScrubCorpus corpus(codec, 256, 8, ok);
+  corpus.jobs[2].erasures = fatal;
+  corpus.jobs[6].erasures = fatal;
+  const ScrubReport r = ScrubStripes(codec, 256, corpus.jobs, 2);
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.failed_first_pass, 2u);
+  EXPECT_EQ(r.retry_rounds, 1u);  // retried once, still dead
+  EXPECT_EQ(r.unrecovered, (std::vector<std::size_t>{2, 6}));
+}
+
+/// Fails each marked stripe's first decode attempt (identified by its
+/// block-pointer table), then delegates — a transient media fault. Also
+/// counts delegated decodes so the test can prove the retry pass only
+/// re-touches the stripes that failed.
+class FlakyCodec : public ec::Codec {
+ public:
+  FlakyCodec(const ec::Codec& inner, std::set<const void*> poisoned)
+      : inner_(inner), poisoned_(std::move(poisoned)) {}
+
+  std::string name() const override { return "flaky"; }
+  ec::CodeParams params() const override { return inner_.params(); }
+  ec::SimdWidth simd() const override { return inner_.simd(); }
+  void encode(std::size_t block_size,
+              std::span<const std::byte* const> data,
+              std::span<std::byte* const> parity) const override {
+    inner_.encode(block_size, data, parity);
+  }
+  bool decode(std::size_t block_size, std::span<std::byte* const> blocks,
+              std::span<const std::size_t> erasures) const override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++decode_calls_;
+      const auto it = poisoned_.find(blocks.data());
+      if (it != poisoned_.end()) {
+        poisoned_.erase(it);
+        return false;
+      }
+    }
+    return inner_.decode(block_size, blocks, erasures);
+  }
+  ec::EncodePlan encode_plan(std::size_t block_size,
+                             const simmem::ComputeCost& cost) const override {
+    return inner_.encode_plan(block_size, cost);
+  }
+  ec::EncodePlan decode_plan(std::size_t block_size,
+                             const simmem::ComputeCost& cost,
+                             std::span<const std::size_t> erasures)
+      const override {
+    return inner_.decode_plan(block_size, cost, erasures);
+  }
+  std::size_t decode_calls() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return decode_calls_;
+  }
+
+ private:
+  const ec::Codec& inner_;
+  mutable std::mutex mu_;
+  mutable std::set<const void*> poisoned_;
+  mutable std::size_t decode_calls_ = 0;
+};
+
+TEST(Scrub, RetriesOnlyTheFailedSubset) {
+  const ec::IsalCodec inner(5, 2);
+  const std::vector<std::size_t> erasures{0};
+  ScrubCorpus corpus(inner, 512, 16, erasures);
+  const FlakyCodec codec(
+      inner, {corpus.jobs[3].blocks.data(), corpus.jobs[11].blocks.data()});
+
+  const ScrubReport r = ScrubStripes(codec, 512, corpus.jobs, 2);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.failed_first_pass, 2u);
+  EXPECT_EQ(r.retry_rounds, 1u);
+  // 16 first-pass decodes + exactly the 2 flaky stripes retried.
+  EXPECT_EQ(codec.decode_calls(), 18u);
+}
+
+TEST(Scrub, RetryBudgetZeroReportsFirstPassFailures) {
+  const ec::IsalCodec inner(4, 2);
+  const std::vector<std::size_t> erasures{1};
+  ScrubCorpus corpus(inner, 256, 6, erasures);
+  const FlakyCodec codec(inner, {corpus.jobs[0].blocks.data()});
+  const ScrubReport r =
+      ScrubStripes(codec, 256, corpus.jobs, 1, /*max_retries=*/0);
+  EXPECT_EQ(r.failed_first_pass, 1u);
+  EXPECT_EQ(r.retry_rounds, 0u);
+  EXPECT_EQ(r.unrecovered, (std::vector<std::size_t>{0}));
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+#include "ec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ec {
+namespace {
+
+TEST(ThreadPool, DefaultWorkerCountIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultWorkerCount(), 1u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), ThreadPool::DefaultWorkerCount());
+}
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(3);
+  const std::size_t jobs = 500;
+  std::vector<std::atomic<int>> hits(jobs);
+  pool.parallel_for(jobs, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  const ThreadPoolStats s = pool.stats();
+  EXPECT_EQ(s.tasks_run, jobs);
+  EXPECT_EQ(s.tasks_skipped, 0u);
+  EXPECT_EQ(s.parallel_fors, 1u);
+}
+
+TEST(ThreadPool, SingleWorkerIsDeterministicInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, EmptyParallelForIsNoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+  EXPECT_EQ(pool.stats().parallel_fors, 0u);
+}
+
+TEST(ThreadPool, StealsUnderSkewedJobCosts) {
+  ThreadPool pool(2);
+  // Round-robin dealing puts even indices on worker 0. Job 0 pins that
+  // worker for a while, so worker 1 must steal the remaining even jobs
+  // after draining its own cheap odd ones.
+  pool.parallel_for(32, [&](std::size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  });
+  const ThreadPoolStats s = pool.stats();
+  EXPECT_EQ(s.tasks_run, 32u);
+  EXPECT_GE(s.steals, 1u);
+}
+
+TEST(ThreadPool, WorkersPersistAcrossCalls) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  const auto record = [&](std::size_t) {
+    std::lock_guard<std::mutex> lk(mu);
+    ids.insert(std::this_thread::get_id());
+  };
+  for (int round = 0; round < 4; ++round) pool.parallel_for(16, record);
+  // Every executing thread across all rounds was one of the two
+  // persistent workers — no per-call thread construction.
+  EXPECT_LE(ids.size(), pool.worker_count());
+  EXPECT_GE(ids.size(), 1u);
+  const ThreadPoolStats s = pool.stats();
+  EXPECT_EQ(s.parallel_fors, 4u);
+  EXPECT_EQ(s.tasks_run, 64u);
+}
+
+TEST(ThreadPool, RethrowsFirstExceptionAfterQuiescence) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> ran;
+  try {
+    pool.parallel_for(10, [&](std::size_t i) {
+      if (i == 2) throw std::runtime_error("job 2 failed");
+      ran.push_back(i);
+    });
+    FAIL() << "exception must propagate to the caller";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 2 failed");
+  }
+  // Single worker, in-order: jobs 0 and 1 ran, the rest were skipped
+  // once the call was cancelled.
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1}));
+  const ThreadPoolStats s = pool.stats();
+  EXPECT_EQ(s.tasks_run, 3u);  // includes the throwing body
+  EXPECT_EQ(s.tasks_skipped, 7u);
+}
+
+TEST(ThreadPool, UsableAfterAnException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t i) {
+                     if (i == 5) throw std::logic_error("once");
+                   }),
+               std::logic_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NonExceptionThrowPropagatesToo) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [](std::size_t i) {
+                                   if (i == 1) throw 42;  // NOLINT
+                                 }),
+               int);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.parallel_for(2, [&](std::size_t) {
+    pool.parallel_for(3, [&](std::size_t) {
+      inner.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner.load(), 6);
+}
+
+TEST(ThreadPool, NestedExceptionStillReachesOuterCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(1,
+                        [&](std::size_t) {
+                          pool.parallel_for(2, [](std::size_t j) {
+                            if (j == 1) throw std::runtime_error("inner");
+                          });
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, TracksMaxQueueDepth) {
+  ThreadPool pool(1);
+  // All eight tasks are dealt to the single worker's queue under one
+  // lock hold, so the high-water mark is exactly the job count.
+  pool.parallel_for(8, [](std::size_t) {});
+  EXPECT_EQ(pool.stats().max_queue_depth, 8u);
+}
+
+TEST(ThreadPool, StatsDeltaAttributesOneWindow) {
+  ThreadPool pool(2);
+  pool.parallel_for(10, [](std::size_t) {});
+  const ThreadPoolStats before = pool.stats();
+  pool.parallel_for(25, [](std::size_t) {});
+  const ThreadPoolStats delta = pool.stats() - before;
+  EXPECT_EQ(delta.tasks_run, 25u);
+  EXPECT_EQ(delta.parallel_fors, 1u);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleInstance) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.worker_count(), ThreadPool::DefaultWorkerCount());
+  std::atomic<int> count{0};
+  a.parallel_for(32, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ManyConcurrentRoundsShutDownCleanly) {
+  // Construction/destruction churn with queued work: the destructor
+  // must drain and join without hanging or dropping tasks.
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallel_for(200, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 200);
+  }
+}
+
+}  // namespace
+}  // namespace ec
