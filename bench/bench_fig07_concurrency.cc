@@ -59,25 +59,17 @@ int main(int argc, char** argv) {
     hwl.m = 24;
     hwl.block_size = 1024;
     hwl.total_data_bytes = 2 * fig::kMiB;
-    bench_util::Table host(
-        {"iter", "workers", "host GB/s", "tasks", "steals", "max_queue"});
+    figure.host_series_title("host work-stealing pool, RS(28,24) 1KB encode");
     bool each_stripe_once = true;
     for (int iter = 0; iter < 3; ++iter) {
       hwl.seed = 100 + iter;
       const auto hr =
           bench_util::RunHostEncode(hwl, host_codec, fig::HostPool());
       each_stripe_once &= hr.pool.tasks_run == hr.stripes;
-      host.row({std::to_string(iter),
-                std::to_string(fig::HostPool().worker_count()),
-                bench_util::Table::num(hr.gbps, 3),
-                std::to_string(hr.pool.tasks_run),
-                std::to_string(hr.pool.steals),
-                std::to_string(hr.pool.max_queue_depth)});
-      fig::RegisterHostPoint("fig7/host_pool/iter:" + std::to_string(iter),
-                             hr);
+      figure.host_point("fig7/host_pool/iter:" + std::to_string(iter),
+                        "iter:" + std::to_string(iter), hr,
+                        fig::HostPool().worker_count());
     }
-    std::cout << "\n--- host work-stealing pool, RS(28,24) 1KB encode ---\n";
-    host.print(std::cout);
     figure.check("host pool runs every stripe exactly once per iteration",
                  each_stripe_once);
   }

@@ -80,8 +80,7 @@ int main(int argc, char** argv) {
   // (stripe costs differ by ~3.6x between the shapes, which is the load
   // imbalance work stealing absorbs).
   {
-    bench_util::Table host(
-        {"config", "workers", "host GB/s", "tasks", "steals", "max_queue"});
+    figure.host_series_title("host work-stealing pool, functional encode");
     for (const Config& c : {Config{28, 24, 1024}, Config{52, 48, 1024}}) {
       const ec::IsalCodec host_codec(c.k, c.m);
       bench_util::WorkloadConfig hwl;
@@ -94,15 +93,9 @@ int main(int argc, char** argv) {
       const std::string label = "RS(" + std::to_string(c.k) + "," +
                                 std::to_string(c.m) + ")/" +
                                 std::to_string(c.bs) + "B";
-      host.row({label, std::to_string(fig::HostPool().worker_count()),
-                bench_util::Table::num(hr.gbps, 3),
-                std::to_string(hr.pool.tasks_run),
-                std::to_string(hr.pool.steals),
-                std::to_string(hr.pool.max_queue_depth)});
-      fig::RegisterHostPoint("fig13/host_pool/" + label, hr);
+      figure.host_point("fig13/host_pool/" + label, label, hr,
+                        fig::HostPool().worker_count());
     }
-    std::cout << "\n--- host work-stealing pool, functional encode ---\n";
-    host.print(std::cout);
   }
   return figure.run(argc, argv);
 }

@@ -49,8 +49,7 @@ int main(int argc, char** argv) {
   // reused across both shapes; a failure count of zero pins the clean
   // path (repair::ScrubStripes handles the selective-retry case).
   {
-    bench_util::Table host({"code", "host GB/s", "failed", "tasks",
-                            "steals", "max_queue"});
+    figure.host_series_title("host work-stealing pool, functional rebuild");
     bool all_repaired = true;
     for (const Shape& sh : {Shape{12, 4}, Shape{28, 24}}) {
       const ec::IsalCodec host_codec(sh.k, sh.m);
@@ -65,15 +64,9 @@ int main(int argc, char** argv) {
       all_repaired &= hr.failed_stripes == 0;
       const std::string code =
           "RS(" + std::to_string(sh.k) + "," + std::to_string(sh.m) + ")";
-      host.row({code, bench_util::Table::num(hr.gbps, 3),
-                std::to_string(hr.failed_stripes),
-                std::to_string(hr.pool.tasks_run),
-                std::to_string(hr.pool.steals),
-                std::to_string(hr.pool.max_queue_depth)});
-      fig::RegisterHostPoint("rebuild/host_pool/" + code, hr);
+      figure.host_point("rebuild/host_pool/" + code, code, hr,
+                        fig::HostPool().worker_count());
     }
-    std::cout << "\n--- host work-stealing pool, functional rebuild ---\n";
-    host.print(std::cout);
     figure.check("host rebuild repairs every stripe", all_repaired);
   }
   return figure.run(argc, argv);

@@ -141,13 +141,17 @@ int main(int argc, char** argv) {
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     const double gbps =
         secs > 0.0 ? static_cast<double>(stripes * len) / (secs * 1e9) : 0.0;
-    bench_util::Table host(
-        {"updates", "host GB/s", "tasks", "steals", "max_queue"});
-    host.row({std::to_string(stripes), bench_util::Table::num(gbps, 3),
-              std::to_string(delta.tasks_run), std::to_string(delta.steals),
-              std::to_string(delta.max_queue_depth)});
-    std::cout << "\n--- host work-stealing pool, delta parity updates ---\n";
-    host.print(std::cout);
+    bench_util::HostRunResult hr;
+    hr.seconds = secs;
+    hr.gbps = gbps;
+    hr.payload_bytes = stripes * len;
+    hr.stripes = stripes;
+    hr.pool = delta;
+    figure.host_series_title(
+        "host work-stealing pool, delta parity updates");
+    figure.host_point("update/host_pool/delta",
+                      "updates:" + std::to_string(stripes), hr,
+                      fig::HostPool().worker_count());
     figure.check("host pool applied one update per stripe",
                  delta.tasks_run == stripes);
   }

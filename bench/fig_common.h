@@ -134,8 +134,9 @@ inline void RegisterPoint(
 inline ec::ThreadPool& HostPool() { return ec::ThreadPool::Shared(); }
 
 /// Register one host-pool run with the benchmark tooling: the point's
-/// time is the real wall time of the pooled run and the pool counters
-/// (tasks, steals, max queue depth) ride along as counters.
+/// time is the real wall time of the pooled run and the full set of
+/// work-stealing pool counters rides along, so they appear in
+/// google-benchmark's JSON/CSV output as well as the human tables.
 inline void RegisterHostPoint(const std::string& name,
                               const bench_util::HostRunResult& r) {
   bench_util::RunResult as_run;
@@ -147,7 +148,11 @@ inline void RegisterHostPoint(const std::string& name,
         as_run,
         std::map<std::string, double>{
             {"pool_tasks", static_cast<double>(r.pool.tasks_run)},
+            {"pool_tasks_skipped",
+             static_cast<double>(r.pool.tasks_skipped)},
             {"pool_steals", static_cast<double>(r.pool.steals)},
+            {"pool_parallel_fors",
+             static_cast<double>(r.pool.parallel_fors)},
             {"pool_max_queue",
              static_cast<double>(r.pool.max_queue_depth)}}};
   });
@@ -178,6 +183,32 @@ class FigureBench {
     table_.row(std::move(row_cells));
   }
 
+  /// Subtitle printed above the host-pool companion series.
+  void host_series_title(std::string title) {
+    host_title_ = std::move(title);
+  }
+
+  /// One host-pool companion point. Every figure shares this row shape,
+  /// so the pool counters (tasks run, steals, max queue depth, ...) are
+  /// machine-readable: the series is written as <stem>_host.csv under
+  /// DIALGA_CSV_DIR and each point is registered with google-benchmark
+  /// (counters in its JSON/CSV output), in addition to the human table.
+  void host_point(const std::string& bench_name, const std::string& id,
+                  const bench_util::HostRunResult& r, std::size_t workers) {
+    host_table_.row({id, std::to_string(workers),
+                     bench_util::Table::num(r.gbps, 3),
+                     bench_util::Table::num(r.seconds, 6),
+                     std::to_string(r.stripes),
+                     std::to_string(r.failed_stripes),
+                     std::to_string(r.pool.tasks_run),
+                     std::to_string(r.pool.tasks_skipped),
+                     std::to_string(r.pool.steals),
+                     std::to_string(r.pool.parallel_fors),
+                     std::to_string(r.pool.max_queue_depth)});
+    host_points_ = true;
+    RegisterHostPoint(bench_name, r);
+  }
+
   /// Record a paper-shape assertion; the checklist is printed after the
   /// series so a figure run is self-validating against the paper's
   /// qualitative claims.
@@ -188,6 +219,10 @@ class FigureBench {
   int run(int argc, char** argv) {
     std::cout << "\n=== " << title_ << " ===\n";
     table_.print(std::cout);
+    if (host_points_) {
+      std::cout << "\n--- " << host_title_ << " ---\n";
+      host_table_.print(std::cout);
+    }
     if (!checks_.empty()) {
       std::cout << "\npaper-shape checks:\n";
       std::size_t passed = 0;
@@ -209,7 +244,8 @@ class FigureBench {
 
  private:
   /// With DIALGA_CSV_DIR set, drop the series as <dir>/<binary>.csv so
-  /// plotting scripts can pick every figure up.
+  /// plotting scripts can pick every figure up; the host-pool companion
+  /// series (pool counters included) goes to <binary>_host.csv.
   void write_csv(const std::string& argv0) const {
     const char* dir = std::getenv("DIALGA_CSV_DIR");
     if (dir == nullptr) return;
@@ -220,10 +256,20 @@ class FigureBench {
     }
     std::ofstream out(std::string(dir) + "/" + stem + ".csv");
     if (out) table_.print_csv(out);
+    if (host_points_) {
+      std::ofstream host_out(std::string(dir) + "/" + stem + "_host.csv");
+      if (host_out) host_table_.print_csv(host_out);
+    }
   }
 
   std::string title_;
   bench_util::Table table_;
+  std::string host_title_ = "host work-stealing pool series";
+  bench_util::Table host_table_{
+      {"id", "workers", "host_GBps", "seconds", "stripes", "failed",
+       "tasks_run", "tasks_skipped", "steals", "parallel_fors",
+       "max_queue_depth"}};
+  bool host_points_ = false;
   std::vector<std::pair<std::string, bool>> checks_;
 };
 

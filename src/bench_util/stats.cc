@@ -19,7 +19,21 @@ Stats Summarize(std::span<const double> samples) {
   // Sample standard deviation (n-1), matching what a benchmark harness
   // reports over repeated runs.
   s.stdev = s.n > 1 ? std::sqrt(sq / static_cast<double>(s.n - 1)) : 0.0;
+  s.p50 = Percentile(samples, 0.50);
+  s.p99 = Percentile(samples, 0.99);
   return s;
+}
+
+double Percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
 
 Stats RunEncodeRepeated(const simmem::SimConfig& sim_cfg,

@@ -17,6 +17,8 @@ struct Stats {
   double stdev = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double p50 = 0.0;  ///< median (linear interpolation between ranks)
+  double p99 = 0.0;  ///< 99th percentile
   std::size_t n = 0;
 
   /// Coefficient of variation (stdev / mean).
@@ -24,6 +26,12 @@ struct Stats {
 };
 
 Stats Summarize(std::span<const double> samples);
+
+/// Quantile q in [0, 1] with linear interpolation between closest
+/// ranks (the convention of numpy.percentile). Service-latency
+/// consumers (svc::StripeService stats, bench_svc_throughput) report
+/// p50/p99 through this. Returns 0 on an empty sample set.
+double Percentile(std::span<const double> samples, double q);
 
 /// Run a timed encode `runs` times with distinct workload seeds and
 /// summarize the simulated throughput.

@@ -24,6 +24,20 @@ Coordinator::Coordinator(const PatternInfo& pattern, const Features& features,
   decide();
 }
 
+void Coordinator::update_pattern(const PatternInfo& pattern) {
+  if (pattern == pattern_) return;
+  const bool k_changed = pattern.k != pattern_.k;
+  pattern_ = pattern;
+  if (k_changed && !climber_.converged()) {
+    // The distance search seed tracks k; restart an unconverged search
+    // from the new shape's seed rather than let it finish climbing a
+    // stale landscape. A converged distance is kept — the fluctuation
+    // restart in sample() re-opens it if throughput actually moves.
+    climber_.restart(std::clamp(pattern.k, kMinDistance, kMaxDistance));
+  }
+  decide();
+}
+
 const Strategy& Coordinator::strategy(const simmem::MemorySystem& mem) {
   const double now = mem.max_clock();
   if (now - last_sample_time_ >= thr_.sample_interval_ns) {

@@ -31,6 +31,8 @@ struct PatternInfo {
   std::size_t m = 0;
   std::size_t block_size = 0;
   std::size_t nthreads = 1;
+
+  friend bool operator==(const PatternInfo&, const PatternInfo&) = default;
 };
 
 class Coordinator {
@@ -45,6 +47,15 @@ class Coordinator {
   /// Strategy chosen from the static pattern alone, before any
   /// sampling (what the first stripe runs with).
   const Strategy& initial_strategy() const { return strat_; }
+
+  /// Replace the I/O access pattern mid-run and re-decide the strategy
+  /// against the already-collected sampling state. This is how a
+  /// request front-end (svc::StripeService) feeds the live admitted
+  /// mix to the coordinator instead of pinning the construction-time
+  /// shape. A no-op when the pattern is unchanged.
+  void update_pattern(const PatternInfo& pattern);
+
+  const PatternInfo& pattern() const { return pattern_; }
 
   // Introspection (tests, EXPERIMENTS.md traces).
   std::size_t samples_taken() const { return samples_; }

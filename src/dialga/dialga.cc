@@ -10,6 +10,10 @@ DialgaPlanProvider::DialgaPlanProvider(PlanFactory factory,
     : factory_(std::move(factory)),
       coord_(pattern, features, thresholds, pm_buffer_bytes) {}
 
+void DialgaPlanProvider::observe_pattern(const PatternInfo& pattern) {
+  coord_.update_pattern(pattern);
+}
+
 const ec::EncodePlan& DialgaPlanProvider::next_plan(
     std::size_t /*tid*/, simmem::MemorySystem& mem) {
   const Strategy& s = coord_.strategy(mem);

@@ -40,6 +40,13 @@ class DialgaPlanProvider : public ec::PlanProvider {
   const ec::EncodePlan& next_plan(std::size_t tid,
                                   simmem::MemorySystem& mem) override;
 
+  /// Feed a fresh I/O access pattern (the live admitted request mix a
+  /// front-end like svc::StripeService observes) into the coordinator;
+  /// the strategy is re-decided immediately and subsequent next_plan
+  /// calls materialize plans for it. Plans already cached stay valid —
+  /// the cache is keyed by realized strategy, not by pattern.
+  void observe_pattern(const PatternInfo& pattern);
+
   const Coordinator& coordinator() const { return coord_; }
   /// Number of distinct strategies materialized so far.
   std::size_t plans_built() const { return cache_.size(); }

@@ -12,10 +12,13 @@ namespace {
 thread_local const ThreadPool* tls_worker_pool = nullptr;
 }  // namespace
 
-/// Shared bookkeeping of one parallel_for call. Lives on the caller's
-/// stack: parallel_for does not return before `remaining` hits zero,
-/// and workers never touch the state after their decrement (the final
-/// notify happens with `mu` held, so the caller cannot outrun it).
+/// Shared bookkeeping of one parallel_for / run_async call. For the
+/// synchronous call it lives on the caller's stack: parallel_for does
+/// not return before `remaining` hits zero, and workers never touch the
+/// state after their decrement (the final notify happens with `mu`
+/// held, so the caller cannot outrun it). For run_async it is
+/// heap-allocated, owns the body, and the worker that retires the last
+/// job deletes it after moving the completion hook out.
 struct ThreadPool::ForState {
   const std::function<void(std::size_t)>* body = nullptr;
   std::mutex mu;
@@ -23,6 +26,11 @@ struct ThreadPool::ForState {
   std::size_t remaining = 0;
   std::exception_ptr error;
   std::atomic<bool> cancelled{false};
+  /// run_async only: owned copies of the callable pair. `body` points
+  /// at `owned_body`; `on_complete` being non-null marks the state as
+  /// self-deleting.
+  std::function<void(std::size_t)> owned_body;
+  std::function<void(std::exception_ptr)> on_complete;
 };
 
 struct ThreadPool::Worker {
@@ -108,8 +116,26 @@ void ThreadPool::Execute(std::size_t id, const Task& task) {
   } else {
     self.tasks_skipped.fetch_add(1, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lk(st.mu);
-  if (--st.remaining == 0) st.done_cv.notify_all();
+  // Whether the state is self-deleting must be read under the lock: for
+  // a synchronous call the caller may wake and destroy the stack state
+  // the instant the last decrement is visible, so nothing may touch
+  // `st` after the unlock unless this thread owns it.
+  bool last_async = false;
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    const bool is_async = static_cast<bool>(st.on_complete);
+    const bool last = --st.remaining == 0;
+    if (last && !is_async) st.done_cv.notify_all();
+    last_async = last && is_async;
+  }
+  if (last_async) {
+    // Async call: every sibling has decremented (their mu critical
+    // sections happened-before ours), so this thread owns the state.
+    auto hook = std::move(st.on_complete);
+    const std::exception_ptr error = st.error;
+    delete &st;
+    hook(error);
+  }
 }
 
 void ThreadPool::WorkerLoop(std::size_t id) {
@@ -142,7 +168,30 @@ void ThreadPool::parallel_for(
   ForState st;
   st.body = &body;
   st.remaining = jobs;
+  Enqueue(&st, jobs);
 
+  std::unique_lock<std::mutex> lk(st.mu);
+  st.done_cv.wait(lk, [&st] { return st.remaining == 0; });
+  if (st.error) std::rethrow_exception(st.error);
+}
+
+void ThreadPool::run_async(std::size_t jobs,
+                           std::function<void(std::size_t)> body,
+                           std::function<void(std::exception_ptr)> on_complete) {
+  if (jobs == 0) {
+    on_complete(nullptr);
+    return;
+  }
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+  auto* st = new ForState;
+  st->owned_body = std::move(body);
+  st->body = &st->owned_body;
+  st->on_complete = std::move(on_complete);
+  st->remaining = jobs;
+  Enqueue(st, jobs);
+}
+
+void ThreadPool::Enqueue(ForState* st, std::size_t jobs) {
   const std::size_t n = queues_.size();
   // Publish the task count before the pushes: a worker that wakes early
   // and finds a queue still empty just re-checks the predicate.
@@ -151,7 +200,7 @@ void ThreadPool::parallel_for(
     Worker& w = *queues_[q];
     std::lock_guard<std::mutex> lk(w.mu);
     for (std::size_t i = q; i < jobs; i += n) {
-      w.queue.push_back(Task{&st, i});
+      w.queue.push_back(Task{st, i});
     }
     w.max_depth = std::max<std::uint64_t>(w.max_depth, w.queue.size());
   }
@@ -159,10 +208,6 @@ void ThreadPool::parallel_for(
     std::lock_guard<std::mutex> lk(wake_mu_);
   }
   wake_cv_.notify_all();
-
-  std::unique_lock<std::mutex> lk(st.mu);
-  st.done_cv.wait(lk, [&st] { return st.remaining == 0; });
-  if (st.error) std::rethrow_exception(st.error);
 }
 
 ThreadPoolStats ThreadPool::stats() const {

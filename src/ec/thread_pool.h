@@ -78,6 +78,18 @@ class ThreadPool {
   void parallel_for(std::size_t jobs,
                     const std::function<void(std::size_t)>& body);
 
+  /// Completion-hook variant: enqueue body(i) for every i in [0, jobs)
+  /// and return immediately. `on_complete` runs exactly once, on the
+  /// worker that finishes the last job, with the first exception any
+  /// body threw (nullptr when all succeeded; remaining jobs of the call
+  /// are skipped after a throw, as in parallel_for). The hook must not
+  /// block on this pool (submitting more work via run_async is fine —
+  /// it never blocks); long-lived services use it to overlap batches
+  /// instead of parking a thread per parallel_for. jobs == 0 invokes
+  /// the hook inline on the caller.
+  void run_async(std::size_t jobs, std::function<void(std::size_t)> body,
+                 std::function<void(std::exception_ptr)> on_complete);
+
   /// Aggregated counters since construction (relaxed reads: exact once
   /// the pool is quiescent, approximate while work is in flight).
   ThreadPoolStats stats() const;
@@ -101,6 +113,7 @@ class ThreadPool {
   void WorkerLoop(std::size_t id);
   bool TryPop(std::size_t id, Task& out);
   void Execute(std::size_t id, const Task& task);
+  void Enqueue(ForState* state, std::size_t jobs);
 
   std::vector<std::unique_ptr<Worker>> queues_;
   std::vector<std::thread> workers_;

@@ -1,7 +1,13 @@
 #include "shard/shard_store.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
+#include <future>
 #include <sstream>
+
+#include "svc/stripe_service.h"
 
 namespace shard {
 
@@ -16,8 +22,23 @@ std::uint64_t Checksum(const std::byte* data, std::size_t n) {
   return h;
 }
 
+std::string Status::message() const {
+  std::string msg = detail.empty() ? std::string("ok") : detail;
+  if (!path.empty()) {
+    msg += ": ";
+    msg += path.string();
+  }
+  if (kind == Kind::kIoError && error != 0) {
+    msg += ": ";
+    msg += std::strerror(error);
+  }
+  return msg;
+}
+
 std::size_t Manifest::stripes() const {
-  const std::uint64_t stripe_bytes = static_cast<std::uint64_t>(k) * block_size;
+  const std::uint64_t stripe_bytes =
+      static_cast<std::uint64_t>(k) * block_size;
+  if (stripe_bytes == 0) return 0;
   return static_cast<std::size_t>((file_size + stripe_bytes - 1) /
                                   stripe_bytes);
 }
@@ -36,34 +57,61 @@ std::string Manifest::serialize() const {
 }
 
 std::optional<Manifest> Manifest::parse(const std::string& text) {
+  // The manifest comes off disk and may be truncated or hostile, so
+  // every field is bounded before it sizes an allocation or feeds the
+  // stripe arithmetic: geometry must precede the checksum table, shard
+  // indices never grow the vector, and k * block_size cannot wrap to
+  // zero (the stripes() divisor).
+  constexpr std::size_t kMaxShards = 4096;                  // k + m
+  constexpr std::size_t kMaxBlock = std::size_t{1} << 30;   // 1 GiB
+  constexpr std::uint64_t kMaxFile = std::uint64_t{1} << 50;  // 1 PiB
   std::istringstream is(text);
   std::string line;
   if (!std::getline(is, line) || line != "dialga-shard-v1") return std::nullopt;
   Manifest mf;
+  std::vector<bool> seen;
   std::string key;
   while (is >> key) {
     if (key == "k") {
-      is >> mf.k;
+      if (!(is >> mf.k) || mf.k == 0 || mf.k > kMaxShards) return std::nullopt;
     } else if (key == "m") {
-      is >> mf.m;
+      if (!(is >> mf.m) || mf.m == 0 || mf.m > kMaxShards) return std::nullopt;
     } else if (key == "block") {
-      is >> mf.block_size;
+      if (!(is >> mf.block_size) || mf.block_size == 0 ||
+          mf.block_size > kMaxBlock) {
+        return std::nullopt;
+      }
     } else if (key == "size") {
-      is >> mf.file_size;
+      if (!(is >> mf.file_size) || mf.file_size > kMaxFile) {
+        return std::nullopt;
+      }
     } else if (key == "shard") {
-      std::size_t idx;
-      std::uint64_t sum;
-      is >> idx >> sum;
-      mf.shard_checksums.resize(
-          std::max(mf.shard_checksums.size(), idx + 1));
+      if (mf.k == 0 || mf.m == 0 || mf.k + mf.m > kMaxShards) {
+        return std::nullopt;  // geometry must precede the table
+      }
+      if (seen.empty()) {
+        seen.assign(mf.k + mf.m, false);
+        mf.shard_checksums.assign(mf.k + mf.m, 0);
+      }
+      std::size_t idx = 0;
+      std::uint64_t sum = 0;
+      if (!(is >> idx >> sum) || idx >= seen.size() || seen[idx]) {
+        return std::nullopt;
+      }
+      seen[idx] = true;
       mf.shard_checksums[idx] = sum;
     } else {
       return std::nullopt;
     }
-    if (!is) return std::nullopt;
   }
   if (mf.k == 0 || mf.m == 0 || mf.block_size == 0) return std::nullopt;
-  if (mf.shard_checksums.size() != mf.k + mf.m) return std::nullopt;
+  if (mf.k + mf.m > kMaxShards) return std::nullopt;
+  // The table must match the final geometry exactly: one checksum per
+  // shard, none missing, none duplicated (duplicates already rejected).
+  if (seen.size() != mf.k + mf.m) return std::nullopt;
+  if (!std::all_of(seen.begin(), seen.end(), [](bool b) { return b; })) {
+    return std::nullopt;
+  }
   return mf;
 }
 
@@ -75,21 +123,37 @@ fs::path ShardPath(const fs::path& dir, std::size_t index) {
   return dir / name;
 }
 
-bool WriteFile(const fs::path& path, const std::byte* data, std::size_t n) {
+bool WriteFile(const fs::path& path, const std::byte* data, std::size_t n,
+               int* err = nullptr) {
+  errno = 0;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(n));
-  return static_cast<bool>(out);
+  if (out) {
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(n));
+    out.flush();
+  }
+  if (!out) {
+    if (err) *err = errno != 0 ? errno : EIO;
+    return false;
+  }
+  return true;
 }
 
-bool ReadFile(const fs::path& path, std::vector<std::byte>* out) {
+bool ReadFile(const fs::path& path, std::vector<std::byte>* out,
+              int* err = nullptr) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return false;
-  const std::streamsize n = in.tellg();
-  in.seekg(0);
-  out->resize(static_cast<std::size_t>(n));
-  in.read(reinterpret_cast<char*>(out->data()), n);
-  return static_cast<bool>(in);
+  if (in) {
+    const std::streamsize n = in.tellg();
+    in.seekg(0);
+    out->resize(static_cast<std::size_t>(n));
+    in.read(reinterpret_cast<char*>(out->data()), n);
+  }
+  if (!in) {
+    if (err) *err = errno != 0 ? errno : EIO;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -97,9 +161,101 @@ bool ReadFile(const fs::path& path, std::vector<std::byte>* out) {
 ShardStore::ShardStore(const ec::Codec& codec, std::size_t block_size)
     : codec_(codec), block_size_(block_size) {}
 
-bool ShardStore::encode_file(const fs::path& input, const fs::path& dir) const {
+void ShardStore::encode_stripes(
+    const Manifest& mf, std::vector<std::vector<std::byte>>& shards) const {
+  const std::size_t stripes = std::max<std::size_t>(1, mf.stripes());
+  auto serial = [&](std::size_t r) {
+    std::vector<const std::byte*> data(mf.k);
+    std::vector<std::byte*> parity(mf.m);
+    for (std::size_t i = 0; i < mf.k; ++i) {
+      data[i] = shards[i].data() + r * mf.block_size;
+    }
+    for (std::size_t j = 0; j < mf.m; ++j) {
+      parity[j] = shards[mf.k + j].data() + r * mf.block_size;
+    }
+    codec_.encode(mf.block_size, data, parity);
+  };
+  if (service_ == nullptr) {
+    for (std::size_t r = 0; r < stripes; ++r) serial(r);
+    return;
+  }
+  // Submit every stripe up front so the service can batch them, then
+  // reap in order. Anything the service refused (backpressure,
+  // shutdown) is encoded serially — routing sheds load, never fails.
+  std::vector<std::future<svc::Result>> done;
+  done.reserve(stripes);
+  for (std::size_t r = 0; r < stripes; ++r) {
+    svc::EncodeRequest req;
+    req.shape = {mf.k, mf.m, mf.block_size};
+    req.codec = &codec_;
+    req.data.resize(mf.k);
+    req.parity.resize(mf.m);
+    for (std::size_t i = 0; i < mf.k; ++i) {
+      req.data[i] = shards[i].data() + r * mf.block_size;
+    }
+    for (std::size_t j = 0; j < mf.m; ++j) {
+      req.parity[j] = shards[mf.k + j].data() + r * mf.block_size;
+    }
+    done.push_back(service_->submit(std::move(req)));
+  }
+  for (std::size_t r = 0; r < stripes; ++r) {
+    if (!done[r].get().ok()) serial(r);
+  }
+}
+
+bool ShardStore::decode_stripes(const Manifest& mf,
+                                std::vector<std::vector<std::byte>>& shards,
+                                const std::vector<std::size_t>& erasures)
+    const {
+  const std::size_t stripes = mf.stripes();
+  auto serial = [&](std::size_t r) {
+    std::vector<std::byte*> blocks(mf.k + mf.m);
+    for (std::size_t s = 0; s < mf.k + mf.m; ++s) {
+      blocks[s] = shards[s].data() + r * mf.block_size;
+    }
+    return codec_.decode(mf.block_size, blocks, erasures);
+  };
+  if (service_ == nullptr) {
+    for (std::size_t r = 0; r < stripes; ++r) {
+      if (!serial(r)) return false;
+    }
+    return true;
+  }
+  std::vector<std::future<svc::Result>> done;
+  done.reserve(stripes);
+  for (std::size_t r = 0; r < stripes; ++r) {
+    svc::DecodeRequest req;
+    req.shape = {mf.k, mf.m, mf.block_size};
+    req.codec = &codec_;
+    req.erasures = erasures;
+    req.blocks.resize(mf.k + mf.m);
+    for (std::size_t s = 0; s < mf.k + mf.m; ++s) {
+      req.blocks[s] = shards[s].data() + r * mf.block_size;
+    }
+    done.push_back(service_->submit(std::move(req)));
+  }
+  // Reap every future even after a failure: the stripe buffers must
+  // stay valid until the service is done with them.
+  bool ok = true;
+  for (std::size_t r = 0; r < stripes; ++r) {
+    const svc::Result res = done[r].get();
+    if (res.ok()) continue;
+    if (res.status == svc::StatusCode::kDecodeFailed) {
+      ok = false;
+      continue;
+    }
+    if (!serial(r)) ok = false;  // rejected: serial fallback
+  }
+  return ok;
+}
+
+Status ShardStore::encode_file(const fs::path& input,
+                               const fs::path& dir) const {
   std::vector<std::byte> content;
-  if (!ReadFile(input, &content)) return false;
+  int err = 0;
+  if (!ReadFile(input, &content, &err)) {
+    return Status::Io(err, input, "unreadable input");
+  }
   const auto [k, m] = codec_.params();
 
   Manifest mf;
@@ -116,32 +272,32 @@ bool ShardStore::encode_file(const fs::path& input, const fs::path& dir) const {
   std::vector<std::vector<std::byte>> shards(
       k + m, std::vector<std::byte>(shard_bytes));
   for (std::size_t r = 0; r < stripes; ++r) {
-    std::vector<const std::byte*> data;
-    std::vector<std::byte*> parity;
     for (std::size_t i = 0; i < k; ++i) {
       std::byte* dst = shards[i].data() + r * block_size_;
       const std::byte* src = content.data() + (r * k + i) * block_size_;
       std::copy(src, src + block_size_, dst);
-      data.push_back(dst);
     }
-    for (std::size_t j = 0; j < m; ++j) {
-      parity.push_back(shards[k + j].data() + r * block_size_);
-    }
-    codec_.encode(block_size_, data, parity);
   }
+  encode_stripes(mf, shards);
 
-  std::error_code ec;
-  fs::create_directories(dir, ec);
+  std::error_code dir_ec;
+  fs::create_directories(dir, dir_ec);
+  if (dir_ec) {
+    return Status::Io(dir_ec.value(), dir, "cannot create shard directory");
+  }
   for (std::size_t s = 0; s < k + m; ++s) {
     mf.shard_checksums.push_back(Checksum(shards[s].data(), shard_bytes));
-    if (!WriteFile(ShardPath(dir, s), shards[s].data(), shard_bytes)) {
-      return false;
+    if (!WriteFile(ShardPath(dir, s), shards[s].data(), shard_bytes, &err)) {
+      return Status::Io(err, ShardPath(dir, s), "cannot write shard");
     }
   }
   const std::string text = mf.serialize();
-  return WriteFile(dir / "manifest.txt",
-                   reinterpret_cast<const std::byte*>(text.data()),
-                   text.size());
+  if (!WriteFile(dir / "manifest.txt",
+                 reinterpret_cast<const std::byte*>(text.data()), text.size(),
+                 &err)) {
+    return Status::Io(err, dir / "manifest.txt", "cannot write manifest");
+  }
+  return Status::Ok();
 }
 
 std::optional<Manifest> ShardStore::load_manifest(const fs::path& dir) const {
@@ -188,17 +344,7 @@ RepairReport ShardStore::repair(const fs::path& dir) const {
   if (report.damaged.empty()) return report;
   if (report.damaged.size() > mf->m) return report;  // unrecoverable
 
-  // Stripe-wise decode into the damaged shards.
-  const std::size_t stripes = mf->stripes();
-  for (std::size_t r = 0; r < stripes; ++r) {
-    std::vector<std::byte*> blocks;
-    for (std::size_t s = 0; s < mf->k + mf->m; ++s) {
-      blocks.push_back(shards[s].data() + r * mf->block_size);
-    }
-    if (!codec_.decode(mf->block_size, blocks, report.damaged)) {
-      return report;
-    }
-  }
+  if (!decode_stripes(*mf, shards, report.damaged)) return report;
   for (const std::size_t s : report.damaged) {
     if (Checksum(shards[s].data(), shards[s].size()) !=
         mf->shard_checksums[s]) {
@@ -211,24 +357,29 @@ RepairReport ShardStore::repair(const fs::path& dir) const {
   return report;
 }
 
-bool ShardStore::decode_file(const fs::path& dir,
-                             const fs::path& output) const {
-  const auto mf = load_manifest(dir);
-  if (!mf) return false;
+Status ShardStore::decode_file(const fs::path& dir,
+                               const fs::path& output) const {
+  std::vector<std::byte> raw;
+  int err = 0;
+  if (!ReadFile(dir / "manifest.txt", &raw, &err)) {
+    return Status::Io(err, dir / "manifest.txt", "unreadable manifest");
+  }
+  const auto mf = Manifest::parse(
+      std::string(reinterpret_cast<const char*>(raw.data()), raw.size()));
+  if (!mf) {
+    return Status::Damaged(dir / "manifest.txt", "corrupt manifest");
+  }
   std::vector<std::vector<std::byte>> shards;
   std::vector<std::size_t> damaged;
   load_shards(dir, *mf, &shards, &damaged);
-  if (damaged.size() > mf->m) return false;
+  if (damaged.size() > mf->m) {
+    return Status::Damaged(
+        dir, std::to_string(damaged.size()) + " shards lost, parity covers " +
+                 std::to_string(mf->m));
+  }
 
-  if (!damaged.empty()) {
-    const std::size_t stripes = mf->stripes();
-    for (std::size_t r = 0; r < stripes; ++r) {
-      std::vector<std::byte*> blocks;
-      for (std::size_t s = 0; s < mf->k + mf->m; ++s) {
-        blocks.push_back(shards[s].data() + r * mf->block_size);
-      }
-      if (!codec_.decode(mf->block_size, blocks, damaged)) return false;
-    }
+  if (!damaged.empty() && !decode_stripes(*mf, shards, damaged)) {
+    return Status::Damaged(dir, "stripe reconstruction failed");
   }
 
   std::vector<std::byte> content(mf->file_size);
@@ -243,7 +394,10 @@ bool ShardStore::decode_file(const fs::path& dir,
       written += n;
     }
   }
-  return WriteFile(output, content.data(), content.size());
+  if (!WriteFile(output, content.data(), content.size(), &err)) {
+    return Status::Io(err, output, "cannot write output");
+  }
+  return Status::Ok();
 }
 
 }  // namespace shard

@@ -20,7 +20,42 @@
 
 #include "ec/codec.h"
 
+namespace svc {
+class StripeService;
+}
+
 namespace shard {
+
+/// Outcome of a file-level operation. Distinguishes filesystem
+/// failures (errno + offending path — retryable, environmental) from
+/// data damage beyond what RS(k, m) can repair (the shards themselves
+/// are lost); eccli maps the two to distinct exit codes.
+struct Status {
+  enum class Kind {
+    kOk = 0,
+    kIoError,  ///< read/write/open failure; `error` holds errno
+    kDamaged,  ///< more shards lost than parity can reconstruct
+  };
+
+  Kind kind = Kind::kOk;
+  int error = 0;               ///< errno at the failure point (kIoError)
+  std::filesystem::path path;  ///< offending file or directory
+  std::string detail;          ///< short phrase ("unreadable input", ...)
+
+  bool ok() const { return kind == Kind::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  /// One printable line: detail, path, and strerror(error) if any.
+  std::string message() const;
+
+  static Status Ok() { return {}; }
+  static Status Io(int err, std::filesystem::path p, std::string what) {
+    return {Kind::kIoError, err, std::move(p), std::move(what)};
+  }
+  static Status Damaged(std::filesystem::path p, std::string what) {
+    return {Kind::kDamaged, 0, std::move(p), std::move(what)};
+  }
+};
 
 struct Manifest {
   std::size_t k = 0;
@@ -50,10 +85,19 @@ class ShardStore {
   /// `codec` must outlive the store; its (k, m) defines the layout.
   ShardStore(const ec::Codec& codec, std::size_t block_size = 4096);
 
-  /// Encode `input` into `dir` (created if needed). Returns false on
-  /// I/O failure.
-  bool encode_file(const std::filesystem::path& input,
-                   const std::filesystem::path& dir) const;
+  /// Route per-stripe encode/decode work through an embeddable stripe
+  /// service (svc/stripe_service.h): stripes are submitted as batched
+  /// requests and run on the service's work-stealing pool. The service
+  /// must outlive the store. Requests the service rejects under
+  /// backpressure fall back to the serial codec path, so routing never
+  /// fails an otherwise-healthy operation. Pass nullptr to go back to
+  /// serial encoding.
+  void use_service(svc::StripeService* service) { service_ = service; }
+
+  /// Encode `input` into `dir` (created if needed). kIoError with
+  /// errno + path on filesystem failure.
+  Status encode_file(const std::filesystem::path& input,
+                     const std::filesystem::path& dir) const;
 
   /// Verify all shard checksums against the manifest.
   /// Returns the indices of damaged or missing shards.
@@ -63,10 +107,10 @@ class ShardStore {
   RepairReport repair(const std::filesystem::path& dir) const;
 
   /// Reassemble the original file from the (data) shards. Repairs
-  /// damaged shards in memory if needed. Returns false when
-  /// unrecoverable.
-  bool decode_file(const std::filesystem::path& dir,
-                   const std::filesystem::path& output) const;
+  /// damaged shards in memory if needed. kDamaged when the loss
+  /// exceeds parity; kIoError on filesystem failure.
+  Status decode_file(const std::filesystem::path& dir,
+                     const std::filesystem::path& output) const;
 
  private:
   std::optional<Manifest> load_manifest(
@@ -76,9 +120,19 @@ class ShardStore {
   bool load_shards(const std::filesystem::path& dir, const Manifest& mf,
                    std::vector<std::vector<std::byte>>* shards,
                    std::vector<std::size_t>* damaged) const;
+  /// Compute every stripe's parity into the parity shards — through
+  /// the service when one is attached, serially otherwise.
+  void encode_stripes(const Manifest& mf,
+                      std::vector<std::vector<std::byte>>& shards) const;
+  /// Reconstruct `erasures` of every stripe in place. Returns false if
+  /// any stripe is unrecoverable.
+  bool decode_stripes(const Manifest& mf,
+                      std::vector<std::vector<std::byte>>& shards,
+                      const std::vector<std::size_t>& erasures) const;
 
   const ec::Codec& codec_;
   std::size_t block_size_;
+  svc::StripeService* service_ = nullptr;
 };
 
 }  // namespace shard

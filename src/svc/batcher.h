@@ -1,0 +1,52 @@
+// Batch formation: group a drained run of admitted requests into
+// per-(op, shape, codec) stripe batches capped at the pool's batch
+// size. Pure functions over index lists so the grouping policy is unit
+// testable without a running service.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <span>
+#include <vector>
+
+#include "svc/request.h"
+#include "svc/status.h"
+
+namespace svc {
+
+/// One admitted request travelling through the service: the payload,
+/// its completion promise, and the admission timestamp the service
+/// latency is measured from. Move-only (promise).
+struct Pending {
+  OpClass op = OpClass::kEncode;
+  EncodeRequest enc;
+  DecodeRequest dec;
+  std::promise<Result> done;
+  std::chrono::steady_clock::time_point submitted;
+
+  const StripeShape& shape() const {
+    return op == OpClass::kEncode ? enc.shape : dec.shape;
+  }
+  const ec::Codec* codec_override() const {
+    return op == OpClass::kEncode ? enc.codec : dec.codec;
+  }
+};
+
+/// One dispatchable stripe batch: indices into the drained request run,
+/// all sharing op + shape + codec override, at most max_batch of them.
+struct Batch {
+  OpClass op = OpClass::kEncode;
+  StripeShape shape;
+  const ec::Codec* codec = nullptr;  ///< override; null = factory codec
+  std::vector<std::size_t> indices;  ///< submission order preserved
+};
+
+/// Group `reqs` into batches. Requests keep their relative submission
+/// order inside a batch; a (op, shape, codec) group larger than
+/// max_batch splits into consecutive batches so one giant burst cannot
+/// monopolize the pool. max_batch == 0 means unbounded.
+std::vector<Batch> FormBatches(std::span<const Pending> reqs,
+                               std::size_t max_batch);
+
+}  // namespace svc

@@ -1,0 +1,82 @@
+// Bounded MPMC queue used as the service's submission queue: push never
+// blocks (admission control wants an immediate reject when saturated),
+// pop blocks until an item arrives or the queue is closed. Tracks the
+// depth high-water mark for the service stats snapshot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when full or closed — the item is left untouched so the
+  /// caller can complete it with a rejection status.
+  bool try_push(T& item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed. Items
+  /// pushed before close() are still drained; false only when closed
+  /// AND empty.
+  bool pop(T* out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ready_.wait(lk, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking drain companion to pop(), used to coalesce whatever
+  /// has queued up behind the first item into one batch round.
+  bool try_pop(T* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace svc

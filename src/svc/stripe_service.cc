@@ -1,0 +1,382 @@
+#include "svc/stripe_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "bench_util/stats.h"
+
+namespace svc {
+
+namespace {
+
+std::uint64_t CodecKey(std::size_t k, std::size_t m) {
+  return (static_cast<std::uint64_t>(k) << 32) | static_cast<std::uint64_t>(m);
+}
+
+std::size_t BatchBucket(std::size_t stripes) {
+  std::size_t b = 0;
+  while (stripes > 1 && b + 1 < ServiceStats::kBatchBuckets) {
+    stripes >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::future<Result> Immediate(Pending&& p, StatusCode status) {
+  std::future<Result> f = p.done.get_future();
+  p.done.set_value(Result{status, 0.0});
+  return f;
+}
+
+}  // namespace
+
+StripeService::StripeService() : StripeService(Config()) {}
+
+StripeService::StripeService(Config cfg)
+    : cfg_(std::move(cfg)),
+      owned_pool_(std::make_unique<ec::ThreadPool>(cfg_.pool_threads)),
+      pool_(owned_pool_.get()),
+      queue_(std::max<std::size_t>(1, cfg_.queue_capacity)) {
+  Init();
+}
+
+StripeService::StripeService(Config cfg, ec::ThreadPool& pool)
+    : cfg_(std::move(cfg)),
+      pool_(&pool),
+      queue_(std::max<std::size_t>(1, cfg_.queue_capacity)) {
+  Init();
+}
+
+void StripeService::Init() {
+  cfg_.queue_capacity = std::max<std::size_t>(1, cfg_.queue_capacity);
+  max_batch_ = cfg_.max_batch != 0 ? cfg_.max_batch
+                                   : 4 * std::max<std::size_t>(
+                                             1, pool_->worker_count());
+  if (cfg_.encode_inflight_limit == 0) {
+    cfg_.encode_inflight_limit = cfg_.queue_capacity;
+  }
+  if (cfg_.decode_inflight_limit == 0) {
+    cfg_.decode_inflight_limit = cfg_.queue_capacity;
+  }
+  if (!cfg_.codec_factory) {
+    cfg_.codec_factory = [](std::size_t k, std::size_t m) {
+      return std::make_unique<dialga::DialgaCodec>(k, m);
+    };
+  }
+  latency_ring_.resize(std::max<std::size_t>(1, cfg_.latency_window));
+  pattern_ring_.resize(std::max<std::size_t>(1, cfg_.pattern_window));
+  pool_baseline_ = pool_->stats();
+  dispatcher_ = std::thread(&StripeService::DispatcherLoop, this);
+}
+
+StripeService::~StripeService() { shutdown(Drain::kDrain); }
+
+StatusCode StripeService::Validate(const Pending& p) {
+  const StripeShape& s = p.shape();
+  if (s.k == 0 || s.m == 0 || s.block_size == 0) {
+    return StatusCode::kInvalidArgument;
+  }
+  const ec::Codec* codec = p.codec_override();
+  if (codec != nullptr) {
+    const ec::CodeParams cp = codec->params();
+    if (cp.k != s.k || cp.m != s.m) return StatusCode::kInvalidArgument;
+  }
+  if (p.op == OpClass::kEncode) {
+    if (p.enc.data.size() != s.k || p.enc.parity.size() != s.m) {
+      return StatusCode::kInvalidArgument;
+    }
+    for (const std::byte* b : p.enc.data) {
+      if (b == nullptr) return StatusCode::kInvalidArgument;
+    }
+    for (std::byte* b : p.enc.parity) {
+      if (b == nullptr) return StatusCode::kInvalidArgument;
+    }
+  } else {
+    if (p.dec.blocks.size() != s.k + s.m ||
+        p.dec.erasures.size() > s.m) {
+      return StatusCode::kInvalidArgument;
+    }
+    for (std::byte* b : p.dec.blocks) {
+      if (b == nullptr) return StatusCode::kInvalidArgument;
+    }
+    for (const std::size_t e : p.dec.erasures) {
+      if (e >= s.k + s.m) return StatusCode::kInvalidArgument;
+    }
+  }
+  return StatusCode::kOk;
+}
+
+std::future<Result> StripeService::submit(EncodeRequest req) {
+  Pending p;
+  p.op = OpClass::kEncode;
+  p.enc = std::move(req);
+  return admit(std::move(p));
+}
+
+std::future<Result> StripeService::submit(DecodeRequest req) {
+  Pending p;
+  p.op = OpClass::kDecode;
+  p.dec = std::move(req);
+  return admit(std::move(p));
+}
+
+std::future<Result> StripeService::admit(Pending&& p) {
+  p.submitted = std::chrono::steady_clock::now();
+  if (const StatusCode v = Validate(p); v != StatusCode::kOk) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counters_.invalid;
+    return Immediate(std::move(p), v);
+  }
+  const OpClass op = p.op;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutting_down_) {
+      ++counters_.rejected_shutdown;
+      return Immediate(std::move(p), StatusCode::kShutdown);
+    }
+    // Per-class backpressure: one class saturating its share must not
+    // push the other out of the queue entirely.
+    if (op == OpClass::kEncode &&
+        inflight_encode_ >= cfg_.encode_inflight_limit) {
+      ++counters_.rejected_class_limit;
+      return Immediate(std::move(p), StatusCode::kRejectedClassLimit);
+    }
+    if (op == OpClass::kDecode &&
+        inflight_decode_ >= cfg_.decode_inflight_limit) {
+      ++counters_.rejected_class_limit;
+      return Immediate(std::move(p), StatusCode::kRejectedClassLimit);
+    }
+    // Count the admission before the push: a dispatched completion may
+    // decrement the class counter at any point after the push lands.
+    ++counters_.admitted;
+    if (op == OpClass::kEncode) {
+      ++counters_.admitted_encode;
+      ++inflight_encode_;
+    } else {
+      ++counters_.admitted_decode;
+      ++inflight_decode_;
+    }
+    pattern_ring_[pattern_next_] = p.shape();
+    pattern_next_ = (pattern_next_ + 1) % pattern_ring_.size();
+    pattern_count_ = std::min(pattern_count_ + 1, pattern_ring_.size());
+  }
+  std::future<Result> f = p.done.get_future();
+  if (!queue_.try_push(p)) {
+    // Full — or closed by a racing shutdown; roll the admission back
+    // and report which. (The pattern-ring entry is left in place: one
+    // phantom shape in the window is noise.)
+    std::lock_guard<std::mutex> lk(mu_);
+    --counters_.admitted;
+    if (op == OpClass::kEncode) {
+      --counters_.admitted_encode;
+      --inflight_encode_;
+    } else {
+      --counters_.admitted_decode;
+      --inflight_decode_;
+    }
+    if (shutting_down_) {
+      ++counters_.rejected_shutdown;
+      p.done.set_value(Result{StatusCode::kShutdown, 0.0});
+    } else {
+      ++counters_.rejected_queue_full;
+      p.done.set_value(Result{StatusCode::kRejectedQueueFull, 0.0});
+    }
+    return f;
+  }
+  return f;
+}
+
+void StripeService::DispatcherLoop() {
+  Pending first;
+  while (queue_.pop(&first)) {
+    auto run = std::make_shared<std::vector<Pending>>();
+    run->push_back(std::move(first));
+    // Coalesce the burst behind the head item, bounded so one drain
+    // round cannot grow past a full set of pool-sized batches.
+    const std::size_t drain_cap = 4 * max_batch_;
+    Pending next;
+    while (run->size() < drain_cap && queue_.try_pop(&next)) {
+      run->push_back(std::move(next));
+    }
+
+    bool cancel = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      cancel = cancel_queued_;
+    }
+    if (cancel) {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (Pending& p : *run) RecordCompletion(p, StatusCode::kCancelled);
+      continue;
+    }
+
+    std::vector<Batch> batches = FormBatches(*run, max_batch_);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      counters_.batches += batches.size();
+      counters_.dispatched_stripes += run->size();
+      for (const Batch& b : batches) {
+        ++counters_.batch_size_log2[BatchBucket(b.indices.size())];
+      }
+      inflight_batches_ += batches.size();
+    }
+    for (Batch& b : batches) DispatchBatch(run, std::move(b));
+  }
+}
+
+const ec::Codec* StripeService::ResolveCodec(const Batch& batch) {
+  if (batch.codec != nullptr) return batch.codec;
+  // Dispatcher-thread only: no lock needed around the cache.
+  auto [it, inserted] =
+      codecs_.try_emplace(CodecKey(batch.shape.k, batch.shape.m));
+  if (inserted) {
+    it->second = cfg_.codec_factory(batch.shape.k, batch.shape.m);
+  }
+  return it->second.get();
+}
+
+void StripeService::DispatchBatch(std::shared_ptr<std::vector<Pending>> reqs,
+                                  Batch&& batch) {
+  const ec::Codec* codec = ResolveCodec(batch);
+  auto shared_batch = std::make_shared<Batch>(std::move(batch));
+  auto failed = std::make_shared<std::vector<unsigned char>>(
+      shared_batch->indices.size(), 0);
+  const std::size_t block = shared_batch->shape.block_size;
+  pool_->run_async(
+      shared_batch->indices.size(),
+      [reqs, shared_batch, failed, codec, block](std::size_t j) {
+        Pending& p = (*reqs)[shared_batch->indices[j]];
+        if (p.op == OpClass::kEncode) {
+          codec->encode(block, p.enc.data, p.enc.parity);
+        } else if (!codec->decode(block, p.dec.blocks, p.dec.erasures)) {
+          (*failed)[j] = 1;
+        }
+      },
+      [this, reqs, shared_batch, failed](std::exception_ptr error) {
+        CompleteBatch(reqs, *shared_batch, *failed, error);
+      });
+}
+
+void StripeService::CompleteBatch(
+    const std::shared_ptr<std::vector<Pending>>& reqs, const Batch& batch,
+    const std::vector<unsigned char>& decode_failed,
+    std::exception_ptr error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t j = 0; j < batch.indices.size(); ++j) {
+    Pending& p = (*reqs)[batch.indices[j]];
+    StatusCode s = StatusCode::kOk;
+    if (error != nullptr) {
+      // A throwing codec body cancels the batch's remaining stripes
+      // (ThreadPool semantics); no stripe of the batch can be trusted.
+      s = StatusCode::kCodecError;
+    } else if (p.op == OpClass::kDecode && decode_failed[j] != 0) {
+      s = StatusCode::kDecodeFailed;
+    }
+    RecordCompletion(p, s);
+  }
+  if (--inflight_batches_ == 0) idle_cv_.notify_all();
+}
+
+void StripeService::RecordCompletion(Pending& p, StatusCode status) {
+  // mu_ held by the caller.
+  double seconds = 0.0;
+  switch (status) {
+    case StatusCode::kOk:
+      ++counters_.completed_ok;
+      break;
+    case StatusCode::kDecodeFailed:
+      ++counters_.decode_failed;
+      break;
+    case StatusCode::kCodecError:
+      ++counters_.codec_errors;
+      break;
+    case StatusCode::kCancelled:
+      ++counters_.cancelled;
+      break;
+    default:
+      break;
+  }
+  if (p.op == OpClass::kEncode) {
+    --inflight_encode_;
+  } else {
+    --inflight_decode_;
+  }
+  if (status == StatusCode::kOk || status == StatusCode::kDecodeFailed) {
+    seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - p.submitted)
+                  .count();
+    latency_ring_[latency_next_] = seconds;
+    latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  }
+  p.done.set_value(Result{status, seconds});
+}
+
+void StripeService::shutdown(Drain mode) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutting_down_ = true;
+    if (mode == Drain::kCancel) cancel_queued_ = true;
+  }
+  queue_.close();
+  {
+    // Serialize the join: shutdown is idempotent and may race with the
+    // destructor or a second caller.
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    if (dispatcher_.joinable()) dispatcher_.join();
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return inflight_batches_ == 0; });
+}
+
+ServiceStats StripeService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceStats s = counters_;
+  s.queue_high_water = queue_.high_water();
+  s.pool = pool_->stats() - pool_baseline_;
+  const std::size_t served = static_cast<std::size_t>(
+      counters_.completed_ok + counters_.decode_failed);
+  const std::size_t n = std::min(served, latency_ring_.size());
+  if (n > 0) {
+    std::vector<double> window;
+    window.reserve(n);
+    // The ring's first n entries are valid; order does not matter for
+    // percentiles.
+    for (std::size_t i = 0; i < n; ++i) window.push_back(latency_ring_[i]);
+    s.latency_p50_s = bench_util::Percentile(window, 0.50);
+    s.latency_p99_s = bench_util::Percentile(window, 0.99);
+    s.latency_samples = n;
+  }
+  return s;
+}
+
+dialga::PatternInfo StripeService::pattern() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  dialga::PatternInfo info;
+  info.nthreads = pool_->worker_count();
+  if (pattern_count_ == 0) return info;
+  // Modal shape of the window: the shape mix in flight is small, so a
+  // quadratic scan over distinct shapes is cheap.
+  std::vector<std::pair<StripeShape, std::size_t>> counts;
+  for (std::size_t i = 0; i < pattern_count_; ++i) {
+    const StripeShape& sh = pattern_ring_[i];
+    bool found = false;
+    for (auto& [shape, count] : counts) {
+      if (shape == sh) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.emplace_back(sh, 1);
+  }
+  const auto best = std::max_element(
+      counts.begin(), counts.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  info.k = best->first.k;
+  info.m = best->first.m;
+  info.block_size = best->first.block_size;
+  return info;
+}
+
+}  // namespace svc

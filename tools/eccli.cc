@@ -9,6 +9,13 @@
 // manifest of checksums; verify reports damaged/missing shards; repair
 // rebuilds up to m of them; decode reassembles the original file
 // (repairing in memory if needed).
+//
+// Stripe work runs through a svc::StripeService (batched onto the
+// work-stealing pool) unless --serial is given.
+//
+// Exit codes: 0 success, 1 data damaged beyond repair, 2 usage error,
+// 3 I/O error (errno reported on stderr).
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -16,8 +23,14 @@
 
 #include "dialga/dialga.h"
 #include "shard/shard_store.h"
+#include "svc/stripe_service.h"
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitDamaged = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
 
 void Usage() {
   std::cerr
@@ -25,13 +38,19 @@ void Usage() {
          "  eccli encode --k K --m M [--block BYTES] <input> <shard-dir>\n"
          "  eccli verify <shard-dir>\n"
          "  eccli repair <shard-dir>\n"
-         "  eccli decode <shard-dir> <output>\n";
+         "  eccli decode <shard-dir> <output>\n"
+         "options:\n"
+         "  --serial     bypass the stripe service, encode/decode serially\n"
+         "  --threads N  worker threads for the stripe service (default: "
+         "hardware)\n";
 }
 
 struct Options {
   std::size_t k = 8;
   std::size_t m = 3;
   std::size_t block = 4096;
+  std::size_t threads = 0;  // 0 = ThreadPool default
+  bool serial = false;
   std::vector<std::string> positional;
 };
 
@@ -49,6 +68,10 @@ bool Parse(int argc, char** argv, Options* opt) {
       if (!next_value(&opt->m)) return false;
     } else if (arg == "--block") {
       if (!next_value(&opt->block)) return false;
+    } else if (arg == "--threads") {
+      if (!next_value(&opt->threads)) return false;
+    } else if (arg == "--serial") {
+      opt->serial = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else {
@@ -59,13 +82,34 @@ bool Parse(int argc, char** argv, Options* opt) {
 }
 
 /// The manifest pins (k, m); commands other than encode read it so the
-/// user never has to repeat the parameters.
-std::optional<shard::Manifest> ManifestOf(const std::string& dir) {
-  std::ifstream in(std::filesystem::path(dir) / "manifest.txt");
-  if (!in) return std::nullopt;
+/// user never has to repeat the parameters. Distinguishes an unreadable
+/// manifest (I/O: missing directory, permissions) from an unparseable
+/// one (damage) via `status`.
+std::optional<shard::Manifest> ManifestOf(const std::string& dir,
+                                          shard::Status* status) {
+  const auto path = std::filesystem::path(dir) / "manifest.txt";
+  errno = 0;
+  std::ifstream in(path);
+  if (!in) {
+    *status = shard::Status::Io(errno != 0 ? errno : EIO, path,
+                                "unreadable manifest");
+    return std::nullopt;
+  }
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
-  return shard::Manifest::parse(text);
+  auto mf = shard::Manifest::parse(text);
+  if (!mf) *status = shard::Status::Damaged(path, "corrupt manifest");
+  return mf;
+}
+
+/// Map a file-level Status to an exit code, reporting on stderr. The
+/// distinction matters to callers: kDamaged (1) means the shards are
+/// lost beyond parity — retrying is pointless; kIoError (3) is
+/// environmental (permissions, disk full) and worth retrying.
+int Report(const shard::Status& st) {
+  if (st.ok()) return kExitOk;
+  std::cerr << "eccli: " << st.message() << "\n";
+  return st.kind == shard::Status::Kind::kDamaged ? kExitDamaged : kExitIo;
 }
 
 }  // namespace
@@ -73,81 +117,91 @@ std::optional<shard::Manifest> ManifestOf(const std::string& dir) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     Usage();
-    return 2;
+    return kExitUsage;
   }
   const std::string cmd = argv[1];
   Options opt;
   if (!Parse(argc, argv, &opt)) {
     Usage();
-    return 2;
+    return kExitUsage;
   }
+
+  // One service for the whole command; stores attach to it unless the
+  // user opted out with --serial.
+  std::optional<svc::StripeService> service;
+  if (!opt.serial) {
+    svc::StripeService::Config cfg;
+    cfg.pool_threads = opt.threads;
+    service.emplace(std::move(cfg));
+  }
+  auto attach = [&](shard::ShardStore& store) {
+    if (service) store.use_service(&*service);
+  };
 
   if (cmd == "encode") {
     if (opt.positional.size() != 2) {
       Usage();
-      return 2;
+      return kExitUsage;
     }
     const dialga::DialgaCodec codec(opt.k, opt.m);
-    const shard::ShardStore store(codec, opt.block);
-    if (!store.encode_file(opt.positional[0], opt.positional[1])) {
-      std::cerr << "encode failed (unreadable input or unwritable dir)\n";
-      return 1;
-    }
+    shard::ShardStore store(codec, opt.block);
+    attach(store);
+    const shard::Status st =
+        store.encode_file(opt.positional[0], opt.positional[1]);
+    if (!st.ok()) return Report(st);
     std::cout << "encoded '" << opt.positional[0] << "' into "
               << opt.k + opt.m << " shards under '" << opt.positional[1]
               << "' (RS(" << opt.k << "," << opt.m << "), " << opt.block
               << " B blocks)\n";
-    return 0;
+    return kExitOk;
   }
 
   if (cmd == "verify" || cmd == "repair" || cmd == "decode") {
     if (opt.positional.empty()) {
       Usage();
-      return 2;
+      return kExitUsage;
     }
-    const auto mf = ManifestOf(opt.positional[0]);
-    if (!mf) {
-      std::cerr << "no readable manifest in '" << opt.positional[0] << "'\n";
-      return 1;
-    }
+    shard::Status mf_status;
+    const auto mf = ManifestOf(opt.positional[0], &mf_status);
+    if (!mf) return Report(mf_status);
     const dialga::DialgaCodec codec(mf->k, mf->m);
-    const shard::ShardStore store(codec, mf->block_size);
+    shard::ShardStore store(codec, mf->block_size);
+    attach(store);
 
     if (cmd == "verify") {
       const auto damaged = store.verify(opt.positional[0]);
       if (damaged.empty()) {
         std::cout << "all " << mf->k + mf->m << " shards intact\n";
-        return 0;
+        return kExitOk;
       }
       std::cout << damaged.size() << " damaged shard(s):";
       for (const std::size_t s : damaged) std::cout << " " << s;
       std::cout << "\n";
-      return 1;
+      return kExitDamaged;
     }
     if (cmd == "repair") {
       const auto report = store.repair(opt.positional[0]);
       if (report.damaged.empty()) {
         std::cout << "nothing to repair\n";
-        return 0;
+        return kExitOk;
       }
       std::cout << "repaired " << report.repaired.size() << "/"
                 << report.damaged.size() << " damaged shard(s)\n";
-      return report.ok() ? 0 : 1;
+      return report.ok() ? kExitOk : kExitDamaged;
     }
     // decode
     if (opt.positional.size() != 2) {
       Usage();
-      return 2;
+      return kExitUsage;
     }
-    if (!store.decode_file(opt.positional[0], opt.positional[1])) {
-      std::cerr << "decode failed (too many damaged shards?)\n";
-      return 1;
-    }
+    const shard::Status st =
+        store.decode_file(opt.positional[0], opt.positional[1]);
+    if (!st.ok()) return Report(st);
     std::cout << "reassembled '" << opt.positional[1] << "' ("
               << mf->file_size << " bytes)\n";
-    return 0;
+    return kExitOk;
   }
 
   Usage();
-  return 2;
+  return kExitUsage;
 }
