@@ -16,11 +16,13 @@
 // --benchmark_format=json).
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <random>
 #include <thread>
 #include <vector>
 
 #include "ec/isal.h"
+#include "fault/injector.h"
 #include "fig_common.h"
 #include "svc/stripe_service.h"
 
@@ -120,6 +122,15 @@ PointResult RunPoint(double offered_kops, std::size_t producers,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // DIALGA_FAULT_PLAN / DIALGA_FAULT_SEED turn this bench into a
+  // degraded-mode throughput measurement (rejections/deadlines under a
+  // deterministic fault schedule); unset, the checks below expect the
+  // clean curve.
+  std::string plan_error;
+  if (!fault::Injector::Global().install_from_env(&plan_error)) {
+    std::fprintf(stderr, "bad DIALGA_FAULT_PLAN: %s\n", plan_error.c_str());
+    return 2;
+  }
   const std::size_t k = 8, m = 3, bs = 1024;
   const std::size_t producers = 4;
   const std::size_t per_producer = 400;

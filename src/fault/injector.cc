@@ -1,0 +1,221 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace fault {
+
+namespace {
+
+// SplitMix64: the decision for operation #n of a site mixes the seed,
+// the site name, and n, so schedules replay exactly for a fixed seed.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashName(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double Coin(std::uint64_t seed, std::uint64_t site_hash, std::uint64_t op) {
+  const std::uint64_t bits = SplitMix64(seed ^ SplitMix64(site_hash ^ op));
+  return static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int ParseErrno(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "EIO") return EIO;
+  if (name == "EINTR") return EINTR;
+  if (name == "EAGAIN") return EAGAIN;
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "ENOENT") return ENOENT;
+  if (name == "EACCES") return EACCES;
+  if (name == "ENOMEM") return ENOMEM;
+  char* end = nullptr;
+  const long v = std::strtol(name.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v <= 0) {
+    *ok = false;
+    return 0;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+Injector& Injector::Global() {
+  static Injector instance;
+  return instance;
+}
+
+void Injector::set_seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  seed_ = seed;
+}
+
+std::uint64_t Injector::seed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seed_;
+}
+
+void Injector::install(const std::string& site, SitePlan plan) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (plan.error == 0) plan.error = EIO;  // fire() reports via errno
+  std::sort(plan.nth.begin(), plan.nth.end());
+  sites_[site] = Site{std::move(plan), 0, 0};
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Injector::remove(const std::string& site) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sites_.erase(site);
+  if (sites_.empty()) active_.store(false, std::memory_order_relaxed);
+}
+
+void Injector::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sites_.clear();
+  seed_ = 0;
+  active_.store(false, std::memory_order_relaxed);
+}
+
+int Injector::fire(const std::string& site) {
+  if (!active()) return 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return 0;
+  Site& s = it->second;
+  const std::uint64_t op = ++s.ops;  // 1-based operation number
+  if (s.fires >= s.plan.max_fires) return 0;
+  bool hit = false;
+  if (s.plan.every != 0 && op % s.plan.every == 0) hit = true;
+  if (!hit &&
+      std::binary_search(s.plan.nth.begin(), s.plan.nth.end(), op)) {
+    hit = true;
+  }
+  if (!hit && s.plan.probability > 0.0 &&
+      Coin(seed_, HashName(site), op) < s.plan.probability) {
+    hit = true;
+  }
+  if (!hit) return 0;
+  ++s.fires;
+  return s.plan.error;
+}
+
+SiteStats Injector::stats(const std::string& site) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return {};
+  return {it->second.ops, it->second.fires};
+}
+
+std::vector<std::pair<std::string, SiteStats>> Injector::all_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, SiteStats>> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, s] : sites_) {
+    out.emplace_back(name, SiteStats{s.ops, s.fires});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+bool Injector::install_spec(const std::string& spec, std::string* error_out) {
+  const auto fail = [&](const std::string& why) {
+    if (error_out != nullptr) *error_out = why;
+    return false;
+  };
+  std::istringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, ';')) {
+    if (entry.empty()) continue;
+    // Global knob: "seed=N" (no site prefix).
+    if (entry.rfind("seed=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(entry.c_str() + 5, &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return fail("bad seed: '" + entry + "'");
+      }
+      set_seed(v);
+      continue;
+    }
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return fail("expected 'site:key=value,...' in '" + entry + "'");
+    }
+    const std::string site = entry.substr(0, colon);
+    SitePlan plan;
+    std::istringstream kvs(entry.substr(colon + 1));
+    std::string kv;
+    while (std::getline(kvs, kv, ',')) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        return fail("expected key=value in '" + kv + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      char* end = nullptr;
+      if (key == "p") {
+        plan.probability = std::strtod(value.c_str(), &end);
+        if (end == nullptr || *end != '\0' || plan.probability < 0.0 ||
+            plan.probability > 1.0) {
+          return fail("bad probability '" + value + "' for " + site);
+        }
+      } else if (key == "nth") {
+        // "+"-separated 1-based operation numbers: nth=2+5+9.
+        std::istringstream ns(value);
+        std::string n;
+        while (std::getline(ns, n, '+')) {
+          const unsigned long long v = std::strtoull(n.c_str(), &end, 10);
+          if (end == nullptr || *end != '\0' || v == 0) {
+            return fail("bad nth '" + n + "' for " + site);
+          }
+          plan.nth.push_back(v);
+        }
+        if (plan.nth.empty()) return fail("empty nth for " + site);
+      } else if (key == "every") {
+        plan.every = std::strtoull(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || plan.every == 0) {
+          return fail("bad every '" + value + "' for " + site);
+        }
+      } else if (key == "max") {
+        plan.max_fires = std::strtoull(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          return fail("bad max '" + value + "' for " + site);
+        }
+      } else if (key == "err") {
+        bool ok = false;
+        plan.error = ParseErrno(value, &ok);
+        if (!ok) return fail("bad err '" + value + "' for " + site);
+      } else {
+        return fail("unknown key '" + key + "' for " + site);
+      }
+    }
+    if (plan.probability == 0.0 && plan.nth.empty() && plan.every == 0) {
+      return fail("plan for " + site + " has no trigger (p/nth/every)");
+    }
+    install(site, std::move(plan));
+  }
+  return true;
+}
+
+bool Injector::install_from_env(std::string* error_out) {
+  if (const char* seed = std::getenv("DIALGA_FAULT_SEED")) {
+    set_seed(std::strtoull(seed, nullptr, 10));
+  }
+  if (const char* plan = std::getenv("DIALGA_FAULT_PLAN")) {
+    return install_spec(plan, error_out);
+  }
+  return true;
+}
+
+}  // namespace fault

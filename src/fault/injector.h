@@ -1,0 +1,149 @@
+// Deterministic fault injection for robustness testing: named sites in
+// the shard/service/pool/repair layers ask a process-wide Injector
+// whether this operation should fail, and plans installed per site
+// decide — by every-nth counter, an explicit list of operation
+// numbers, or a seeded pseudo-random probability. All three are
+// reproducible: the decision for operation #n of a site is a pure
+// function of (seed, site name, n), so a fixed seed replays the same
+// fault schedule regardless of wall clock (thread interleavings may
+// permute which caller draws which operation number, but the set of
+// failed operation numbers is identical).
+//
+// With no plans installed every site check is one relaxed atomic load,
+// so instrumented hot paths (service admission, codec batches) cost
+// nothing in production.
+//
+// Site catalog (see docs/fault_injection.md):
+//   shard.open        shard/manifest file open fails (errno)
+//   shard.read        stream read fails after the open (errno)
+//   shard.short_read  read returns fewer bytes than the file holds
+//   shard.write       shard/manifest write fails (errno)
+//   pmpool.alloc      PM stripe allocation fails
+//   svc.admission     service admission reports the queue full
+//   svc.codec         codec batch execution throws InjectedFault
+//   repair.scrub      one scrub stripe decode reports failure
+//   repair.rebuild    one rebuild stripe decode reports failure
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fault {
+
+/// When (and how) one site fails. Triggers combine with OR: the site
+/// fires on operation #n if n is in `nth`, or n is a multiple of
+/// `every`, or the seeded coin for n lands under `probability`.
+struct SitePlan {
+  double probability = 0.0;        ///< [0, 1]; seeded, per-operation
+  std::vector<std::uint64_t> nth;  ///< 1-based operation numbers
+  std::uint64_t every = 0;         ///< fire every Nth op; 0 = off
+  std::uint64_t max_fires = ~std::uint64_t{0};  ///< stop after this many
+  int error = EIO;  ///< errno delivered at I/O sites
+};
+
+/// Thread-safe per-site counters (snapshot).
+struct SiteStats {
+  std::uint64_t ops = 0;    ///< times the site was consulted
+  std::uint64_t fires = 0;  ///< times it was told to fail
+};
+
+/// Thrown by MaybeThrow at compute sites (svc.codec) when the site
+/// fires — exercises the consumer's exception path.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(const std::string& site, int err)
+      : std::runtime_error("injected fault at " + site), error_(err) {}
+  int error() const { return error_; }
+
+ private:
+  int error_ = 0;
+};
+
+class Injector {
+ public:
+  /// The process-wide instance every built-in site consults.
+  static Injector& Global();
+
+  /// Seed for the probability coin. Changing the seed does not reset
+  /// operation counters; call clear() between schedules.
+  void set_seed(std::uint64_t seed);
+  std::uint64_t seed() const;
+
+  /// Install (or replace) a site's plan; its counters restart at zero.
+  void install(const std::string& site, SitePlan plan);
+  void remove(const std::string& site);
+  void clear();  ///< drop every plan and counter
+
+  /// Install plans from a spec string:
+  ///   seed=42;shard.read:p=0.01,err=EINTR;svc.admission:nth=2+5,max=3
+  /// Returns false (and fills *error_out) on a malformed spec; plans
+  /// parsed before the error are left installed.
+  bool install_spec(const std::string& spec, std::string* error_out = nullptr);
+
+  /// Install DIALGA_FAULT_PLAN / DIALGA_FAULT_SEED from the
+  /// environment, if set. Returns false on a malformed plan.
+  bool install_from_env(std::string* error_out = nullptr);
+
+  /// Consult the site for one operation. Returns the errno to inject
+  /// (nonzero) when the site fires, 0 otherwise. Thread-safe; each
+  /// call advances the site's operation counter.
+  int fire(const std::string& site);
+
+  /// True when any plan is installed — the hot-path gate.
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  SiteStats stats(const std::string& site) const;
+  std::vector<std::pair<std::string, SiteStats>> all_stats() const;
+
+ private:
+  struct Site {
+    SitePlan plan;
+    std::uint64_t ops = 0;
+    std::uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 0;                      // guarded by mu_
+  std::unordered_map<std::string, Site> sites_;  // guarded by mu_
+  std::atomic<bool> active_{false};
+};
+
+/// RAII plan registration for tests: installs on construction, removes
+/// the site (from the global injector) on destruction.
+class ScopedPlan {
+ public:
+  ScopedPlan(std::string site, SitePlan plan) : site_(std::move(site)) {
+    Injector::Global().install(site_, std::move(plan));
+  }
+  ~ScopedPlan() { Injector::Global().remove(site_); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+
+ private:
+  std::string site_;
+};
+
+/// Site-check helpers over the global injector. All are a single
+/// relaxed load when no plan is installed.
+inline int FireErrno(const char* site) {
+  Injector& in = Injector::Global();
+  if (!in.active()) return 0;
+  return in.fire(site);
+}
+
+inline bool Fires(const char* site) { return FireErrno(site) != 0; }
+
+inline void MaybeThrow(const char* site) {
+  if (const int err = FireErrno(site); err != 0) {
+    throw InjectedFault(site, err);
+  }
+}
+
+}  // namespace fault

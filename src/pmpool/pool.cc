@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/injector.h"
 #include "shard/shard_store.h"  // Checksum()
 
 namespace pmpool {
@@ -16,7 +17,10 @@ Pool::Pool(const PoolConfig& cfg)
       codec_(cfg.k, cfg.m),
       updater_(codec_.inner()) {}
 
-std::size_t Pool::new_stripe() {
+std::optional<std::size_t> Pool::new_stripe() {
+  // Fault site: a firing plan models the PM region allocator running
+  // out — the put degrades instead of wedging the pool.
+  if (fault::Fires("pmpool.alloc")) return std::nullopt;
   Stripe s;
   s.blocks.reserve(cfg_.k + cfg_.m);
   for (std::size_t i = 0; i < cfg_.k + cfg_.m; ++i) {
@@ -46,11 +50,24 @@ void Pool::reseal(Stripe& s) {
 }
 
 Pool::ObjectId Pool::put(std::span<const std::byte> value) {
+  const std::optional<ObjectId> id = try_put(value);
+  return id.has_value() ? *id : kPutFailed;
+}
+
+std::optional<Pool::ObjectId> Pool::try_put(std::span<const std::byte> value) {
+  const std::size_t first_stripe = stripes_.size();
   Object obj;
   obj.size = value.size();
   std::size_t off = 0;
   do {
-    const std::size_t si = new_stripe();
+    const std::optional<std::size_t> maybe_si = new_stripe();
+    if (!maybe_si.has_value()) {
+      // All-or-nothing: drop the stripes this object already carved so
+      // scrub/stats never see a partially stored object.
+      stripes_.resize(first_stripe);
+      return std::nullopt;
+    }
+    const std::size_t si = *maybe_si;
     Stripe& s = stripes_[si];
     obj.stripes.push_back(si);
     for (std::size_t i = 0; i < cfg_.k; ++i) {

@@ -56,11 +56,22 @@ class Pool {
  public:
   using ObjectId = std::uint64_t;
 
+  /// Sentinel returned by put() when stripe allocation fails (today
+  /// only under injected `pmpool.alloc` faults); get() on it yields
+  /// nullopt. Prefer try_put() where failure matters.
+  static constexpr ObjectId kPutFailed = ~ObjectId{0};
+
   explicit Pool(const PoolConfig& cfg = {});
 
-  /// Store an object; returns its id. Objects spanning multiple stripes
-  /// are split at stripe-payload boundaries.
+  /// Store an object; returns its id, or kPutFailed if a stripe
+  /// allocation failed. Objects spanning multiple stripes are split at
+  /// stripe-payload boundaries.
   ObjectId put(std::span<const std::byte> value);
+
+  /// Store an object, reporting allocation failure as nullopt. A
+  /// failed put is all-or-nothing: stripes already carved for the
+  /// object are released, so a later scrub never sees half an object.
+  std::optional<ObjectId> try_put(std::span<const std::byte> value);
 
   /// Read an object back (no verification — use scrub() for that).
   std::optional<std::vector<std::byte>> get(ObjectId id) const;
@@ -91,7 +102,8 @@ class Pool {
     std::size_t size = 0;
   };
 
-  std::size_t new_stripe();
+  /// nullopt when allocation fails (injected `pmpool.alloc` fault).
+  std::optional<std::size_t> new_stripe();
   void encode_stripe(Stripe& s);
   void reseal(Stripe& s);  // recompute checksums after a data change
 

@@ -1,8 +1,10 @@
 #include "repair/rebuild.h"
 
 #include <cassert>
+#include <utility>
 
 #include "ec/executor.h"
+#include "fault/injector.h"
 
 namespace repair {
 
@@ -33,6 +35,7 @@ RebuildProgress RunRebuild(
   const std::size_t bytes_per_stripe = wl_cfg.block_size;  // one block
 
   std::vector<std::size_t> cursor(cfg.threads, 0);
+  std::size_t next_ordinal = 0;  // global stripe id for the report
   bool remaining = true;
   while (remaining) {
     remaining = false;
@@ -52,6 +55,42 @@ RebuildProgress RunRebuild(
       progress.stripes_done += batch[t].stripes.size();
     }
     ec::RunThreads(mem, batch);
+
+    // Graceful degradation instead of first-failure abort: a stripe
+    // whose decode fails (injected `repair.rebuild` faults) is retried
+    // on worker 0 — paying its simulated time again — up to
+    // max_stripe_retries, then recorded as skipped and the rebuild
+    // moves on.
+    std::vector<std::pair<std::size_t, std::vector<std::uint64_t>>> failing;
+    for (std::size_t t = 0; t < cfg.threads; ++t) {
+      for (const auto& stripe : batch[t].stripes) {
+        const std::size_t ordinal = next_ordinal++;
+        ++progress.degraded.attempts;
+        if (fault::Fires("repair.rebuild")) {
+          failing.emplace_back(ordinal, stripe);
+        }
+      }
+    }
+    if (!failing.empty()) progress.degraded.retried += failing.size();
+    for (std::size_t round = 0;
+         !failing.empty() && round < cfg.max_stripe_retries; ++round) {
+      ec::ThreadWork rw;
+      rw.provider = &provider;
+      rw.scratch = workload.work[0].scratch;
+      for (const auto& [ordinal, stripe] : failing) {
+        rw.stripes.push_back(stripe);
+      }
+      ec::RunThreads(mem, std::span<ec::ThreadWork>(&rw, 1));
+      progress.degraded.attempts += failing.size();
+      std::vector<std::pair<std::size_t, std::vector<std::uint64_t>>> still;
+      for (auto& f : failing) {
+        if (fault::Fires("repair.rebuild")) still.push_back(std::move(f));
+      }
+      failing = std::move(still);
+    }
+    for (const auto& [ordinal, stripe] : failing) {
+      progress.degraded.skipped.push_back(ordinal);
+    }
     progress.bytes_rebuilt =
         static_cast<std::uint64_t>(progress.stripes_done) * bytes_per_stripe;
     progress.sim_seconds = mem.max_clock() * 1e-9;
@@ -83,8 +122,27 @@ ScrubReport ScrubStripes(const ec::Codec& codec, std::size_t block_size,
   ScrubReport report;
   report.stripes = jobs.size();
 
+  // Fold injected `repair.scrub` failures into a pass's real decode
+  // failures: one injector consultation per job, in job order, so a
+  // seeded schedule replays exactly. `real` is ascending (the
+  // ParallelDecode contract) and the result stays ascending.
+  const auto with_injected = [](const std::vector<std::size_t>& real,
+                                std::size_t count) {
+    std::vector<std::size_t> merged;
+    std::size_t ri = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      bool bad = ri < real.size() && real[ri] == i;
+      if (bad) ++ri;
+      if (fault::Fires("repair.scrub")) bad = true;
+      if (bad) merged.push_back(i);
+    }
+    return merged;
+  };
+
   std::vector<std::size_t> failed;
   ec::ParallelDecode(codec, block_size, jobs, threads, &failed);
+  report.attempts += jobs.size();
+  failed = with_injected(failed, jobs.size());
   report.failed_first_pass = failed.size();
 
   for (std::size_t round = 0; round < max_retries && !failed.empty();
@@ -96,6 +154,8 @@ ScrubReport ScrubStripes(const ec::Codec& codec, std::size_t block_size,
 
     std::vector<std::size_t> still_failed;
     ec::ParallelDecode(codec, block_size, subset, threads, &still_failed);
+    report.attempts += subset.size();
+    still_failed = with_injected(still_failed, subset.size());
     std::vector<std::size_t> next;
     next.reserve(still_failed.size());
     for (const std::size_t s : still_failed) next.push_back(failed[s]);

@@ -25,6 +25,19 @@ struct RebuildConfig {
   double rate_limit_gbps = 0.0;
   /// Stripes per progress callback.
   std::size_t batch_stripes = 64;
+  /// Re-decode attempts for a stripe whose decode fails (injected
+  /// `repair.rebuild` faults) before it is skipped and reported.
+  std::size_t max_stripe_retries = 2;
+};
+
+/// Degradation report: what a rebuild/scrub pass gave up on and what
+/// the retries cost. A skipped stripe is NOT silently dropped — it is
+/// named here so the operator can re-run or escalate.
+struct StripeDegradation {
+  std::size_t attempts = 0;  ///< per-stripe decode attempts, incl. retries
+  std::size_t retried = 0;   ///< stripes that needed at least one retry
+  std::vector<std::size_t> skipped;  ///< stripe ordinals abandoned
+  bool complete() const { return skipped.empty(); }
 };
 
 struct RebuildProgress {
@@ -33,6 +46,10 @@ struct RebuildProgress {
   std::uint64_t bytes_rebuilt = 0;
   double sim_seconds = 0.0;
   double gbps = 0.0;  ///< rebuilt bytes / simulated time so far
+  /// Final state of every stripe: a rebuild no longer aborts on the
+  /// first failed stripe — it retries up to max_stripe_retries, then
+  /// records the stripe in `degraded.skipped` and keeps going.
+  StripeDegradation degraded;
 
   double fraction() const {
     return stripes_total == 0
@@ -56,7 +73,9 @@ struct ScrubReport {
   std::size_t stripes = 0;            ///< jobs submitted
   std::size_t failed_first_pass = 0;  ///< failures before any retry
   std::size_t retry_rounds = 0;       ///< selective retry passes run
-  /// Job indices (into the caller's span) still failing after retries.
+  std::size_t attempts = 0;  ///< per-stripe decode attempts, incl. retries
+  /// Job indices (into the caller's span) still failing after retries —
+  /// the stripes the pass degraded on rather than aborting.
   std::vector<std::size_t> unrecovered;
 
   bool clean() const { return unrecovered.empty(); }

@@ -6,7 +6,9 @@
 #include <fstream>
 #include <future>
 #include <sstream>
+#include <thread>
 
+#include "fault/injector.h"
 #include "svc/stripe_service.h"
 
 namespace shard {
@@ -28,7 +30,7 @@ std::string Status::message() const {
     msg += ": ";
     msg += path.string();
   }
-  if (kind == Kind::kIoError && error != 0) {
+  if (error != 0) {
     msg += ": ";
     msg += std::strerror(error);
   }
@@ -132,6 +134,10 @@ bool WriteFile(const fs::path& path, const std::byte* data, std::size_t n,
               static_cast<std::streamsize>(n));
     out.flush();
   }
+  if (const int fe = fault::FireErrno("shard.write"); fe != 0) {
+    if (err) *err = fe;
+    return false;
+  }
   if (!out) {
     if (err) *err = errno != 0 ? errno : EIO;
     return false;
@@ -140,17 +146,44 @@ bool WriteFile(const fs::path& path, const std::byte* data, std::size_t n,
 }
 
 bool ReadFile(const fs::path& path, std::vector<std::byte>* out,
-              int* err = nullptr) {
+              int* err = nullptr, std::string* detail = nullptr) {
   errno = 0;
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (in) {
-    const std::streamsize n = in.tellg();
-    in.seekg(0);
-    out->resize(static_cast<std::size_t>(n));
-    in.read(reinterpret_cast<char*>(out->data()), n);
-  }
   if (!in) {
     if (err) *err = errno != 0 ? errno : EIO;
+    if (detail) *detail = "cannot open";
+    return false;
+  }
+  if (const int fe = fault::FireErrno("shard.open"); fe != 0) {
+    if (err) *err = fe;
+    if (detail) *detail = "cannot open";
+    return false;
+  }
+  const std::streamsize n = in.tellg();
+  if (n < 0) {
+    if (err) *err = errno != 0 ? errno : EIO;
+    if (detail) *detail = "cannot size";
+    return false;
+  }
+  in.seekg(0);
+  out->resize(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(out->data()), n);
+  if (const int fe = fault::FireErrno("shard.read"); fe != 0) {
+    if (err) *err = fe;
+    if (detail) *detail = "read failed";
+    return false;
+  }
+  // A truncated stream (file shrank after tellg, media error) can leave
+  // the read short without an exception; gcount is the only witness.
+  // badbit is the stream-level ferror() equivalent.
+  std::streamsize got = in.gcount();
+  if (fault::Fires("shard.short_read") && got > 0) got /= 2;
+  if (in.bad() || got != n) {
+    if (err) *err = errno != 0 ? errno : EIO;
+    if (detail) {
+      *detail = "short read: got " + std::to_string(got) + " of " +
+                std::to_string(n) + " bytes";
+    }
     return false;
   }
   return true;
@@ -161,7 +194,39 @@ bool ReadFile(const fs::path& path, std::vector<std::byte>* out,
 ShardStore::ShardStore(const ec::Codec& codec, std::size_t block_size)
     : codec_(codec), block_size_(block_size) {}
 
-void ShardStore::encode_stripes(
+bool ShardStore::read_file_retrying(const fs::path& path,
+                                    std::vector<std::byte>* out, int* err,
+                                    std::string* detail) const {
+  int local_err = 0;
+  std::string local_detail;
+  for (std::size_t attempt = 0;; ++attempt) {
+    local_err = 0;
+    local_detail.clear();
+    if (ReadFile(path, out, &local_err, &local_detail)) return true;
+    // Only genuinely transient errnos are worth the backoff; a missing
+    // file or a short read will not heal by waiting.
+    const bool transient = local_err == EINTR || local_err == EAGAIN;
+    if (!transient || attempt >= policy_.retry.max_retries) break;
+    std::this_thread::sleep_for(policy_.retry.delay(attempt));
+  }
+  if (err) *err = local_err;
+  if (detail) *detail = std::move(local_detail);
+  return false;
+}
+
+Status ShardStore::read_failure(int err, fs::path path,
+                                std::string detail) const {
+  const bool transient = err == EINTR || err == EAGAIN;
+  if (transient && policy_.retry.max_retries > 0) {
+    return Status{Status::Kind::kRetryExhausted, err, std::move(path),
+                  detail.empty()
+                      ? "transient read errors outlasted the retry budget"
+                      : std::move(detail)};
+  }
+  return Status::Io(err, std::move(path), std::move(detail));
+}
+
+Status ShardStore::encode_stripes(
     const Manifest& mf, std::vector<std::vector<std::byte>>& shards) const {
   const std::size_t stripes = std::max<std::size_t>(1, mf.stripes());
   auto serial = [&](std::size_t r) {
@@ -177,17 +242,13 @@ void ShardStore::encode_stripes(
   };
   if (service_ == nullptr) {
     for (std::size_t r = 0; r < stripes; ++r) serial(r);
-    return;
+    return Status::Ok();
   }
-  // Submit every stripe up front so the service can batch them, then
-  // reap in order. Anything the service refused (backpressure,
-  // shutdown) is encoded serially — routing sheds load, never fails.
-  std::vector<std::future<svc::Result>> done;
-  done.reserve(stripes);
-  for (std::size_t r = 0; r < stripes; ++r) {
+  auto make_request = [&](std::size_t r) {
     svc::EncodeRequest req;
     req.shape = {mf.k, mf.m, mf.block_size};
     req.codec = &codec_;
+    req.timeout = policy_.deadline;
     req.data.resize(mf.k);
     req.parity.resize(mf.m);
     for (std::size_t i = 0; i < mf.k; ++i) {
@@ -196,16 +257,49 @@ void ShardStore::encode_stripes(
     for (std::size_t j = 0; j < mf.m; ++j) {
       req.parity[j] = shards[mf.k + j].data() + r * mf.block_size;
     }
-    done.push_back(service_->submit(std::move(req)));
+    return req;
+  };
+  // Submit every stripe up front so the service can batch them, then
+  // reap every future before acting on any outcome — the stripe
+  // buffers must stay valid until the service is done with them.
+  std::vector<std::future<svc::Result>> done;
+  done.reserve(stripes);
+  for (std::size_t r = 0; r < stripes; ++r) {
+    done.push_back(service_->submit(make_request(r)));
+  }
+  std::vector<svc::StatusCode> outcome(stripes);
+  for (std::size_t r = 0; r < stripes; ++r) {
+    outcome[r] = done[r].get().status;
   }
   for (std::size_t r = 0; r < stripes; ++r) {
-    if (!done[r].get().ok()) serial(r);
+    svc::StatusCode s = outcome[r];
+    // Bounded backoff-retry: saturation clears as in-flight batches
+    // complete, so a rejected stripe is resubmitted synchronously.
+    for (std::size_t attempt = 0;
+         svc::IsRetryable(s) && attempt < policy_.retry.max_retries;
+         ++attempt) {
+      std::this_thread::sleep_for(policy_.retry.delay(attempt));
+      s = service_->submit(make_request(r)).get().status;
+    }
+    if (s == svc::StatusCode::kOk) continue;
+    if (s == svc::StatusCode::kDeadlineExceeded) {
+      return Status::Deadline("stripe " + std::to_string(r) +
+                              " exceeded the service deadline");
+    }
+    if (svc::IsRetryable(s) && !policy_.serial_fallback) {
+      return Status::Exhausted("stripe " + std::to_string(r) +
+                               " still rejected after " +
+                               std::to_string(policy_.retry.max_retries) +
+                               " retries");
+    }
+    serial(r);  // rejected (fallback allowed), shutdown, codec error
   }
+  return Status::Ok();
 }
 
-bool ShardStore::decode_stripes(const Manifest& mf,
-                                std::vector<std::vector<std::byte>>& shards,
-                                const std::vector<std::size_t>& erasures)
+Status ShardStore::decode_stripes(const Manifest& mf,
+                                  std::vector<std::vector<std::byte>>& shards,
+                                  const std::vector<std::size_t>& erasures)
     const {
   const std::size_t stripes = mf.stripes();
   auto serial = [&](std::size_t r) {
@@ -217,44 +311,73 @@ bool ShardStore::decode_stripes(const Manifest& mf,
   };
   if (service_ == nullptr) {
     for (std::size_t r = 0; r < stripes; ++r) {
-      if (!serial(r)) return false;
+      if (!serial(r)) {
+        return Status::Damaged({}, "stripe reconstruction failed");
+      }
     }
-    return true;
+    return Status::Ok();
   }
-  std::vector<std::future<svc::Result>> done;
-  done.reserve(stripes);
-  for (std::size_t r = 0; r < stripes; ++r) {
+  auto make_request = [&](std::size_t r) {
     svc::DecodeRequest req;
     req.shape = {mf.k, mf.m, mf.block_size};
     req.codec = &codec_;
+    req.timeout = policy_.deadline;
     req.erasures = erasures;
     req.blocks.resize(mf.k + mf.m);
     for (std::size_t s = 0; s < mf.k + mf.m; ++s) {
       req.blocks[s] = shards[s].data() + r * mf.block_size;
     }
-    done.push_back(service_->submit(std::move(req)));
+    return req;
+  };
+  std::vector<std::future<svc::Result>> done;
+  done.reserve(stripes);
+  for (std::size_t r = 0; r < stripes; ++r) {
+    done.push_back(service_->submit(make_request(r)));
   }
   // Reap every future even after a failure: the stripe buffers must
   // stay valid until the service is done with them.
-  bool ok = true;
+  std::vector<svc::StatusCode> outcome(stripes);
   for (std::size_t r = 0; r < stripes; ++r) {
-    const svc::Result res = done[r].get();
-    if (res.ok()) continue;
-    if (res.status == svc::StatusCode::kDecodeFailed) {
-      ok = false;
+    outcome[r] = done[r].get().status;
+  }
+  bool damaged = false;
+  for (std::size_t r = 0; r < stripes; ++r) {
+    svc::StatusCode s = outcome[r];
+    for (std::size_t attempt = 0;
+         svc::IsRetryable(s) && attempt < policy_.retry.max_retries;
+         ++attempt) {
+      std::this_thread::sleep_for(policy_.retry.delay(attempt));
+      s = service_->submit(make_request(r)).get().status;
+    }
+    if (s == svc::StatusCode::kOk) continue;
+    if (s == svc::StatusCode::kDecodeFailed) {
+      damaged = true;  // data failure, not environmental: no fallback
       continue;
     }
-    if (!serial(r)) ok = false;  // rejected: serial fallback
+    if (s == svc::StatusCode::kDeadlineExceeded) {
+      return Status::Deadline("stripe " + std::to_string(r) +
+                              " exceeded the service deadline");
+    }
+    if (svc::IsRetryable(s) && !policy_.serial_fallback) {
+      return Status::Exhausted("stripe " + std::to_string(r) +
+                               " still rejected after " +
+                               std::to_string(policy_.retry.max_retries) +
+                               " retries");
+    }
+    if (!serial(r)) damaged = true;
   }
-  return ok;
+  return damaged ? Status::Damaged({}, "stripe reconstruction failed")
+                 : Status::Ok();
 }
 
 Status ShardStore::encode_file(const fs::path& input,
                                const fs::path& dir) const {
   std::vector<std::byte> content;
   int err = 0;
-  if (!ReadFile(input, &content, &err)) {
-    return Status::Io(err, input, "unreadable input");
+  std::string detail;
+  if (!read_file_retrying(input, &content, &err, &detail)) {
+    return read_failure(err, input,
+                        detail.empty() ? "unreadable input" : detail);
   }
   const auto [k, m] = codec_.params();
 
@@ -278,7 +401,7 @@ Status ShardStore::encode_file(const fs::path& input,
       std::copy(src, src + block_size_, dst);
     }
   }
-  encode_stripes(mf, shards);
+  if (const Status st = encode_stripes(mf, shards); !st.ok()) return st;
 
   std::error_code dir_ec;
   fs::create_directories(dir, dir_ec);
@@ -302,7 +425,9 @@ Status ShardStore::encode_file(const fs::path& input,
 
 std::optional<Manifest> ShardStore::load_manifest(const fs::path& dir) const {
   std::vector<std::byte> raw;
-  if (!ReadFile(dir / "manifest.txt", &raw)) return std::nullopt;
+  if (!read_file_retrying(dir / "manifest.txt", &raw, nullptr, nullptr)) {
+    return std::nullopt;
+  }
   return Manifest::parse(
       std::string(reinterpret_cast<const char*>(raw.data()), raw.size()));
 }
@@ -314,7 +439,10 @@ bool ShardStore::load_shards(const fs::path& dir, const Manifest& mf,
   shards->assign(n, {});
   for (std::size_t s = 0; s < n; ++s) {
     auto& buf = (*shards)[s];
-    const bool readable = ReadFile(ShardPath(dir, s), &buf);
+    // Transient read errors retry before the shard is written off as
+    // damaged; persistent failures degrade to "rebuild it from parity".
+    const bool readable =
+        read_file_retrying(ShardPath(dir, s), &buf, nullptr, nullptr);
     const bool intact = readable && buf.size() == mf.shard_bytes() &&
                         Checksum(buf.data(), buf.size()) ==
                             mf.shard_checksums[s];
@@ -344,7 +472,8 @@ RepairReport ShardStore::repair(const fs::path& dir) const {
   if (report.damaged.empty()) return report;
   if (report.damaged.size() > mf->m) return report;  // unrecoverable
 
-  if (!decode_stripes(*mf, shards, report.damaged)) return report;
+  report.status = decode_stripes(*mf, shards, report.damaged);
+  if (!report.status.ok()) return report;
   for (const std::size_t s : report.damaged) {
     if (Checksum(shards[s].data(), shards[s].size()) !=
         mf->shard_checksums[s]) {
@@ -361,8 +490,10 @@ Status ShardStore::decode_file(const fs::path& dir,
                                const fs::path& output) const {
   std::vector<std::byte> raw;
   int err = 0;
-  if (!ReadFile(dir / "manifest.txt", &raw, &err)) {
-    return Status::Io(err, dir / "manifest.txt", "unreadable manifest");
+  std::string detail;
+  if (!read_file_retrying(dir / "manifest.txt", &raw, &err, &detail)) {
+    return read_failure(err, dir / "manifest.txt",
+                        detail.empty() ? "unreadable manifest" : detail);
   }
   const auto mf = Manifest::parse(
       std::string(reinterpret_cast<const char*>(raw.data()), raw.size()));
@@ -378,8 +509,13 @@ Status ShardStore::decode_file(const fs::path& dir,
                  std::to_string(mf->m));
   }
 
-  if (!damaged.empty() && !decode_stripes(*mf, shards, damaged)) {
-    return Status::Damaged(dir, "stripe reconstruction failed");
+  if (!damaged.empty()) {
+    Status st = decode_stripes(*mf, shards, damaged);
+    if (!st.ok()) {
+      // Anchor the stripe-level failure to the directory it concerns.
+      if (st.path.empty()) st.path = dir;
+      return st;
+    }
   }
 
   std::vector<std::byte> content(mf->file_size);

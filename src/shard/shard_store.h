@@ -12,6 +12,7 @@
 // zero-padded to a whole number of stripes.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <optional>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "ec/codec.h"
+#include "svc/retry.h"
 
 namespace svc {
 class StripeService;
@@ -29,12 +31,15 @@ namespace shard {
 /// Outcome of a file-level operation. Distinguishes filesystem
 /// failures (errno + offending path — retryable, environmental) from
 /// data damage beyond what RS(k, m) can repair (the shards themselves
-/// are lost); eccli maps the two to distinct exit codes.
+/// are lost) and from exhausted time/retry budgets on the service
+/// path; eccli maps each to a distinct exit code.
 struct Status {
   enum class Kind {
     kOk = 0,
     kIoError,  ///< read/write/open failure; `error` holds errno
     kDamaged,  ///< more shards lost than parity can reconstruct
+    kDeadlineExceeded,  ///< a stripe's service deadline expired
+    kRetryExhausted,    ///< rejected even after the retry budget
   };
 
   Kind kind = Kind::kOk;
@@ -54,6 +59,12 @@ struct Status {
   }
   static Status Damaged(std::filesystem::path p, std::string what) {
     return {Kind::kDamaged, 0, std::move(p), std::move(what)};
+  }
+  static Status Deadline(std::string what) {
+    return {Kind::kDeadlineExceeded, 0, {}, std::move(what)};
+  }
+  static Status Exhausted(std::string what) {
+    return {Kind::kRetryExhausted, 0, {}, std::move(what)};
   }
 };
 
@@ -77,7 +88,24 @@ std::uint64_t Checksum(const std::byte* data, std::size_t n);
 struct RepairReport {
   std::vector<std::size_t> damaged;   ///< shard indices found bad
   std::vector<std::size_t> repaired;  ///< subset successfully rebuilt
+  /// Why reconstruction stopped early, when it did (deadline expiry or
+  /// retry exhaustion on the service path); kOk otherwise.
+  Status status = Status::Ok();
   bool ok() const { return damaged.size() == repaired.size(); }
+};
+
+/// How the store uses an attached StripeService when the environment
+/// misbehaves: the per-stripe deadline handed to the service, the
+/// bounded backoff-retry budget for retryable outcomes (admission
+/// rejections; transient read errno EINTR/EAGAIN on file I/O), and
+/// whether exhausting that budget falls back to the serial codec path
+/// (the default — routing sheds load, never fails) or surfaces
+/// kRetryExhausted so callers with strict latency contracts see it.
+/// Deadline expiry never falls back: the time budget is already spent.
+struct ServicePolicy {
+  std::chrono::milliseconds deadline{0};  ///< per-stripe; 0 = none
+  svc::RetryPolicy retry;                 ///< rejected-submit backoff
+  bool serial_fallback = true;
 };
 
 class ShardStore {
@@ -93,6 +121,12 @@ class ShardStore {
   /// fails an otherwise-healthy operation. Pass nullptr to go back to
   /// serial encoding.
   void use_service(svc::StripeService* service) { service_ = service; }
+
+  /// Deadline/retry behaviour of the service path (and the transient-
+  /// errno retry of file reads). Default: no deadline, no retries,
+  /// serial fallback on rejection — the pre-policy behaviour.
+  void set_service_policy(const ServicePolicy& policy) { policy_ = policy; }
+  const ServicePolicy& service_policy() const { return policy_; }
 
   /// Encode `input` into `dir` (created if needed). kIoError with
   /// errno + path on filesystem failure.
@@ -120,19 +154,31 @@ class ShardStore {
   bool load_shards(const std::filesystem::path& dir, const Manifest& mf,
                    std::vector<std::vector<std::byte>>* shards,
                    std::vector<std::size_t>* damaged) const;
+  /// Read a file with the policy's transient-errno retry (EINTR /
+  /// EAGAIN back off and re-read; anything else fails immediately).
+  bool read_file_retrying(const std::filesystem::path& path,
+                          std::vector<std::byte>* out, int* err,
+                          std::string* detail) const;
+  /// Classify a failed read: kRetryExhausted when a transient errno
+  /// outlasted a nonzero retry budget, plain kIoError otherwise.
+  Status read_failure(int err, std::filesystem::path path,
+                      std::string detail) const;
   /// Compute every stripe's parity into the parity shards — through
-  /// the service when one is attached, serially otherwise.
-  void encode_stripes(const Manifest& mf,
-                      std::vector<std::vector<std::byte>>& shards) const;
-  /// Reconstruct `erasures` of every stripe in place. Returns false if
-  /// any stripe is unrecoverable.
-  bool decode_stripes(const Manifest& mf,
-                      std::vector<std::vector<std::byte>>& shards,
-                      const std::vector<std::size_t>& erasures) const;
+  /// the service when one is attached, serially otherwise. Non-kOk
+  /// only for exhausted deadline/retry budgets (see ServicePolicy).
+  Status encode_stripes(const Manifest& mf,
+                        std::vector<std::vector<std::byte>>& shards) const;
+  /// Reconstruct `erasures` of every stripe in place. kDamaged if any
+  /// stripe is unrecoverable; kDeadlineExceeded / kRetryExhausted per
+  /// the policy.
+  Status decode_stripes(const Manifest& mf,
+                        std::vector<std::vector<std::byte>>& shards,
+                        const std::vector<std::size_t>& erasures) const;
 
   const ec::Codec& codec_;
   std::size_t block_size_;
   svc::StripeService* service_ = nullptr;
+  ServicePolicy policy_;
 };
 
 }  // namespace shard

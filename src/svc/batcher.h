@@ -24,12 +24,22 @@ struct Pending {
   DecodeRequest dec;
   std::promise<Result> done;
   std::chrono::steady_clock::time_point submitted;
+  /// Absolute expiry computed at admission from the request's relative
+  /// timeout; the epoch value means "no deadline".
+  std::chrono::steady_clock::time_point deadline{};
 
   const StripeShape& shape() const {
     return op == OpClass::kEncode ? enc.shape : dec.shape;
   }
   const ec::Codec* codec_override() const {
     return op == OpClass::kEncode ? enc.codec : dec.codec;
+  }
+  std::chrono::nanoseconds timeout() const {
+    return op == OpClass::kEncode ? enc.timeout : dec.timeout;
+  }
+  bool expired(std::chrono::steady_clock::time_point now) const {
+    return deadline != std::chrono::steady_clock::time_point{} &&
+           now >= deadline;
   }
 };
 

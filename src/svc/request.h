@@ -4,6 +4,7 @@
 // stay valid until the request's future resolves.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
@@ -32,6 +33,10 @@ struct EncodeRequest {
   /// the shape's (k, m) and outlive the request's completion. When
   /// null the service uses its codec factory (DIALGA by default).
   const ec::Codec* codec = nullptr;
+  /// Per-request deadline, relative to submit(); zero = none. A
+  /// request still queued when its deadline passes completes with
+  /// kDeadlineExceeded (admission rejects one already expired).
+  std::chrono::nanoseconds timeout{0};
 };
 
 /// Reconstruct the erased blocks of one stripe in place.
@@ -40,6 +45,7 @@ struct DecodeRequest {
   std::vector<std::byte*> blocks;  ///< shape.k + shape.m pointers
   std::vector<std::size_t> erasures;
   const ec::Codec* codec = nullptr;
+  std::chrono::nanoseconds timeout{0};  ///< see EncodeRequest::timeout
 };
 
 }  // namespace svc

@@ -1,0 +1,44 @@
+// Bounded retry with jittered exponential backoff for the service's
+// retryable statuses (IsRetryable: admission rejections) and transient
+// shard I/O errors (EINTR/EAGAIN). The jitter is deterministic — a
+// pure function of (seed, attempt) — so retry schedules replay exactly
+// in fault-injection runs while still decorrelating real concurrent
+// retriers that seed differently.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace svc {
+
+struct RetryPolicy {
+  /// Resubmissions after the first try; 0 disables retrying.
+  std::size_t max_retries = 0;
+  /// First backoff step; doubled every attempt.
+  std::chrono::microseconds base_delay{100};
+  /// Backoff ceiling (pre-jitter).
+  std::chrono::microseconds max_delay{10000};
+  /// Jitter seed; vary per retrier to decorrelate real contention.
+  std::uint64_t seed = 0;
+
+  /// Backoff before retry `attempt` (0-based): base * 2^attempt capped
+  /// at max_delay, scaled by a deterministic jitter in [0.5, 1.0].
+  std::chrono::microseconds delay(std::size_t attempt) const {
+    std::uint64_t step = static_cast<std::uint64_t>(base_delay.count());
+    const std::uint64_t cap = static_cast<std::uint64_t>(max_delay.count());
+    for (std::size_t i = 0; i < attempt && step < cap; ++i) step *= 2;
+    if (step > cap) step = cap;
+    // SplitMix64 over (seed, attempt) -> jitter factor in [0.5, 1.0].
+    std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ull * (attempt + 1));
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    const double jitter = 0.5 + 0.5 * static_cast<double>(x >> 11) *
+                                    (1.0 / 9007199254740992.0);
+    return std::chrono::microseconds(
+        static_cast<std::int64_t>(static_cast<double>(step) * jitter));
+  }
+};
+
+}  // namespace svc

@@ -30,6 +30,9 @@ struct ServiceStats {
   std::uint64_t decode_failed = 0;
   std::uint64_t codec_errors = 0;
   std::uint64_t cancelled = 0;
+  /// Requests that expired — rejected already-expired at admission or
+  /// swept out of the queue by the dispatcher.
+  std::uint64_t deadline_exceeded = 0;
 
   // Queue / batcher.
   std::size_t queue_high_water = 0;

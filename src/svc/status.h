@@ -15,6 +15,7 @@ enum class StatusCode {
   kDecodeFailed,        ///< codec could not reconstruct the stripe
   kCodecError,          ///< codec body threw; whole batch untrusted
   kInvalidArgument,     ///< malformed request (pointer counts, erasures)
+  kDeadlineExceeded,    ///< request deadline passed before completion
 };
 
 inline const char* to_string(StatusCode c) {
@@ -35,6 +36,8 @@ inline const char* to_string(StatusCode c) {
       return "codec-error";
     case StatusCode::kInvalidArgument:
       return "invalid-argument";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "?";
 }
@@ -46,6 +49,11 @@ inline bool IsRejection(StatusCode c) {
   return c == StatusCode::kRejectedQueueFull ||
          c == StatusCode::kRejectedClassLimit;
 }
+
+/// True for statuses a bounded retry-with-backoff loop may resubmit
+/// after: saturation clears as in-flight work completes. Deadline
+/// expiry is NOT retryable — the caller's time budget is spent.
+inline bool IsRetryable(StatusCode c) { return IsRejection(c); }
 
 /// Delivered through the request's future.
 struct Result {

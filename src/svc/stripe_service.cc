@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "bench_util/stats.h"
+#include "fault/injector.h"
 
 namespace svc {
 
@@ -123,6 +124,9 @@ std::future<Result> StripeService::submit(DecodeRequest req) {
 
 std::future<Result> StripeService::admit(Pending&& p) {
   p.submitted = std::chrono::steady_clock::now();
+  if (p.timeout() != std::chrono::nanoseconds{0}) {
+    p.deadline = p.submitted + p.timeout();
+  }
   if (const StatusCode v = Validate(p); v != StatusCode::kOk) {
     std::lock_guard<std::mutex> lk(mu_);
     ++counters_.invalid;
@@ -134,6 +138,18 @@ std::future<Result> StripeService::admit(Pending&& p) {
     if (shutting_down_) {
       ++counters_.rejected_shutdown;
       return Immediate(std::move(p), StatusCode::kShutdown);
+    }
+    // Deadline-aware admission: a request whose budget is already
+    // spent (non-positive timeout) never enters the queue.
+    if (p.expired(p.submitted)) {
+      ++counters_.deadline_exceeded;
+      return Immediate(std::move(p), StatusCode::kDeadlineExceeded);
+    }
+    // Fault site: a firing plan makes admission behave exactly as if
+    // the queue were saturated, exercising callers' rejection paths.
+    if (fault::Fires("svc.admission")) {
+      ++counters_.rejected_queue_full;
+      return Immediate(std::move(p), StatusCode::kRejectedQueueFull);
     }
     // Per-class backpressure: one class saturating its share must not
     // push the other out of the queue entirely.
@@ -211,6 +227,22 @@ void StripeService::DispatcherLoop() {
       continue;
     }
 
+    // Expiry sweep: requests whose deadline passed while queued are
+    // completed with kDeadlineExceeded instead of being dispatched —
+    // the caller's time budget is spent, running them is wasted work.
+    const auto now = std::chrono::steady_clock::now();
+    const auto live_end = std::stable_partition(
+        run->begin(), run->end(),
+        [now](const Pending& p) { return !p.expired(now); });
+    if (live_end != run->end()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (auto it = live_end; it != run->end(); ++it) {
+        RecordCompletion(*it, StatusCode::kDeadlineExceeded);
+      }
+    }
+    run->erase(live_end, run->end());
+    if (run->empty()) continue;
+
     std::vector<Batch> batches = FormBatches(*run, max_batch_);
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -246,6 +278,9 @@ void StripeService::DispatchBatch(std::shared_ptr<std::vector<Pending>> reqs,
   pool_->run_async(
       shared_batch->indices.size(),
       [reqs, shared_batch, failed, codec, block](std::size_t j) {
+        // Fault site: a firing plan throws InjectedFault from the
+        // worker, driving the batch down the kCodecError path.
+        fault::MaybeThrow("svc.codec");
         Pending& p = (*reqs)[shared_batch->indices[j]];
         if (p.op == OpClass::kEncode) {
           codec->encode(block, p.enc.data, p.enc.parity);
@@ -293,6 +328,9 @@ void StripeService::RecordCompletion(Pending& p, StatusCode status) {
       break;
     case StatusCode::kCancelled:
       ++counters_.cancelled;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++counters_.deadline_exceeded;
       break;
     default:
       break;

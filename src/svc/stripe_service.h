@@ -87,6 +87,8 @@ class StripeService {
   /// Submit one stripe. The future always resolves: kOk on success,
   /// kRejected* immediately under saturation, kShutdown after
   /// shutdown, kCancelled if shutdown(kCancel) dropped it,
+  /// kDeadlineExceeded when the request's timeout expires before
+  /// dispatch (checked at admission and swept from the queue),
   /// kDecodeFailed / kInvalidArgument on per-request failure. Buffers
   /// must stay valid until the future resolves.
   std::future<Result> submit(EncodeRequest req);

@@ -1,0 +1,148 @@
+// svc::BoundedQueue edge cases the service relies on: a zero-capacity
+// queue rejects every push (admission control with no buffer at all),
+// close() racing concurrent pushers never loses or duplicates an item,
+// and items pushed before close() are still drained by pop() — false
+// only once closed AND empty.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "svc/bounded_queue.h"
+
+namespace svc {
+namespace {
+
+TEST(BoundedQueueTest, ZeroCapacityRejectsEveryPush) {
+  BoundedQueue<int> q(0);
+  int v = 7;
+  EXPECT_FALSE(q.try_push(v));
+  // A rejected push leaves the item untouched for the caller's
+  // rejection path.
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.high_water(), 0u);
+  // pop() on the closed empty queue returns immediately with false
+  // rather than blocking forever.
+  q.close();
+  int out = 0;
+  EXPECT_FALSE(q.pop(&out));
+}
+
+TEST(BoundedQueueTest, PushRejectsAtCapacityAndAfterClose) {
+  BoundedQueue<int> q(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(q.try_push(a));
+  EXPECT_TRUE(q.try_push(b));
+  EXPECT_FALSE(q.try_push(c));  // full
+  EXPECT_EQ(c, 3);
+  int out = 0;
+  EXPECT_TRUE(q.try_pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.try_push(c));  // space again
+  q.close();
+  int d = 4;
+  EXPECT_FALSE(q.try_push(d));  // closed
+}
+
+TEST(BoundedQueueTest, PopDrainsItemsPushedBeforeClose) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    ASSERT_TRUE(q.try_push(v));
+  }
+  q.close();
+  // FIFO drain of everything admitted before the close...
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  // ...then closed-and-empty.
+  EXPECT_FALSE(q.pop(&out));
+  EXPECT_FALSE(q.try_pop(&out));
+  EXPECT_EQ(q.high_water(), 5u);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksAWaitingPop) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> returned{false};
+  std::thread popper([&] {
+    int out = 0;
+    EXPECT_FALSE(q.pop(&out));  // blocks until close
+    returned.store(true);
+  });
+  // Give the popper a moment to park in the wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  q.close();
+  popper.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueueTest, ConcurrentCloseWhilePushingLosesNothing) {
+  // Pushers hammer the queue while a closer slams it shut mid-stream
+  // and drainers pop concurrently: every item is either rejected at
+  // push (caller keeps it) or popped exactly once — accepted + rejected
+  // must equal pushed, popped must equal accepted.
+  constexpr std::size_t kPushers = 4;
+  constexpr std::size_t kPerPusher = 5000;
+  BoundedQueue<std::size_t> q(64);
+
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> popped{0};
+
+  std::vector<std::thread> pushers;
+  for (std::size_t p = 0; p < kPushers; ++p) {
+    pushers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerPusher; ++i) {
+        std::size_t item = p * kPerPusher + i;
+        if (q.try_push(item)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> drainers;
+  for (std::size_t d = 0; d < 2; ++d) {
+    drainers.emplace_back([&] {
+      std::size_t out;
+      while (q.pop(&out)) popped.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Close somewhere in the middle of the push storm.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  q.close();
+
+  for (auto& t : pushers) t.join();
+  for (auto& t : drainers) t.join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kPushers * kPerPusher);
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_LE(q.high_water(), 64u);
+}
+
+TEST(BoundedQueueTest, MoveOnlyItemsStayWithCallerOnReject) {
+  BoundedQueue<std::unique_ptr<int>> q(1);
+  auto a = std::make_unique<int>(1);
+  auto b = std::make_unique<int>(2);
+  EXPECT_TRUE(q.try_push(a));
+  EXPECT_EQ(a, nullptr);  // moved in
+  EXPECT_FALSE(q.try_push(b));
+  ASSERT_NE(b, nullptr);  // rejected push must not consume the item
+  EXPECT_EQ(*b, 2);
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_pop(&out));
+  EXPECT_EQ(*out, 1);
+}
+
+}  // namespace
+}  // namespace svc

@@ -13,8 +13,8 @@
 // Stripe work runs through a svc::StripeService (batched onto the
 // work-stealing pool) unless --serial is given.
 //
-// Exit codes: 0 success, 1 data damaged beyond repair, 2 usage error,
-// 3 I/O error (errno reported on stderr).
+// Exit codes (see --help): 0 success, 1 damaged, 2 usage, 3 I/O,
+// 4 deadline exceeded / retry budget exhausted.
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -22,6 +22,7 @@
 #include <string>
 
 #include "dialga/dialga.h"
+#include "fault/injector.h"
 #include "shard/shard_store.h"
 #include "svc/stripe_service.h"
 
@@ -31,6 +32,7 @@ constexpr int kExitOk = 0;
 constexpr int kExitDamaged = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
+constexpr int kExitDeadline = 4;
 
 void Usage() {
   std::cerr
@@ -40,9 +42,33 @@ void Usage() {
          "  eccli repair <shard-dir>\n"
          "  eccli decode <shard-dir> <output>\n"
          "options:\n"
-         "  --serial     bypass the stripe service, encode/decode serially\n"
-         "  --threads N  worker threads for the stripe service (default: "
-         "hardware)\n";
+         "  --serial          bypass the stripe service, encode/decode "
+         "serially\n"
+         "  --threads N       worker threads for the stripe service "
+         "(default: hardware)\n"
+         "  --deadline-ms N   per-stripe service deadline; expiry fails "
+         "the command\n"
+         "                    with exit 4 instead of falling back to the "
+         "serial path\n"
+         "  --retries N       bounded backoff-retry budget for rejected "
+         "stripe\n"
+         "                    submissions and transient read errors "
+         "(EINTR/EAGAIN);\n"
+         "                    exhaustion fails with exit 4\n"
+         "  --fault-plan S    install a deterministic fault-injection "
+         "plan, e.g.\n"
+         "                    'seed=7;shard.read:p=0.01,err=EINTR;"
+         "svc.admission:nth=2+5'\n"
+         "                    (also read from DIALGA_FAULT_PLAN / "
+         "DIALGA_FAULT_SEED)\n"
+         "exit codes:\n"
+         "  0  success\n"
+         "  1  data damaged beyond what parity can repair\n"
+         "  2  usage error\n"
+         "  3  I/O error (errno reported on stderr; environmental, worth "
+         "retrying)\n"
+         "  4  deadline exceeded or retry budget exhausted "
+         "(--deadline-ms/--retries)\n";
 }
 
 struct Options {
@@ -50,7 +76,11 @@ struct Options {
   std::size_t m = 3;
   std::size_t block = 4096;
   std::size_t threads = 0;  // 0 = ThreadPool default
+  std::size_t deadline_ms = 0;
+  std::size_t retries = 0;
+  bool strict_budget = false;  // --deadline-ms/--retries given
   bool serial = false;
+  std::string fault_plan;
   std::vector<std::string> positional;
 };
 
@@ -70,6 +100,15 @@ bool Parse(int argc, char** argv, Options* opt) {
       if (!next_value(&opt->block)) return false;
     } else if (arg == "--threads") {
       if (!next_value(&opt->threads)) return false;
+    } else if (arg == "--deadline-ms") {
+      if (!next_value(&opt->deadline_ms)) return false;
+      opt->strict_budget = true;
+    } else if (arg == "--retries") {
+      if (!next_value(&opt->retries)) return false;
+      opt->strict_budget = true;
+    } else if (arg == "--fault-plan") {
+      if (i + 1 >= argc) return false;
+      opt->fault_plan = argv[++i];
     } else if (arg == "--serial") {
       opt->serial = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -105,11 +144,22 @@ std::optional<shard::Manifest> ManifestOf(const std::string& dir,
 /// Map a file-level Status to an exit code, reporting on stderr. The
 /// distinction matters to callers: kDamaged (1) means the shards are
 /// lost beyond parity — retrying is pointless; kIoError (3) is
-/// environmental (permissions, disk full) and worth retrying.
+/// environmental (permissions, disk full) and worth retrying;
+/// kDeadlineExceeded/kRetryExhausted (4) mean the --deadline-ms /
+/// --retries budget ran out — raise it or drop the flags to allow the
+/// serial fallback.
 int Report(const shard::Status& st) {
   if (st.ok()) return kExitOk;
   std::cerr << "eccli: " << st.message() << "\n";
-  return st.kind == shard::Status::Kind::kDamaged ? kExitDamaged : kExitIo;
+  switch (st.kind) {
+    case shard::Status::Kind::kDamaged:
+      return kExitDamaged;
+    case shard::Status::Kind::kDeadlineExceeded:
+    case shard::Status::Kind::kRetryExhausted:
+      return kExitDeadline;
+    default:
+      return kExitIo;
+  }
 }
 
 }  // namespace
@@ -126,16 +176,36 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
 
+  // Fault plans: environment first (CI harnesses), then the flag so an
+  // explicit --fault-plan can extend or override it.
+  std::string plan_error;
+  if (!fault::Injector::Global().install_from_env(&plan_error)) {
+    std::cerr << "eccli: bad DIALGA_FAULT_PLAN: " << plan_error << "\n";
+    return kExitUsage;
+  }
+  if (!opt.fault_plan.empty() &&
+      !fault::Injector::Global().install_spec(opt.fault_plan, &plan_error)) {
+    std::cerr << "eccli: bad --fault-plan: " << plan_error << "\n";
+    return kExitUsage;
+  }
+
   // One service for the whole command; stores attach to it unless the
-  // user opted out with --serial.
+  // user opted out with --serial. With an explicit --deadline-ms or
+  // --retries the budget is strict: exhaustion surfaces as exit 4
+  // instead of silently falling back to the serial path.
   std::optional<svc::StripeService> service;
   if (!opt.serial) {
     svc::StripeService::Config cfg;
     cfg.pool_threads = opt.threads;
     service.emplace(std::move(cfg));
   }
+  shard::ServicePolicy policy;
+  policy.deadline = std::chrono::milliseconds(opt.deadline_ms);
+  policy.retry.max_retries = opt.retries;
+  policy.serial_fallback = !opt.strict_budget;
   auto attach = [&](shard::ShardStore& store) {
     if (service) store.use_service(&*service);
+    store.set_service_policy(policy);
   };
 
   if (cmd == "encode") {
@@ -181,6 +251,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "repair") {
       const auto report = store.repair(opt.positional[0]);
+      if (!report.status.ok()) return Report(report.status);
       if (report.damaged.empty()) {
         std::cout << "nothing to repair\n";
         return kExitOk;
