@@ -22,6 +22,7 @@
 #include "bench_util/table.h"
 #include "bench_util/workload.h"
 #include "dialga/dialga.h"
+#include "obs/metrics.h"
 #include "ec/isal.h"
 #include "ec/isal_decompose.h"
 #include "ec/lrc.h"
@@ -239,26 +240,51 @@ class FigureBench {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    // Scrape last: the benchmark replay above re-runs no workload (the
+    // points are cached results), so the registry now holds the whole
+    // figure run.
+    write_metrics(argc > 0 ? argv[0] : "figure");
     return 0;
   }
 
  private:
+  static std::string Stem(const std::string& argv0) {
+    std::string stem = argv0;
+    if (const auto slash = stem.find_last_of('/');
+        slash != std::string::npos) {
+      stem = stem.substr(slash + 1);
+    }
+    return stem;
+  }
+
   /// With DIALGA_CSV_DIR set, drop the series as <dir>/<binary>.csv so
   /// plotting scripts can pick every figure up; the host-pool companion
   /// series (pool counters included) goes to <binary>_host.csv.
   void write_csv(const std::string& argv0) const {
     const char* dir = std::getenv("DIALGA_CSV_DIR");
     if (dir == nullptr) return;
-    std::string stem = argv0;
-    if (const auto slash = stem.find_last_of('/');
-        slash != std::string::npos) {
-      stem = stem.substr(slash + 1);
-    }
+    const std::string stem = Stem(argv0);
     std::ofstream out(std::string(dir) + "/" + stem + ".csv");
     if (out) table_.print_csv(out);
     if (host_points_) {
       std::ofstream host_out(std::string(dir) + "/" + stem + "_host.csv");
       if (host_out) host_table_.print_csv(host_out);
+    }
+  }
+
+  /// Final metrics-registry scrape in the same schema the service
+  /// exports: next to the CSVs as <binary>_metrics.prom and
+  /// <binary>_metrics.jsonl when DIALGA_CSV_DIR is set, plus whatever
+  /// single path DIALGA_METRICS_OUT names (format by extension).
+  static void write_metrics(const std::string& argv0) {
+    if (const char* dir = std::getenv("DIALGA_CSV_DIR"); dir != nullptr) {
+      const std::string base = std::string(dir) + "/" + Stem(argv0);
+      obs::DumpMetricsToFile(base + "_metrics.prom");
+      obs::DumpMetricsToFile(base + "_metrics.jsonl");
+    }
+    if (const char* out = std::getenv("DIALGA_METRICS_OUT");
+        out != nullptr && *out != '\0') {
+      obs::DumpMetricsToFile(out);
     }
   }
 

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Schema check for the obs metrics exports (CI gate).
+
+Validates a Prometheus text-exposition file (and optionally a
+JSON-lines file) produced by `eccli --metrics-out` / DIALGA_METRICS_OUT
+/ the bench `<stem>_metrics.*` dumps:
+
+  * every sample line parses as `name{labels} value`;
+  * every metric family has a `# TYPE` of counter/gauge/histogram;
+  * histogram families expose cumulative `_bucket{le=...}` series
+    ending in `le="+Inf"`, plus `_sum` and `_count`, with
+    bucket(+Inf) == count;
+  * counter values are finite and non-negative;
+  * required metric families are present (`--require NAME`, repeat).
+
+Exit 0 when the file conforms, 1 with a report on stderr otherwise.
+Stdlib only.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?'
+    r' (?P<value>[^ ]+)$'
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram"}
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def check_prometheus(path, required):
+    errors = []
+    types = {}
+    # family -> {"buckets": [(le, value)], "sum": v, "count": v}
+    hist = {}
+    plain = {}
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4 or parts[3] not in VALID_TYPES:
+                    errors.append(f"{path}:{lineno}: bad TYPE line: {line!r}")
+                else:
+                    types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                errors.append(f"{path}:{lineno}: unparseable sample: {line!r}")
+                continue
+            name = m.group("name")
+            labels = dict(LABEL_RE.findall(m.group("labels") or ""))
+            try:
+                value = parse_value(m.group("value"))
+            except ValueError:
+                errors.append(f"{path}:{lineno}: bad value: {line!r}")
+                continue
+
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in types \
+                        and types[name[: -len(suffix)]] == "histogram":
+                    family = name[: -len(suffix)]
+                    h = hist.setdefault(family, {"buckets": [], "sum": None,
+                                                 "count": None})
+                    if suffix == "_bucket":
+                        if "le" not in labels:
+                            errors.append(
+                                f"{path}:{lineno}: _bucket without le")
+                        else:
+                            h["buckets"].append(
+                                (parse_value(labels["le"]), value))
+                    elif suffix == "_sum":
+                        h["sum"] = value
+                    else:
+                        h["count"] = value
+                    break
+            else:
+                plain[family] = value
+                if family not in types:
+                    errors.append(
+                        f"{path}:{lineno}: sample {name!r} has no # TYPE")
+                elif types[family] == "counter":
+                    if not math.isfinite(value) or value < 0:
+                        errors.append(
+                            f"{path}:{lineno}: counter {name!r} has "
+                            f"non-finite/negative value {value}")
+
+    for family, h in hist.items():
+        if not h["buckets"]:
+            errors.append(f"{path}: histogram {family!r} has no buckets")
+            continue
+        les = [le for le, _ in h["buckets"]]
+        vals = [v for _, v in h["buckets"]]
+        if les != sorted(les):
+            errors.append(f"{path}: histogram {family!r} buckets not sorted")
+        if vals != sorted(vals):
+            errors.append(
+                f"{path}: histogram {family!r} buckets not cumulative")
+        if not math.isinf(les[-1]):
+            errors.append(
+                f"{path}: histogram {family!r} missing le=\"+Inf\" bucket")
+        if h["count"] is None or h["sum"] is None:
+            errors.append(
+                f"{path}: histogram {family!r} missing _count or _sum")
+        elif math.isinf(les[-1]) and vals[-1] != h["count"]:
+            errors.append(
+                f"{path}: histogram {family!r}: bucket(+Inf)={vals[-1]} "
+                f"!= count={h['count']}")
+
+    present = set(types) | set(plain) | set(hist)
+    for req in required:
+        if req not in present:
+            errors.append(f"{path}: required metric family {req!r} missing")
+
+    return errors, present
+
+
+def check_jsonl(path):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"{path}:{lineno}: bad JSON: {e}")
+                continue
+            for key in ("name", "type"):
+                if key not in obj:
+                    errors.append(f"{path}:{lineno}: missing {key!r}")
+            if obj.get("type") == "histogram":
+                for key in ("count", "sum", "buckets"):
+                    if key not in obj:
+                        errors.append(
+                            f"{path}:{lineno}: histogram missing {key!r}")
+            elif "value" not in obj:
+                errors.append(f"{path}:{lineno}: missing 'value'")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("prom", help="Prometheus text file to validate")
+    ap.add_argument("--jsonl", help="JSON-lines export to validate too")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME", help="metric family that must be present")
+    args = ap.parse_args()
+
+    errors, present = check_prometheus(args.prom, args.require)
+    if args.jsonl:
+        errors.extend(check_jsonl(args.jsonl))
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"FAIL: {len(errors)} schema error(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {args.prom}: {len(present)} metric families conform")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

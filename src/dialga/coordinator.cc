@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace dialga {
 
 namespace {
@@ -10,6 +12,49 @@ namespace {
 /// left to hide) and beyond 256 the cache footprint dwarfs any gain.
 constexpr std::size_t kMinDistance = 4;
 constexpr std::size_t kMaxDistance = 256;
+
+/// Registry mirror of the coordinator's sampling loop: counters for
+/// windows taken and strategy flips, gauges for the last window's PMU
+/// deltas and the strategy currently in force. Gauges are last-write-
+/// wins across coordinators — with one live coordinator per process
+/// (the usual shape) they read as "the current window".
+struct CoordMetrics {
+  obs::Counter& samples;
+  obs::Counter& strategy_flips;
+  obs::Gauge& window_latency_ns;
+  obs::Gauge& window_useless;
+  obs::Gauge& window_gbps;
+  obs::Gauge& contention;
+  obs::Gauge& inefficient;
+  obs::Gauge& hw_prefetch;
+  obs::Gauge& sw_distance;
+
+  static CoordMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static CoordMetrics m{
+        reg.counter("dialga_coord_samples_total", {},
+                    "PMU sampling windows the coordinator evaluated"),
+        reg.counter("dialga_coord_strategy_flips_total", {},
+                    "decide() calls that changed the strategy"),
+        reg.gauge("dialga_coord_window_latency_ns", {},
+                  "Last window's mean load-stall latency"),
+        reg.gauge("dialga_coord_window_useless_prefetches", {},
+                  "Last window's useless hardware prefetch count"),
+        reg.gauge("dialga_coord_window_gbps", {},
+                  "Last window's encode read throughput"),
+        reg.gauge("dialga_coord_contention", {},
+                  "1 when the last window crossed the contention ratio"),
+        reg.gauge("dialga_coord_inefficient", {},
+                  "1 when the last window crossed the useless-prefetch "
+                  "ratio"),
+        reg.gauge("dialga_coord_hw_prefetch", {},
+                  "1 when the current strategy keeps the HW prefetcher"),
+        reg.gauge("dialga_coord_sw_distance", {},
+                  "Current software prefetch distance (0 = off)"),
+    };
+    return m;
+  }
+};
 }  // namespace
 
 Coordinator::Coordinator(const PatternInfo& pattern, const Features& features,
@@ -52,6 +97,7 @@ void Coordinator::sample(const simmem::MemorySystem& mem, double now) {
   last_pmu_ = mem.pmu();
   last_sample_time_ = now;
   ++samples_;
+  CoordMetrics::Get().samples.inc();
   if (delta.loads == 0 || elapsed <= 0.0) return;
 
   const double window_latency = delta.load_stall_ns /
@@ -59,6 +105,12 @@ void Coordinator::sample(const simmem::MemorySystem& mem, double now) {
   const double window_useless = static_cast<double>(delta.hw_prefetches_useless);
   const double window_gbps =
       static_cast<double>(delta.encode_read_bytes) / elapsed;
+  {
+    auto& m = CoordMetrics::Get();
+    m.window_latency_ns.set(window_latency);
+    m.window_useless.set(window_useless);
+    m.window_gbps.set(window_gbps);
+  }
 
   // Low-pressure baselines: the least-contended window seen so far
   // (the paper calibrates them in a dedicated low-pressure phase).
@@ -73,6 +125,8 @@ void Coordinator::sample(const simmem::MemorySystem& mem, double now) {
       window_latency > thr_.latency_contention_ratio * baseline_latency_ns_;
   inefficient_ = window_useless > thr_.useless_prefetch_ratio *
                                       std::max(baseline_useless_, 16.0);
+  CoordMetrics::Get().contention.set(contention_ ? 1.0 : 0.0);
+  CoordMetrics::Get().inefficient.set(inefficient_ ? 1.0 : 0.0);
 
   if (feat_.sw_prefetch && feat_.adaptive) {
     // Throughput fluctuation restarts the distance search (paper: 10 %).
@@ -89,6 +143,20 @@ void Coordinator::sample(const simmem::MemorySystem& mem, double now) {
 }
 
 void Coordinator::decide() {
+  const Strategy prev = strat_;
+  // Publish the decision on every exit path: flip counter when the
+  // strategy changed, gauges for what is now in force.
+  struct Publish {
+    const Strategy& prev;
+    const Strategy& cur;
+    ~Publish() {
+      auto& m = CoordMetrics::Get();
+      if (!(prev == cur)) m.strategy_flips.inc();
+      m.hw_prefetch.set(cur.hw_prefetch ? 1.0 : 0.0);
+      m.sw_distance.set(static_cast<double>(cur.sw_distance));
+    }
+  } publish{prev, strat_};
+
   Strategy s;
 
   // --- Hardware prefetcher -------------------------------------------

@@ -4,12 +4,48 @@
 #include <deque>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace ec {
 
 namespace {
 /// Set while a thread is executing inside WorkerLoop, so nested
 /// parallel_for calls can detect they already run on this pool.
 thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+/// Process-wide pool metrics, aggregated across every ThreadPool
+/// instance (owned service pools, the Shared() pool, test pools). The
+/// per-pool ThreadPoolStats snapshot stays the per-instance view;
+/// these registry counters are the one-scrape operator view. Cached
+/// references: the registry map is consulted once per process.
+struct PoolMetrics {
+  obs::Counter& tasks_run;
+  obs::Counter& tasks_skipped;
+  obs::Counter& steals;
+  obs::Counter& parallel_fors;
+  obs::Gauge& max_queue_depth;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics m{
+        obs::Registry::Global().counter(
+            "dialga_pool_tasks_total", {},
+            "Task bodies executed across every thread pool"),
+        obs::Registry::Global().counter(
+            "dialga_pool_tasks_skipped_total", {},
+            "Tasks cancelled after a sibling threw"),
+        obs::Registry::Global().counter(
+            "dialga_pool_steals_total", {},
+            "Tasks taken from another worker's queue"),
+        obs::Registry::Global().counter(
+            "dialga_pool_parallel_fors_total", {},
+            "parallel_for / run_async calls dispatched"),
+        obs::Registry::Global().gauge(
+            "dialga_pool_max_queue_depth", {},
+            "Deepest per-worker queue seen by any pool"),
+    };
+    return m;
+  }
+};
 }  // namespace
 
 /// Shared bookkeeping of one parallel_for / run_async call. For the
@@ -94,6 +130,7 @@ bool ThreadPool::TryPop(std::size_t id, Task& out) {
       victim.queue.pop_back();
       pending_.fetch_sub(1, std::memory_order_relaxed);
       own.steals.fetch_add(1, std::memory_order_relaxed);
+      PoolMetrics::Get().steals.inc();
       return true;
     }
   }
@@ -107,14 +144,17 @@ void ThreadPool::Execute(std::size_t id, const Task& task) {
     try {
       (*st.body)(task.index);
       self.tasks_run.fetch_add(1, std::memory_order_relaxed);
+      PoolMetrics::Get().tasks_run.inc();
     } catch (...) {
       self.tasks_run.fetch_add(1, std::memory_order_relaxed);
+      PoolMetrics::Get().tasks_run.inc();
       st.cancelled.store(true, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lk(st.mu);
       if (!st.error) st.error = std::current_exception();
     }
   } else {
     self.tasks_skipped.fetch_add(1, std::memory_order_relaxed);
+    PoolMetrics::Get().tasks_skipped.inc();
   }
   // Whether the state is self-deleting must be read under the lock: for
   // a synchronous call the caller may wake and destroy the stack state
@@ -164,6 +204,7 @@ void ThreadPool::parallel_for(
     return;
   }
   parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+  PoolMetrics::Get().parallel_fors.inc();
 
   ForState st;
   st.body = &body;
@@ -183,6 +224,7 @@ void ThreadPool::run_async(std::size_t jobs,
     return;
   }
   parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+  PoolMetrics::Get().parallel_fors.inc();
   auto* st = new ForState;
   st->owned_body = std::move(body);
   st->body = &st->owned_body;
@@ -203,6 +245,8 @@ void ThreadPool::Enqueue(ForState* st, std::size_t jobs) {
       w.queue.push_back(Task{st, i});
     }
     w.max_depth = std::max<std::uint64_t>(w.max_depth, w.queue.size());
+    PoolMetrics::Get().max_queue_depth.max_of(
+        static_cast<double>(w.max_depth));
   }
   {
     std::lock_guard<std::mutex> lk(wake_mu_);

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace fault {
 
 namespace {
@@ -51,8 +53,46 @@ int ParseErrno(const std::string& name, bool* ok) {
 
 }  // namespace
 
+namespace {
+
+/// Publishes the injector's per-site tallies into the process metrics
+/// registry as scrape-time samples — the injector keeps its own
+/// counters (they reset when a plan is reinstalled), so a collector is
+/// the honest export path. Registered after the Injector static local
+/// and therefore destroyed before it, which unregisters the collector
+/// while the injector is still alive.
+struct CollectorRegistration {
+  explicit CollectorRegistration(Injector* in) : in_(in) {
+    obs::Registry::Global().add_collector(
+        in_, [in = in_](std::vector<obs::Sample>& out) {
+          for (const auto& [site, st] : in->all_stats()) {
+            obs::Sample ops;
+            ops.name = "dialga_fault_ops_total";
+            ops.labels = {{"site", site}};
+            ops.type = obs::MetricType::kCounter;
+            ops.value = static_cast<double>(st.ops);
+            out.push_back(std::move(ops));
+            obs::Sample fires;
+            fires.name = "dialga_fault_fires_total";
+            fires.labels = {{"site", site}};
+            fires.type = obs::MetricType::kCounter;
+            fires.value = static_cast<double>(st.fires);
+            out.push_back(std::move(fires));
+          }
+        });
+  }
+  ~CollectorRegistration() {
+    obs::Registry::Global().remove_collector(in_);
+  }
+  Injector* in_;
+};
+
+}  // namespace
+
 Injector& Injector::Global() {
   static Injector instance;
+  static CollectorRegistration registration(&instance);
+  (void)registration;
   return instance;
 }
 

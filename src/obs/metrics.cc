@@ -1,0 +1,396 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace obs {
+
+namespace {
+
+/// Key uniquely identifying one metric instance in the registry map.
+/// '\x1f' cannot appear in a metric name, so name/label collisions are
+/// impossible.
+std::string KeyOf(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// A counter/gauge value that is integral prints without a decimal
+/// point — Prometheus accepts either, humans prefer integers.
+std::string FormatValue(double v) {
+  if (v >= 0 && v < 9.007199254740992e15 &&
+      static_cast<double>(static_cast<std::uint64_t>(v)) == v) {
+    return std::to_string(static_cast<std::uint64_t>(v));
+  }
+  return FormatDouble(v);
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Prometheus label values escape backslash, double quote, newline.
+std::string EscapePromLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string PromLabels(const Labels& labels, const std::string& extra_key = {},
+                       const std::string& extra_val = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + EscapePromLabel(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + EscapePromLabel(extra_val) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::size_t Counter::ShardIndex() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double within =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cum += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  // Bounds must be ascending for the bucket search and the percentile
+  // interpolation; sort defensively rather than trusting every caller.
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    s.counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<double> LatencyBounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+std::vector<double> Pow2Bounds(std::size_t max_exponent) {
+  std::vector<double> bounds;
+  bounds.reserve(max_exponent + 1);
+  for (std::size_t e = 0; e <= max_exponent; ++e) {
+    bounds.push_back(static_cast<double>(std::uint64_t{1} << e));
+  }
+  return bounds;
+}
+
+Registry& Registry::Global() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Registry::Entry& Registry::entry(const std::string& name, const Labels& labels,
+                                 const std::string& help, MetricType type) {
+  // mu_ held by the caller.
+  auto [it, inserted] = metrics_.try_emplace(KeyOf(name, labels));
+  Entry& e = it->second;
+  if (inserted) {
+    e.type = type;
+    e.name = name;
+    e.labels = labels;
+  }
+  if (!help.empty()) help_.try_emplace(name, help);
+  return e;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels,
+                           const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entry(name, labels, help, MetricType::kCounter);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels,
+                       const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entry(name, labels, help, MetricType::kGauge);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds,
+                               const Labels& labels, const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entry(name, labels, help, MetricType::kHistogram);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+void Registry::add_collector(const void* owner,
+                             std::function<void(std::vector<Sample>&)> fn) {
+  std::lock_guard<std::mutex> lk(collector_mu_);
+  collectors_.emplace_back(owner, std::move(fn));
+}
+
+void Registry::remove_collector(const void* owner) {
+  std::lock_guard<std::mutex> lk(collector_mu_);
+  collectors_.erase(
+      std::remove_if(collectors_.begin(), collectors_.end(),
+                     [owner](const auto& c) { return c.first == owner; }),
+      collectors_.end());
+}
+
+std::vector<Sample> Registry::collect() const {
+  std::vector<Sample> samples;
+  {
+    // Collectors run under collector_mu_ so an owner tearing down
+    // (remove_collector in its destructor) cannot free state a
+    // concurrent scrape is reading.
+    std::lock_guard<std::mutex> lk(collector_mu_);
+    for (const auto& [owner, fn] : collectors_) fn(samples);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [key, e] : metrics_) {
+      Sample s;
+      s.name = e.name;
+      s.labels = e.labels;
+      s.type = e.type;
+      if (e.counter) {
+        s.value = static_cast<double>(e.counter->value());
+      } else if (e.gauge) {
+        s.value = e.gauge->value();
+      } else if (e.histogram) {
+        s.hist = e.histogram->snapshot();
+      }
+      samples.push_back(std::move(s));
+    }
+  }
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const Sample& a, const Sample& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.labels < b.labels;
+                   });
+  return samples;
+}
+
+std::string Registry::help_for(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = help_.find(name);
+  return it == help_.end() ? std::string{} : it->second;
+}
+
+namespace {
+
+void WritePrometheus(const std::vector<Sample>& samples, std::ostream& os,
+                     const Registry* help_from) {
+  std::string last_name;
+  for (const Sample& s : samples) {
+    if (s.name != last_name) {
+      last_name = s.name;
+      if (help_from != nullptr) {
+        const std::string help = help_from->help_for(s.name);
+        if (!help.empty()) os << "# HELP " << s.name << " " << help << "\n";
+      }
+      os << "# TYPE " << s.name << " " << TypeName(s.type) << "\n";
+    }
+    if (s.type == MetricType::kHistogram) {
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < s.hist.bounds.size(); ++i) {
+        cum += i < s.hist.counts.size() ? s.hist.counts[i] : 0;
+        os << s.name << "_bucket"
+           << PromLabels(s.labels, "le", FormatDouble(s.hist.bounds[i]))
+           << " " << cum << "\n";
+      }
+      os << s.name << "_bucket" << PromLabels(s.labels, "le", "+Inf") << " "
+         << s.hist.count << "\n";
+      os << s.name << "_sum" << PromLabels(s.labels) << " "
+         << FormatDouble(s.hist.sum) << "\n";
+      os << s.name << "_count" << PromLabels(s.labels) << " " << s.hist.count
+         << "\n";
+    } else {
+      os << s.name << PromLabels(s.labels) << " " << FormatValue(s.value)
+         << "\n";
+    }
+  }
+}
+
+void WriteJsonLines(const std::vector<Sample>& samples, std::ostream& os) {
+  for (const Sample& s : samples) {
+    os << "{\"name\":\"" << EscapeJson(s.name) << "\",\"type\":\""
+       << TypeName(s.type) << "\"";
+    if (!s.labels.empty()) {
+      os << ",\"labels\":{";
+      bool first = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << EscapeJson(k) << "\":\"" << EscapeJson(v) << "\"";
+      }
+      os << "}";
+    }
+    if (s.type == MetricType::kHistogram) {
+      os << ",\"count\":" << s.hist.count
+         << ",\"sum\":" << FormatDouble(s.hist.sum)
+         << ",\"p50\":" << FormatDouble(s.hist.percentile(0.50))
+         << ",\"p95\":" << FormatDouble(s.hist.percentile(0.95))
+         << ",\"p99\":" << FormatDouble(s.hist.percentile(0.99))
+         << ",\"buckets\":[";
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < s.hist.bounds.size(); ++i) {
+        cum += i < s.hist.counts.size() ? s.hist.counts[i] : 0;
+        if (i != 0) os << ",";
+        os << "{\"le\":" << FormatDouble(s.hist.bounds[i])
+           << ",\"count\":" << cum << "}";
+      }
+      if (!s.hist.bounds.empty()) os << ",";
+      os << "{\"le\":\"+Inf\",\"count\":" << s.hist.count << "}]";
+    } else {
+      os << ",\"value\":" << FormatValue(s.value);
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace
+
+void WriteSamples(const std::vector<Sample>& samples, std::ostream& os,
+                  Format format, const Registry* help_from) {
+  if (format == Format::kPrometheus) {
+    WritePrometheus(samples, os, help_from);
+  } else {
+    WriteJsonLines(samples, os);
+  }
+}
+
+void DumpMetrics(std::ostream& os, Format format, const Registry& reg) {
+  WriteSamples(reg.collect(), os, format, &reg);
+}
+
+void DumpMetrics(std::ostream& os, Format format) {
+  DumpMetrics(os, format, Registry::Global());
+}
+
+bool DumpMetricsToFile(const std::string& path, const Registry& reg) {
+  const bool jsonl = path.size() >= 5 &&
+                     (path.rfind(".json") == path.size() - 5 ||
+                      (path.size() >= 6 &&
+                       path.rfind(".jsonl") == path.size() - 6));
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  DumpMetrics(out, jsonl ? Format::kJsonLines : Format::kPrometheus, reg);
+  return static_cast<bool>(out);
+}
+
+bool DumpMetricsToFile(const std::string& path) {
+  return DumpMetricsToFile(path, Registry::Global());
+}
+
+}  // namespace obs

@@ -1,0 +1,216 @@
+// Process-wide metrics registry — the unified observability layer the
+// runtime-guided scheduling story needs: the coordinator decides by
+// measurement, so the measurements themselves (service admission,
+// pool activity, shard retries, repair degradation, fault-injector
+// fires, per-window PMU deltas) must be readable from ONE place, in
+// machine formats operators and benches already speak.
+//
+//   obs::Registry::Global()          get-or-create counters/gauges/histograms
+//   obs::DumpMetrics(os, format)     JSON-lines or Prometheus text exposition
+//   obs::DumpMetricsToFile(path)     format inferred from the extension
+//
+// Hot-path cost: a Counter::inc is one relaxed fetch_add on a
+// per-thread shard (64-byte aligned, so concurrent incrementers do not
+// share a cache line); merging happens on scrape. Gauges are single
+// atomics; histogram observation is one bucket lookup plus two relaxed
+// adds. Metric lookup by name takes a mutex — callers cache the
+// reference once (function-local static or member) so steady state
+// never touches the map.
+//
+// Instance-shaped sources that cannot increment counters directly
+// (the fault injector's per-site tallies) register a collector: a
+// callback run at scrape time that appends ready-made samples.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace obs {
+
+/// Prometheus-style key=value pairs attached to one metric instance.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Monotonic counter, sharded per thread: each incrementing thread
+/// lands on its own cache line and value() sums the shards on scrape.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::size_t ShardIndex();
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value; max_of() keeps high-water marks
+/// monotone under concurrent writers.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  void max_of(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time histogram state: cumulative-friendly bucket counts
+/// (counts[i] observations at <= bounds[i]; one overflow bucket past
+/// the last bound), total count, and the running sum.
+struct HistogramSnapshot {
+  std::vector<double> bounds;        ///< finite upper bounds, ascending
+  std::vector<std::uint64_t> counts; ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Percentile estimate by linear interpolation inside the owning
+  /// bucket; the overflow bucket reports the last finite bound.
+  double percentile(double q) const;
+};
+
+/// Fixed-bucket histogram. Buckets are non-cumulative atomics bumped
+/// with one relaxed add; the snapshot merges nothing (no shards) since
+/// observation sites are already rarer than counter increments.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bounds (seconds): 1 µs .. 10 s in a 1-2-5 ladder.
+std::vector<double> LatencyBounds();
+/// Power-of-two bounds for size-ish distributions: 1, 2, 4, ... 2^max.
+std::vector<double> Pow2Bounds(std::size_t max_exponent);
+
+/// One scraped metric. Counters/gauges fill `value`; histograms fill
+/// `hist`.
+struct Sample {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;
+  HistogramSnapshot hist;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every built-in subsystem publishes to.
+  /// Intentionally leaked so collectors unregistering during static
+  /// destruction never race a destroyed registry.
+  static Registry& Global();
+
+  /// Get-or-create. The returned reference is stable for the
+  /// registry's lifetime — cache it at the call site. Requesting an
+  /// existing name with a different type returns the existing metric's
+  /// slot for that type (a fresh instance), so a type clash cannot
+  /// corrupt memory; don't rely on that, pick distinct names.
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {},
+                       const std::string& help = "");
+
+  /// Scrape-time sample producers for sources that keep their own
+  /// counters (fault::Injector per-site stats). The callback appends
+  /// Samples; it runs under the collector lock, so remove_collector
+  /// cannot return while the owner's callback is mid-flight.
+  void add_collector(const void* owner,
+                     std::function<void(std::vector<Sample>&)> fn);
+  void remove_collector(const void* owner);
+
+  /// Run collectors, snapshot every registered metric, and return the
+  /// merged samples sorted by (name, labels) — the order both dump
+  /// formats want.
+  std::vector<Sample> collect() const;
+
+  std::string help_for(const std::string& name) const;
+
+ private:
+  struct Entry {
+    MetricType type = MetricType::kCounter;
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(const std::string& name, const Labels& labels,
+               const std::string& help, MetricType type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;        // keyed by name+labels
+  std::map<std::string, std::string> help_;     // keyed by name
+  mutable std::mutex collector_mu_;
+  std::vector<std::pair<const void*, std::function<void(std::vector<Sample>&)>>>
+      collectors_;
+};
+
+enum class Format {
+  kPrometheus,  ///< text exposition format 0.0.4
+  kJsonLines,   ///< one JSON object per metric per line
+};
+
+void WriteSamples(const std::vector<Sample>& samples, std::ostream& os,
+                  Format format, const Registry* help_from = nullptr);
+
+/// Scrape `reg` (Global() by default) and render it.
+void DumpMetrics(std::ostream& os, Format format);
+void DumpMetrics(std::ostream& os, Format format, const Registry& reg);
+
+/// Dump to a file; `.json` / `.jsonl` extensions select JSON-lines,
+/// anything else the Prometheus text format. False when the file
+/// cannot be written.
+bool DumpMetricsToFile(const std::string& path);
+bool DumpMetricsToFile(const std::string& path, const Registry& reg);
+
+}  // namespace obs

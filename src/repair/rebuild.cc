@@ -5,8 +5,41 @@
 
 #include "ec/executor.h"
 #include "fault/injector.h"
+#include "obs/metrics.h"
 
 namespace repair {
+
+namespace {
+
+/// Registry mirror of repair degradation, split by pass. `retried`
+/// counts extra decode attempts past each stripe's first try;
+/// `unrecovered` counts stripes given up on after the retry budget.
+struct RepairMetrics {
+  obs::Counter& rebuild_attempts;
+  obs::Counter& rebuild_retried;
+  obs::Counter& rebuild_unrecovered;
+  obs::Counter& scrub_attempts;
+  obs::Counter& scrub_retried;
+  obs::Counter& scrub_unrecovered;
+
+  static RepairMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static RepairMetrics m{
+        reg.counter("dialga_repair_attempts_total", {{"pass", "rebuild"}},
+                    "Stripe decode attempts, including retries"),
+        reg.counter("dialga_repair_retried_total", {{"pass", "rebuild"}},
+                    "Stripes that needed at least one retry"),
+        reg.counter("dialga_repair_unrecovered_total", {{"pass", "rebuild"}},
+                    "Stripes abandoned after the retry budget"),
+        reg.counter("dialga_repair_attempts_total", {{"pass", "scrub"}}),
+        reg.counter("dialga_repair_retried_total", {{"pass", "scrub"}}),
+        reg.counter("dialga_repair_unrecovered_total", {{"pass", "scrub"}}),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 RebuildProgress RunRebuild(
     const ec::Codec& codec, const simmem::SimConfig& sim_cfg,
@@ -113,6 +146,12 @@ RebuildProgress RunRebuild(
                         : 0.0;
     if (on_batch) on_batch(progress);
   }
+  {
+    auto& m = RepairMetrics::Get();
+    m.rebuild_attempts.inc(progress.degraded.attempts);
+    m.rebuild_retried.inc(progress.degraded.retried);
+    m.rebuild_unrecovered.inc(progress.degraded.skipped.size());
+  }
   return progress;
 }
 
@@ -162,6 +201,14 @@ ScrubReport ScrubStripes(const ec::Codec& codec, std::size_t block_size,
     failed = std::move(next);
   }
   report.unrecovered = std::move(failed);
+  {
+    auto& m = RepairMetrics::Get();
+    m.scrub_attempts.inc(report.attempts);
+    if (report.retry_rounds > 0) {
+      m.scrub_retried.inc(report.failed_first_pass);
+    }
+    m.scrub_unrecovered.inc(report.unrecovered.size());
+  }
   return report;
 }
 

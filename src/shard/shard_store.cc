@@ -9,11 +9,45 @@
 #include <thread>
 
 #include "fault/injector.h"
+#include "obs/metrics.h"
 #include "svc/stripe_service.h"
 
 namespace shard {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Registry mirror of the store's resilience activity: how often reads
+/// retried, how often stripes were resubmitted or fell back to the
+/// serial codec, and the terminal deadline/exhaustion outcomes.
+struct ShardMetrics {
+  obs::Counter& read_retries;
+  obs::Counter& service_resubmits;
+  obs::Counter& serial_fallbacks;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& retry_exhausted;
+
+  static ShardMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static ShardMetrics m{
+        reg.counter("dialga_shard_read_retries_total", {},
+                    "Transient-errno shard reads retried after backoff"),
+        reg.counter("dialga_shard_service_resubmits_total", {},
+                    "Stripes resubmitted after a service rejection"),
+        reg.counter("dialga_shard_serial_fallbacks_total", {},
+                    "Stripes run on the serial codec after the service "
+                    "path failed"),
+        reg.counter("dialga_shard_deadline_exceeded_total", {},
+                    "Stripe operations abandoned on a service deadline"),
+        reg.counter("dialga_shard_retry_exhausted_total", {},
+                    "Operations that ran out of retry budget"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 std::uint64_t Checksum(const std::byte* data, std::size_t n) {
   std::uint64_t h = 1469598103934665603ull;
@@ -207,6 +241,7 @@ bool ShardStore::read_file_retrying(const fs::path& path,
     // file or a short read will not heal by waiting.
     const bool transient = local_err == EINTR || local_err == EAGAIN;
     if (!transient || attempt >= policy_.retry.max_retries) break;
+    ShardMetrics::Get().read_retries.inc();
     std::this_thread::sleep_for(policy_.retry.delay(attempt));
   }
   if (err) *err = local_err;
@@ -218,6 +253,7 @@ Status ShardStore::read_failure(int err, fs::path path,
                                 std::string detail) const {
   const bool transient = err == EINTR || err == EAGAIN;
   if (transient && policy_.retry.max_retries > 0) {
+    ShardMetrics::Get().retry_exhausted.inc();
     return Status{Status::Kind::kRetryExhausted, err, std::move(path),
                   detail.empty()
                       ? "transient read errors outlasted the retry budget"
@@ -278,20 +314,24 @@ Status ShardStore::encode_stripes(
     for (std::size_t attempt = 0;
          svc::IsRetryable(s) && attempt < policy_.retry.max_retries;
          ++attempt) {
+      ShardMetrics::Get().service_resubmits.inc();
       std::this_thread::sleep_for(policy_.retry.delay(attempt));
       s = service_->submit(make_request(r)).get().status;
     }
     if (s == svc::StatusCode::kOk) continue;
     if (s == svc::StatusCode::kDeadlineExceeded) {
+      ShardMetrics::Get().deadline_exceeded.inc();
       return Status::Deadline("stripe " + std::to_string(r) +
                               " exceeded the service deadline");
     }
     if (svc::IsRetryable(s) && !policy_.serial_fallback) {
+      ShardMetrics::Get().retry_exhausted.inc();
       return Status::Exhausted("stripe " + std::to_string(r) +
                                " still rejected after " +
                                std::to_string(policy_.retry.max_retries) +
                                " retries");
     }
+    ShardMetrics::Get().serial_fallbacks.inc();
     serial(r);  // rejected (fallback allowed), shutdown, codec error
   }
   return Status::Ok();
@@ -346,6 +386,7 @@ Status ShardStore::decode_stripes(const Manifest& mf,
     for (std::size_t attempt = 0;
          svc::IsRetryable(s) && attempt < policy_.retry.max_retries;
          ++attempt) {
+      ShardMetrics::Get().service_resubmits.inc();
       std::this_thread::sleep_for(policy_.retry.delay(attempt));
       s = service_->submit(make_request(r)).get().status;
     }
@@ -355,15 +396,18 @@ Status ShardStore::decode_stripes(const Manifest& mf,
       continue;
     }
     if (s == svc::StatusCode::kDeadlineExceeded) {
+      ShardMetrics::Get().deadline_exceeded.inc();
       return Status::Deadline("stripe " + std::to_string(r) +
                               " exceeded the service deadline");
     }
     if (svc::IsRetryable(s) && !policy_.serial_fallback) {
+      ShardMetrics::Get().retry_exhausted.inc();
       return Status::Exhausted("stripe " + std::to_string(r) +
                                " still rejected after " +
                                std::to_string(policy_.retry.max_retries) +
                                " retries");
     }
+    ShardMetrics::Get().serial_fallbacks.inc();
     if (!serial(r)) damaged = true;
   }
   return damaged ? Status::Damaged({}, "stripe reconstruction failed")

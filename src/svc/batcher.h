@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <span>
 #include <vector>
@@ -27,6 +28,9 @@ struct Pending {
   /// Absolute expiry computed at admission from the request's relative
   /// timeout; the epoch value means "no deadline".
   std::chrono::steady_clock::time_point deadline{};
+  /// Lifecycle trace span opened at admission; 0 when tracing is off
+  /// or this request was sampled out (every downstream hook no-ops).
+  std::uint64_t trace_id = 0;
 
   const StripeShape& shape() const {
     return op == OpClass::kEncode ? enc.shape : dec.shape;

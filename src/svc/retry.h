@@ -23,7 +23,11 @@ struct RetryPolicy {
   std::uint64_t seed = 0;
 
   /// Backoff before retry `attempt` (0-based): base * 2^attempt capped
-  /// at max_delay, scaled by a deterministic jitter in [0.5, 1.0].
+  /// at max_delay, scaled by a deterministic jitter in [0.5, 1.0], and
+  /// clamped to at least 1 µs. Without the clamp a zero base_delay
+  /// doubles into zero forever (2*0 == 0) and a 1 µs base can jitter-
+  /// round down to zero — either way the retry loop degenerates into a
+  /// busy spin against the saturated service it is backing off from.
   std::chrono::microseconds delay(std::size_t attempt) const {
     std::uint64_t step = static_cast<std::uint64_t>(base_delay.count());
     const std::uint64_t cap = static_cast<std::uint64_t>(max_delay.count());
@@ -36,8 +40,9 @@ struct RetryPolicy {
     x ^= x >> 31;
     const double jitter = 0.5 + 0.5 * static_cast<double>(x >> 11) *
                                     (1.0 / 9007199254740992.0);
-    return std::chrono::microseconds(
-        static_cast<std::int64_t>(static_cast<double>(step) * jitter));
+    const std::int64_t us =
+        static_cast<std::int64_t>(static_cast<double>(step) * jitter);
+    return std::chrono::microseconds(us < 1 ? 1 : us);
   }
 };
 

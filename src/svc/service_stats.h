@@ -16,6 +16,19 @@ struct ServiceStats {
   /// [2^i, 2^(i+1)) stripes; the last bucket absorbs everything larger.
   static constexpr std::size_t kBatchBuckets = 12;
 
+  /// Bucket index for a dispatched batch of `stripes` stripes: a
+  /// 1-stripe batch lands in bucket 0 ([1, 2)), and anything at or
+  /// beyond 2^(kBatchBuckets-1) saturates into the last bucket. Public
+  /// and constexpr so the edge cases are pinned by unit tests.
+  static constexpr std::size_t BatchBucketIndex(std::size_t stripes) {
+    std::size_t b = 0;
+    while (stripes > 1 && b + 1 < kBatchBuckets) {
+      stripes >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
   // Admission.
   std::uint64_t admitted = 0;
   std::uint64_t admitted_encode = 0;

@@ -6,6 +6,8 @@
 
 #include "bench_util/stats.h"
 #include "fault/injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace svc {
 
@@ -15,20 +17,69 @@ std::uint64_t CodecKey(std::size_t k, std::size_t m) {
   return (static_cast<std::uint64_t>(k) << 32) | static_cast<std::uint64_t>(m);
 }
 
-std::size_t BatchBucket(std::size_t stripes) {
-  std::size_t b = 0;
-  while (stripes > 1 && b + 1 < ServiceStats::kBatchBuckets) {
-    stripes >>= 1;
-    ++b;
-  }
-  return b;
-}
-
 std::future<Result> Immediate(Pending&& p, StatusCode status) {
   std::future<Result> f = p.done.get_future();
   p.done.set_value(Result{status, 0.0});
   return f;
 }
+
+/// Process-wide service metrics, aggregated across every StripeService
+/// instance; the per-instance ServiceStats snapshot (stats()) stays
+/// the embedder's view. References are cached once — the registry map
+/// is never consulted on the hot path.
+struct SvcMetrics {
+  obs::Counter& admitted_encode;
+  obs::Counter& admitted_decode;
+  obs::Counter& rejected_queue_full;
+  obs::Counter& rejected_class_limit;
+  obs::Counter& rejected_shutdown;
+  obs::Counter& invalid;
+  obs::Counter& completed_ok;
+  obs::Counter& decode_failed;
+  obs::Counter& codec_errors;
+  obs::Counter& cancelled;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& batches;
+  obs::Counter& dispatched_stripes;
+  obs::Histogram& batch_stripes;
+  obs::Histogram& latency;
+  obs::Gauge& queue_high_water;
+
+  static SvcMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static SvcMetrics m{
+        reg.counter("dialga_svc_admitted_total", {{"op", "encode"}},
+                    "Requests accepted by admission control"),
+        reg.counter("dialga_svc_admitted_total", {{"op", "decode"}}),
+        reg.counter("dialga_svc_rejected_total", {{"reason", "queue_full"}},
+                    "Requests rejected at admission"),
+        reg.counter("dialga_svc_rejected_total", {{"reason", "class_limit"}}),
+        reg.counter("dialga_svc_rejected_total", {{"reason", "shutdown"}}),
+        reg.counter("dialga_svc_invalid_total", {},
+                    "Malformed requests (pointer counts, erasures)"),
+        reg.counter("dialga_svc_completed_total", {{"status", "ok"}},
+                    "Admitted requests by final status"),
+        reg.counter("dialga_svc_completed_total",
+                    {{"status", "decode_failed"}}),
+        reg.counter("dialga_svc_completed_total", {{"status", "codec_error"}}),
+        reg.counter("dialga_svc_completed_total", {{"status", "cancelled"}}),
+        reg.counter("dialga_svc_completed_total",
+                    {{"status", "deadline_exceeded"}}),
+        reg.counter("dialga_svc_batches_total", {},
+                    "Stripe batches dispatched to the pool"),
+        reg.counter("dialga_svc_dispatched_stripes_total", {},
+                    "Stripes dispatched inside batches"),
+        reg.histogram("dialga_svc_batch_stripes",
+                      obs::Pow2Bounds(ServiceStats::kBatchBuckets - 1), {},
+                      "Dispatched batch sizes, stripes per batch"),
+        reg.histogram("dialga_svc_latency_seconds", obs::LatencyBounds(), {},
+                      "Submit-to-completion latency of served requests"),
+        reg.gauge("dialga_svc_queue_high_water", {},
+                  "Deepest submission queue seen by any service"),
+    };
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -128,6 +179,7 @@ std::future<Result> StripeService::admit(Pending&& p) {
     p.deadline = p.submitted + p.timeout();
   }
   if (const StatusCode v = Validate(p); v != StatusCode::kOk) {
+    SvcMetrics::Get().invalid.inc();
     std::lock_guard<std::mutex> lk(mu_);
     ++counters_.invalid;
     return Immediate(std::move(p), v);
@@ -137,18 +189,21 @@ std::future<Result> StripeService::admit(Pending&& p) {
     std::lock_guard<std::mutex> lk(mu_);
     if (shutting_down_) {
       ++counters_.rejected_shutdown;
+      SvcMetrics::Get().rejected_shutdown.inc();
       return Immediate(std::move(p), StatusCode::kShutdown);
     }
     // Deadline-aware admission: a request whose budget is already
     // spent (non-positive timeout) never enters the queue.
     if (p.expired(p.submitted)) {
       ++counters_.deadline_exceeded;
+      SvcMetrics::Get().deadline_exceeded.inc();
       return Immediate(std::move(p), StatusCode::kDeadlineExceeded);
     }
     // Fault site: a firing plan makes admission behave exactly as if
     // the queue were saturated, exercising callers' rejection paths.
     if (fault::Fires("svc.admission")) {
       ++counters_.rejected_queue_full;
+      SvcMetrics::Get().rejected_queue_full.inc();
       return Immediate(std::move(p), StatusCode::kRejectedQueueFull);
     }
     // Per-class backpressure: one class saturating its share must not
@@ -156,11 +211,13 @@ std::future<Result> StripeService::admit(Pending&& p) {
     if (op == OpClass::kEncode &&
         inflight_encode_ >= cfg_.encode_inflight_limit) {
       ++counters_.rejected_class_limit;
+      SvcMetrics::Get().rejected_class_limit.inc();
       return Immediate(std::move(p), StatusCode::kRejectedClassLimit);
     }
     if (op == OpClass::kDecode &&
         inflight_decode_ >= cfg_.decode_inflight_limit) {
       ++counters_.rejected_class_limit;
+      SvcMetrics::Get().rejected_class_limit.inc();
       return Immediate(std::move(p), StatusCode::kRejectedClassLimit);
     }
     // Count the admission before the push: a dispatched completion may
@@ -177,6 +234,10 @@ std::future<Result> StripeService::admit(Pending&& p) {
     pattern_next_ = (pattern_next_ + 1) % pattern_ring_.size();
     pattern_count_ = std::min(pattern_count_ + 1, pattern_ring_.size());
   }
+  const StripeShape& shape = p.shape();
+  p.trace_id = obs::Tracer::Global().begin(
+      op == OpClass::kEncode ? "encode" : "decode", shape.k, shape.m,
+      shape.block_size);
   std::future<Result> f = p.done.get_future();
   if (!queue_.try_push(p)) {
     // Full — or closed by a racing shutdown; roll the admission back
@@ -193,12 +254,23 @@ std::future<Result> StripeService::admit(Pending&& p) {
     }
     if (shutting_down_) {
       ++counters_.rejected_shutdown;
+      SvcMetrics::Get().rejected_shutdown.inc();
+      obs::Tracer::Global().finish(p.trace_id, "shutdown");
       p.done.set_value(Result{StatusCode::kShutdown, 0.0});
     } else {
       ++counters_.rejected_queue_full;
+      SvcMetrics::Get().rejected_queue_full.inc();
+      obs::Tracer::Global().finish(p.trace_id, "rejected_queue_full");
       p.done.set_value(Result{StatusCode::kRejectedQueueFull, 0.0});
     }
     return f;
+  }
+  // Registry admissions are mirrored after the push lands so the
+  // monotonic counters never need the rollback above.
+  if (op == OpClass::kEncode) {
+    SvcMetrics::Get().admitted_encode.inc();
+  } else {
+    SvcMetrics::Get().admitted_decode.inc();
   }
   return f;
 }
@@ -215,6 +287,12 @@ void StripeService::DispatcherLoop() {
     while (run->size() < drain_cap && queue_.try_pop(&next)) {
       run->push_back(std::move(next));
     }
+    auto& tracer = obs::Tracer::Global();
+    if (tracer.enabled()) {
+      for (const Pending& p : *run) tracer.event(p.trace_id, obs::Stage::kQueue);
+    }
+    SvcMetrics::Get().queue_high_water.max_of(
+        static_cast<double>(queue_.high_water()));
 
     bool cancel = false;
     {
@@ -249,9 +327,18 @@ void StripeService::DispatcherLoop() {
       counters_.batches += batches.size();
       counters_.dispatched_stripes += run->size();
       for (const Batch& b : batches) {
-        ++counters_.batch_size_log2[BatchBucket(b.indices.size())];
+        ++counters_.batch_size_log2[ServiceStats::BatchBucketIndex(
+            b.indices.size())];
       }
       inflight_batches_ += batches.size();
+    }
+    {
+      auto& m = SvcMetrics::Get();
+      m.batches.inc(batches.size());
+      m.dispatched_stripes.inc(run->size());
+      for (const Batch& b : batches) {
+        m.batch_stripes.observe(static_cast<double>(b.indices.size()));
+      }
     }
     for (Batch& b : batches) DispatchBatch(run, std::move(b));
   }
@@ -275,6 +362,14 @@ void StripeService::DispatchBatch(std::shared_ptr<std::vector<Pending>> reqs,
   auto failed = std::make_shared<std::vector<unsigned char>>(
       shared_batch->indices.size(), 0);
   const std::size_t block = shared_batch->shape.block_size;
+  {
+    auto& tracer = obs::Tracer::Global();
+    if (tracer.enabled()) {
+      for (const std::size_t i : shared_batch->indices) {
+        tracer.event((*reqs)[i].trace_id, obs::Stage::kBatch);
+      }
+    }
+  }
   pool_->run_async(
       shared_batch->indices.size(),
       [reqs, shared_batch, failed, codec, block](std::size_t j) {
@@ -282,6 +377,7 @@ void StripeService::DispatchBatch(std::shared_ptr<std::vector<Pending>> reqs,
         // worker, driving the batch down the kCodecError path.
         fault::MaybeThrow("svc.codec");
         Pending& p = (*reqs)[shared_batch->indices[j]];
+        obs::Tracer::Global().event(p.trace_id, obs::Stage::kExec);
         if (p.op == OpClass::kEncode) {
           codec->encode(block, p.enc.data, p.enc.parity);
         } else if (!codec->decode(block, p.dec.blocks, p.dec.erasures)) {
@@ -297,6 +393,21 @@ void StripeService::CompleteBatch(
     const std::shared_ptr<std::vector<Pending>>& reqs, const Batch& batch,
     const std::vector<unsigned char>& decode_failed,
     std::exception_ptr error) {
+  // Annotate failed batches before taking mu_: extracting what() means
+  // a rethrow, which must not happen under the service lock.
+  if (error != nullptr && obs::Tracer::Global().enabled()) {
+    std::string note = "batch failed";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      note = e.what();
+    } catch (...) {
+    }
+    auto& tracer = obs::Tracer::Global();
+    for (const std::size_t i : batch.indices) {
+      tracer.annotate((*reqs)[i].trace_id, note);
+    }
+  }
   std::lock_guard<std::mutex> lk(mu_);
   for (std::size_t j = 0; j < batch.indices.size(); ++j) {
     Pending& p = (*reqs)[batch.indices[j]];
@@ -315,22 +426,28 @@ void StripeService::CompleteBatch(
 
 void StripeService::RecordCompletion(Pending& p, StatusCode status) {
   // mu_ held by the caller.
+  auto& m = SvcMetrics::Get();
   double seconds = 0.0;
   switch (status) {
     case StatusCode::kOk:
       ++counters_.completed_ok;
+      m.completed_ok.inc();
       break;
     case StatusCode::kDecodeFailed:
       ++counters_.decode_failed;
+      m.decode_failed.inc();
       break;
     case StatusCode::kCodecError:
       ++counters_.codec_errors;
+      m.codec_errors.inc();
       break;
     case StatusCode::kCancelled:
       ++counters_.cancelled;
+      m.cancelled.inc();
       break;
     case StatusCode::kDeadlineExceeded:
       ++counters_.deadline_exceeded;
+      m.deadline_exceeded.inc();
       break;
     default:
       break;
@@ -346,7 +463,9 @@ void StripeService::RecordCompletion(Pending& p, StatusCode status) {
                   .count();
     latency_ring_[latency_next_] = seconds;
     latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+    m.latency.observe(seconds);
   }
+  obs::Tracer::Global().finish(p.trace_id, to_string(status));
   p.done.set_value(Result{status, seconds});
 }
 

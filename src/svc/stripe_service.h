@@ -104,6 +104,15 @@ class StripeService {
   /// call concurrently with producers (they get kShutdown).
   void shutdown(Drain mode = Drain::kDrain);
 
+  /// Point-in-time snapshot, coherent under one acquisition of the
+  /// service lock: every counter in the returned struct was read from
+  /// the same locked state, so cross-counter invariants hold in any
+  /// snapshot a concurrent scraper takes — in particular
+  ///   completed_ok + failures <= admitted
+  /// (admission increments before the queue push under the same lock
+  /// that completions take, so a snapshot can transiently over-count
+  /// `admitted` by a racing push that later rolls back, never the
+  /// reverse). Safe to call at any time from any thread.
   ServiceStats stats() const;
 
   /// Rolling I/O access pattern of the admitted mix: modal

@@ -1,0 +1,95 @@
+// RetryPolicy backoff schedule: exponential growth, the max_delay cap,
+// jitter bounds and determinism, and the ≥1 µs floor that keeps a
+// zero/rounded-down base from degenerating into a busy spin.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "svc/retry.h"
+
+namespace svc {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(RetryPolicy, DelayGrowsExponentiallyWithinJitterBounds) {
+  RetryPolicy p;
+  p.base_delay = microseconds(100);
+  p.max_delay = microseconds(1000000);
+  p.seed = 42;
+  for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+    const auto d = p.delay(attempt);
+    const auto step = 100ll << attempt;  // pre-jitter
+    // Jitter scales by [0.5, 1.0]; integer truncation can shave 1 µs.
+    EXPECT_GE(d.count(), step / 2 - 1) << "attempt " << attempt;
+    EXPECT_LE(d.count(), step) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryPolicy, DelayIsCappedAtMaxDelay) {
+  RetryPolicy p;
+  p.base_delay = microseconds(100);
+  p.max_delay = microseconds(800);
+  for (std::size_t attempt = 0; attempt < 40; ++attempt) {
+    EXPECT_LE(p.delay(attempt).count(), 800) << "attempt " << attempt;
+  }
+  // Far past the cap the pre-jitter step is pinned at max_delay, so the
+  // delay still lands in [max/2, max].
+  EXPECT_GE(p.delay(30).count(), 400 - 1);
+}
+
+TEST(RetryPolicy, ZeroBaseDelayStillBacksOff) {
+  // base_delay == 0 used to double into 0 forever: every retry fired
+  // immediately, busy-spinning against the saturated service.
+  RetryPolicy p;
+  p.base_delay = microseconds(0);
+  p.max_delay = microseconds(10000);
+  for (std::size_t attempt = 0; attempt < 20; ++attempt) {
+    EXPECT_GE(p.delay(attempt).count(), 1) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryPolicy, OneMicrosecondBaseNeverRoundsToZero) {
+  // 1 µs scaled by jitter < 1.0 truncates to 0 without the floor.
+  RetryPolicy p;
+  p.base_delay = microseconds(1);
+  p.max_delay = microseconds(10000);
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    p.seed = seed;
+    EXPECT_GE(p.delay(0).count(), 1) << "seed " << seed;
+  }
+}
+
+TEST(RetryPolicy, JitterIsDeterministicPerSeedAndAttempt) {
+  RetryPolicy a;
+  a.base_delay = microseconds(100);
+  a.seed = 7;
+  RetryPolicy b = a;
+  for (std::size_t attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(a.delay(attempt), b.delay(attempt));
+  }
+  // A different seed decorrelates at least one attempt of the schedule.
+  RetryPolicy c = a;
+  c.seed = 8;
+  bool differs = false;
+  for (std::size_t attempt = 0; attempt < 10 && !differs; ++attempt) {
+    differs = c.delay(attempt) != a.delay(attempt);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RetryPolicy, DelayIsMonotoneNonDecreasingPreJitter) {
+  // The pre-jitter step never shrinks; with a fixed seed the jittered
+  // delay can wobble inside [0.5, 1.0] but stays within one doubling.
+  RetryPolicy p;
+  p.base_delay = microseconds(10);
+  p.max_delay = microseconds(100000);
+  p.seed = 3;
+  for (std::size_t attempt = 1; attempt < 10; ++attempt) {
+    EXPECT_GE(p.delay(attempt).count() * 2,
+              p.delay(attempt - 1).count());
+  }
+}
+
+}  // namespace
+}  // namespace svc

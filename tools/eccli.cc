@@ -16,6 +16,7 @@
 // Exit codes (see --help): 0 success, 1 damaged, 2 usage, 3 I/O,
 // 4 deadline exceeded / retry budget exhausted.
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -23,6 +24,8 @@
 
 #include "dialga/dialga.h"
 #include "fault/injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/shard_store.h"
 #include "svc/stripe_service.h"
 
@@ -61,6 +64,15 @@ void Usage() {
          "svc.admission:nth=2+5'\n"
          "                    (also read from DIALGA_FAULT_PLAN / "
          "DIALGA_FAULT_SEED)\n"
+         "  --metrics-out F   dump the process metrics registry on exit; "
+         "'.json'/'.jsonl'\n"
+         "                    select JSON-lines, anything else Prometheus "
+         "text\n"
+         "                    (also read from DIALGA_METRICS_OUT)\n"
+         "  --trace-out F     enable stripe-lifecycle tracing and dump "
+         "completed spans\n"
+         "                    as JSON-lines on exit (also read from "
+         "DIALGA_TRACE_OUT)\n"
          "exit codes:\n"
          "  0  success\n"
          "  1  data damaged beyond what parity can repair\n"
@@ -81,6 +93,8 @@ struct Options {
   bool strict_budget = false;  // --deadline-ms/--retries given
   bool serial = false;
   std::string fault_plan;
+  std::string metrics_out;
+  std::string trace_out;
   std::vector<std::string> positional;
 };
 
@@ -109,6 +123,12 @@ bool Parse(int argc, char** argv, Options* opt) {
     } else if (arg == "--fault-plan") {
       if (i + 1 >= argc) return false;
       opt->fault_plan = argv[++i];
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) return false;
+      opt->metrics_out = argv[++i];
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) return false;
+      opt->trace_out = argv[++i];
     } else if (arg == "--serial") {
       opt->serial = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -162,33 +182,10 @@ int Report(const shard::Status& st) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    Usage();
-    return kExitUsage;
-  }
-  const std::string cmd = argv[1];
-  Options opt;
-  if (!Parse(argc, argv, &opt)) {
-    Usage();
-    return kExitUsage;
-  }
-
-  // Fault plans: environment first (CI harnesses), then the flag so an
-  // explicit --fault-plan can extend or override it.
-  std::string plan_error;
-  if (!fault::Injector::Global().install_from_env(&plan_error)) {
-    std::cerr << "eccli: bad DIALGA_FAULT_PLAN: " << plan_error << "\n";
-    return kExitUsage;
-  }
-  if (!opt.fault_plan.empty() &&
-      !fault::Injector::Global().install_spec(opt.fault_plan, &plan_error)) {
-    std::cerr << "eccli: bad --fault-plan: " << plan_error << "\n";
-    return kExitUsage;
-  }
-
+/// Execute the command with the service alive only inside this scope:
+/// metrics/trace dumps in main() run after the service destructor has
+/// drained every in-flight batch, so the scrape sees final counts.
+int RunCommand(const std::string& cmd, const Options& opt) {
   // One service for the whole command; stores attach to it unless the
   // user opted out with --serial. With an explicit --deadline-ms or
   // --retries the budget is strict: exhaustion surfaces as exit 4
@@ -275,4 +272,56 @@ int main(int argc, char** argv) {
 
   Usage();
   return kExitUsage;
+}
+
+/// Flag value first, environment second; empty = no dump.
+std::string OrEnv(const std::string& flag, const char* env) {
+  if (!flag.empty()) return flag;
+  const char* v = std::getenv(env);
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return kExitUsage;
+  }
+  const std::string cmd = argv[1];
+  Options opt;
+  if (!Parse(argc, argv, &opt)) {
+    Usage();
+    return kExitUsage;
+  }
+
+  // Fault plans: environment first (CI harnesses), then the flag so an
+  // explicit --fault-plan can extend or override it.
+  std::string plan_error;
+  if (!fault::Injector::Global().install_from_env(&plan_error)) {
+    std::cerr << "eccli: bad DIALGA_FAULT_PLAN: " << plan_error << "\n";
+    return kExitUsage;
+  }
+  if (!opt.fault_plan.empty() &&
+      !fault::Injector::Global().install_spec(opt.fault_plan, &plan_error)) {
+    std::cerr << "eccli: bad --fault-plan: " << plan_error << "\n";
+    return kExitUsage;
+  }
+
+  const std::string metrics_out = OrEnv(opt.metrics_out, "DIALGA_METRICS_OUT");
+  const std::string trace_out = OrEnv(opt.trace_out, "DIALGA_TRACE_OUT");
+  if (!trace_out.empty()) obs::Tracer::Global().set_enabled(true);
+
+  const int rc = RunCommand(cmd, opt);
+
+  // Dump even on failure: the registry and the trace ring are exactly
+  // the evidence a failed run leaves behind.
+  if (!metrics_out.empty() && !obs::DumpMetricsToFile(metrics_out)) {
+    std::cerr << "eccli: cannot write metrics to '" << metrics_out << "'\n";
+  }
+  if (!trace_out.empty() &&
+      !obs::Tracer::Global().dump_to_file(trace_out)) {
+    std::cerr << "eccli: cannot write trace to '" << trace_out << "'\n";
+  }
+  return rc;
 }
