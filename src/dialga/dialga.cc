@@ -32,13 +32,23 @@ DialgaCodec::DialgaCodec(std::size_t k, std::size_t m, ec::SimdWidth simd,
 void DialgaCodec::encode(std::size_t block_size,
                          std::span<const std::byte* const> data,
                          std::span<std::byte* const> parity) const {
-  inner_.encode(block_size, data, parity);
+  // Host execution takes the coordinator's initial strategy for this
+  // pattern: its software-prefetch distance feeds the fused driver's
+  // branchless prefetch-pointer array (output stays bit-identical to
+  // plain ISA-L — scheduling only moves cache fills).
+  const PatternInfo pattern{params().k, params().m, block_size, 1};
+  const Coordinator coord(pattern, features_, thresholds_, 0);
+  inner_.encode_with(block_size, data, parity,
+                     coord.initial_strategy().to_host_options());
 }
 
 bool DialgaCodec::decode(std::size_t block_size,
                          std::span<std::byte* const> blocks,
                          std::span<const std::size_t> erasures) const {
-  return inner_.decode(block_size, blocks, erasures);
+  const PatternInfo pattern{params().k, params().m, block_size, 1};
+  const Coordinator coord(pattern, features_, thresholds_, 0);
+  return inner_.decode_with(block_size, blocks, erasures,
+                            coord.initial_strategy().to_host_options());
 }
 
 ec::EncodePlan DialgaCodec::encode_plan(

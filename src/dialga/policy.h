@@ -43,6 +43,18 @@ struct Strategy {
     return o;
   }
 
+  /// Realize the strategy as host-kernel options for the fused encode
+  /// driver (ec::FusedEncode): the planned software-prefetch distance
+  /// — already expressed in 64 B line tasks — becomes the distance the
+  /// branchless prefetch-pointer array is built with. The hardware-
+  /// prefetcher switch and XPLine shaping are PM-simulation concerns
+  /// with no host-DRAM analogue, so only the distance crosses over.
+  ec::HostKernelOptions to_host_options() const {
+    ec::HostKernelOptions o;
+    o.prefetch_distance = sw_distance;
+    return o;
+  }
+
   /// Stable key for the plan cache.
   std::uint64_t key() const {
     return (hw_prefetch ? 1ULL : 0ULL) | (widen_to_xpline ? 2ULL : 0ULL) |

@@ -164,7 +164,8 @@ IsalCodec::IsalCodec(std::size_t k, std::size_t m, SimdWidth simd,
       simd_(simd),
       gen_kind_(gen),
       gen_(gen == GeneratorKind::kCauchy ? gf::cauchy_generator(k, m)
-                                         : gf::vandermonde_generator(k, m)) {
+                                         : gf::vandermonde_generator(k, m)),
+      parity_cache_(gen_, k, m, k) {
   assert(k > 0 && m > 0 && k + m <= gf::kFieldSize);
 }
 
@@ -173,13 +174,28 @@ std::string IsalCodec::name() const { return "ISA-L"; }
 void IsalCodec::encode(std::size_t block_size,
                        std::span<const std::byte* const> data,
                        std::span<std::byte* const> parity) const {
-  SystematicEncode(gen_, k_, m_, block_size, data, parity);
+  encode_with(block_size, data, parity, HostKernelOptions{});
 }
 
 bool IsalCodec::decode(std::size_t block_size,
                        std::span<std::byte* const> blocks,
                        std::span<const std::size_t> erasures) const {
-  return SystematicDecode(gen_, k_, m_, block_size, blocks, erasures);
+  return decode_with(block_size, blocks, erasures, HostKernelOptions{});
+}
+
+void IsalCodec::encode_with(std::size_t block_size,
+                            std::span<const std::byte* const> data,
+                            std::span<std::byte* const> parity,
+                            const HostKernelOptions& opts) const {
+  assert(data.size() == k_ && parity.size() == m_);
+  FusedEncode(parity_cache_, block_size, data, parity, opts);
+}
+
+bool IsalCodec::decode_with(std::size_t block_size,
+                            std::span<std::byte* const> blocks,
+                            std::span<const std::size_t> erasures,
+                            const HostKernelOptions& opts) const {
+  return SystematicDecode(gen_, k_, m_, block_size, blocks, erasures, opts);
 }
 
 EncodePlan IsalCodec::encode_plan(std::size_t block_size,

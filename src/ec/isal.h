@@ -18,6 +18,7 @@
 #include <span>
 
 #include "ec/codec.h"
+#include "ec/codec_util.h"
 #include "gf/matrix.h"
 
 namespace ec {
@@ -73,6 +74,19 @@ class IsalCodec : public Codec {
   bool decode(std::size_t block_size, std::span<std::byte* const> blocks,
               std::span<const std::size_t> erasures) const override;
 
+  /// Host-execution entry points with explicit kernel options — how a
+  /// DIALGA strategy's software-prefetch distance reaches the fused
+  /// driver. Parity rows use the construction-time coefficient cache;
+  /// decode matrices are still derived per call (they depend on the
+  /// erasure set).
+  void encode_with(std::size_t block_size,
+                   std::span<const std::byte* const> data,
+                   std::span<std::byte* const> parity,
+                   const HostKernelOptions& opts) const;
+  bool decode_with(std::size_t block_size, std::span<std::byte* const> blocks,
+                   std::span<const std::size_t> erasures,
+                   const HostKernelOptions& opts) const;
+
   EncodePlan encode_plan(std::size_t block_size,
                          const simmem::ComputeCost& cost) const override;
   EncodePlan decode_plan(std::size_t block_size,
@@ -98,6 +112,9 @@ class IsalCodec : public Codec {
   SimdWidth simd_;
   GeneratorKind gen_kind_;
   gf::Matrix gen_;  // (k+m) x k systematic generator
+  // All k*m parity coefficients prepared once at construction (split
+  // tables + GFNI affine matrices) — encode never rebuilds a table.
+  CoeffCache parity_cache_;
 };
 
 /// Shared row-interleaved plan builder (also used by decode and LRC):

@@ -12,7 +12,12 @@ namespace ec {
 
 LrcCodec::LrcCodec(std::size_t k, std::size_t m, std::size_t l,
                    SimdWidth simd)
-    : k_(k), m_(m), l_(l), simd_(simd), gen_(gf::cauchy_generator(k, m)) {
+    : k_(k),
+      m_(m),
+      l_(l),
+      simd_(simd),
+      gen_(gf::cauchy_generator(k, m)),
+      global_cache_(gen_, k, m, k) {
   assert(k > 0 && m > 0 && l > 0 && l <= k);
 }
 
@@ -39,19 +44,14 @@ void LrcCodec::encode(std::size_t block_size,
                       std::span<const std::byte* const> data,
                       std::span<std::byte* const> parity) const {
   assert(data.size() == k_ && parity.size() == m_ + l_);
-  SystematicEncode(gen_, k_, m_, block_size, data, parity.subspan(0, m_));
+  FusedEncode(global_cache_, block_size, data, parity.subspan(0, m_));
   const std::size_t gsz = group_size();
   for (std::size_t grp = 0; grp < l_; ++grp) {
     std::byte* out = parity[m_ + grp];
-    bool first = true;
-    for (std::size_t j = grp * gsz; j < std::min((grp + 1) * gsz, k_); ++j) {
-      if (first) {
-        std::copy(data[j], data[j] + block_size, out);
-        first = false;
-      } else {
-        gf::xor_acc(data[j], out, block_size);
-      }
-    }
+    const std::size_t first = grp * gsz;
+    const std::size_t end = std::min((grp + 1) * gsz, k_);
+    std::copy(data[first], data[first] + block_size, out);
+    FusedXorInto(data.subspan(first + 1, end - first - 1), out, block_size);
   }
 }
 

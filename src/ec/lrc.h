@@ -9,6 +9,7 @@
 #pragma once
 
 #include "ec/codec.h"
+#include "ec/codec_util.h"
 #include "gf/matrix.h"
 
 namespace ec {
@@ -57,6 +58,9 @@ class LrcCodec : public Codec {
   std::size_t l_;
   SimdWidth simd_;
   gf::Matrix gen_;  // (k+m) x k RS part
+  // Global-parity coefficients prepared once at construction for the
+  // fused encode driver.
+  CoeffCache global_cache_;
 };
 
 }  // namespace ec

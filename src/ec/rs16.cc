@@ -1,5 +1,6 @@
 #include "ec/rs16.h"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 #include <vector>
@@ -9,6 +10,12 @@ namespace ec {
 Rs16Codec::Rs16Codec(std::size_t k, std::size_t m, SimdWidth simd)
     : k_(k), m_(m), simd_(simd), gen_(gf16::cauchy_generator(k, m)) {
   assert(k > 0 && m > 0 && k + m <= gf16::kFieldSize);
+  parity_tables_.reserve(k * m);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      parity_tables_.push_back(gf16::make_split_table(gen_.at(k + j, i)));
+    }
+  }
 }
 
 void Rs16Codec::encode(std::size_t block_size,
@@ -16,13 +23,19 @@ void Rs16Codec::encode(std::size_t block_size,
                        std::span<std::byte* const> parity) const {
   assert(data.size() == k_ && parity.size() == m_);
   assert(block_size % 2 == 0);
-  for (std::size_t j = 0; j < m_; ++j) {
-    for (std::size_t i = 0; i < k_; ++i) {
-      const gf16::u16 c = gen_.at(k_ + j, i);
-      if (i == 0) {
-        gf16::mul_set(c, data[i], parity[j], block_size);
-      } else {
-        gf16::mul_acc(c, data[i], parity[j], block_size);
+  // Cache-blocked: a parity chunk stays L1-resident across all k source
+  // passes, and the construction-time split tables are reused verbatim.
+  constexpr std::size_t kChunk = 16 * 1024;
+  for (std::size_t off = 0; off < block_size; off += kChunk) {
+    const std::size_t n = std::min(kChunk, block_size - off);
+    for (std::size_t j = 0; j < m_; ++j) {
+      for (std::size_t i = 0; i < k_; ++i) {
+        const gf16::SplitTable16& t = parity_tables_[i * m_ + j];
+        if (i == 0) {
+          gf16::mul_set(t, data[i] + off, parity[j] + off, n);
+        } else {
+          gf16::mul_acc(t, data[i] + off, parity[j] + off, n);
+        }
       }
     }
   }

@@ -51,6 +51,10 @@ class Rs16Codec : public Codec {
   std::size_t m_;
   SimdWidth simd_;
   gf16::Matrix gen_;
+  // All k*m parity split tables built once at construction,
+  // source-major (entry i*m + j feeds parity j from source i) — encode
+  // never calls gf16::make_split_table.
+  std::vector<gf16::SplitTable16> parity_tables_;
 };
 
 }  // namespace ec

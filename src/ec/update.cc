@@ -1,5 +1,6 @@
 #include "ec/update.h"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 #include <vector>
@@ -13,6 +14,12 @@ UpdateEngine::UpdateEngine(gf::Matrix gen, std::size_t k, std::size_t m,
                            SimdWidth simd)
     : k_(k), m_(m), simd_(simd), gen_(std::move(gen)) {
   assert(gen_.rows() == k + m && gen_.cols() == k);
+  coeffs_.reserve(k * m);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      coeffs_.push_back(gf::prepare_coeff(gen_.at(k + j, i)));
+    }
+  }
 }
 
 void UpdateEngine::apply(std::size_t block_size, std::size_t block_index,
@@ -32,9 +39,14 @@ void UpdateEngine::apply(std::size_t block_size, std::size_t block_index,
     data[offset + i] = new_bytes[i];
   }
 
-  for (std::size_t j = 0; j < m_; ++j) {
-    const gf::u8 c = gen_.at(k_ + j, block_index);
-    gf::mul_acc(c, delta.data(), parity[j] + offset, len);
+  // One fused streaming pass over the delta per group of up to
+  // kMaxFusedDst parities, with the construction-time coefficients.
+  for (std::size_t j0 = 0; j0 < m_; j0 += gf::kMaxFusedDst) {
+    const std::size_t g = std::min(gf::kMaxFusedDst, m_ - j0);
+    std::byte* dsts[gf::kMaxFusedDst];
+    for (std::size_t t = 0; t < g; ++t) dsts[t] = parity[j0 + t] + offset;
+    gf::mul_acc_multi(coeffs_.data() + block_index * m_ + j0, delta.data(),
+                      dsts, g, len);
   }
 }
 

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "ec/codec.h"
 #include "ec/isal.h"
+#include "gf/gf_simd.h"
 #include "gf/matrix.h"
 
 namespace ec {
@@ -62,6 +64,10 @@ class UpdateEngine {
   std::size_t m_;
   SimdWidth simd_;
   gf::Matrix gen_;
+  // Parity coefficients prepared once, source-major (entry i*m + j
+  // feeds parity j from data block i) so one small write's m
+  // coefficients are contiguous for the fused delta kernel.
+  std::vector<gf::PreparedCoeff> coeffs_;
 };
 
 }  // namespace ec

@@ -213,14 +213,19 @@ void XorCodec::encode_via_schedule(std::size_t block_size,
   const std::size_t packet = packet_for(block_size);
   const bool combine = groups_.size() > 1;
 
-  // Partial parity for the current group (accumulated into `parity`).
-  std::vector<std::byte> partial(combine ? m_ * block_size : 0);
+  // Per-group partial parities. Kept for ALL groups so the combine is
+  // one deferred chunked XOR reduction per parity at the end (the
+  // parity block is then written once) instead of a full-block
+  // read-modify-write after every group.
+  std::vector<std::byte> partial(combine ? groups_.size() * m_ * block_size
+                                         : 0);
   std::vector<std::byte> temps;
 
   for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
     const GroupSchedule& g = groups_[gi];
     temps.assign(g.schedule.num_temps * packet, std::byte{0});
-    std::byte* pbase = combine ? partial.data() : nullptr;
+    std::byte* pbase = combine ? partial.data() + gi * m_ * block_size
+                               : nullptr;
 
     auto operand = [&](std::uint32_t id, std::size_t off) -> std::byte* {
       if (id < g.width * kW) {
@@ -250,15 +255,17 @@ void XorCodec::encode_via_schedule(std::size_t block_size,
       }
     }
 
-    if (combine) {
-      for (std::size_t j = 0; j < m_; ++j) {
-        const std::byte* part = partial.data() + j * block_size;
-        if (gi == 0) {
-          std::memcpy(parity[j], part, block_size);
-        } else {
-          gf::xor_acc(part, parity[j], block_size);
-        }
+  }
+
+  if (combine) {
+    std::vector<const std::byte*> srcs;
+    for (std::size_t j = 0; j < m_; ++j) {
+      std::memcpy(parity[j], partial.data() + j * block_size, block_size);
+      srcs.clear();
+      for (std::size_t gi = 1; gi < groups_.size(); ++gi) {
+        srcs.push_back(partial.data() + (gi * m_ + j) * block_size);
       }
+      FusedXorInto(srcs, parity[j], block_size);
     }
   }
 }

@@ -98,10 +98,9 @@ bool HostHasAvx2() { return false; }
 
 }  // namespace detail
 
-void mul_acc(u16 c, const std::byte* src, std::byte* dst, std::size_t n) {
+void mul_acc(const SplitTable16& t, const std::byte* src, std::byte* dst,
+             std::size_t n) {
   assert(n % 2 == 0);
-  if (c == 0) return;
-  const SplitTable16 t = make_split_table(c);
 #if defined(__x86_64__) && DIALGA_HAVE_AVX2
   if (detail::HostHasAvx2()) {
     detail::mul_acc_avx2(t, src, dst, n);
@@ -111,13 +110,9 @@ void mul_acc(u16 c, const std::byte* src, std::byte* dst, std::size_t n) {
   detail::mul_acc_scalar(t, src, dst, n);
 }
 
-void mul_set(u16 c, const std::byte* src, std::byte* dst, std::size_t n) {
+void mul_set(const SplitTable16& t, const std::byte* src, std::byte* dst,
+             std::size_t n) {
   assert(n % 2 == 0);
-  if (c == 0) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] = std::byte{0};
-    return;
-  }
-  const SplitTable16 t = make_split_table(c);
 #if defined(__x86_64__) && DIALGA_HAVE_AVX2
   if (detail::HostHasAvx2()) {
     detail::mul_set_avx2(t, src, dst, n);
@@ -125,6 +120,21 @@ void mul_set(u16 c, const std::byte* src, std::byte* dst, std::size_t n) {
   }
 #endif
   detail::mul_set_scalar(t, src, dst, n);
+}
+
+void mul_acc(u16 c, const std::byte* src, std::byte* dst, std::size_t n) {
+  assert(n % 2 == 0);
+  if (c == 0) return;
+  mul_acc(make_split_table(c), src, dst, n);
+}
+
+void mul_set(u16 c, const std::byte* src, std::byte* dst, std::size_t n) {
+  assert(n % 2 == 0);
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = std::byte{0};
+    return;
+  }
+  mul_set(make_split_table(c), src, dst, n);
 }
 
 Matrix Matrix::identity(std::size_t n) {

@@ -62,6 +62,14 @@ void mul_acc(u16 c, const std::byte* src, std::byte* dst, std::size_t n);
 /// dst[0..n) = c * src[0..n)
 void mul_set(u16 c, const std::byte* src, std::byte* dst, std::size_t n);
 
+/// Prepared-table overloads: the split table is built once by the
+/// caller (Rs16Codec's construction-time coefficient cache) instead of
+/// being rebuilt on every region pass.
+void mul_acc(const SplitTable16& t, const std::byte* src, std::byte* dst,
+             std::size_t n);
+void mul_set(const SplitTable16& t, const std::byte* src, std::byte* dst,
+             std::size_t n);
+
 namespace detail {
 void mul_acc_scalar(const SplitTable16& t, const std::byte* src,
                     std::byte* dst, std::size_t n);

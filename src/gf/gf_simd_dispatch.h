@@ -9,3 +9,9 @@
 #ifndef DIALGA_HAVE_AVX2
 #define DIALGA_HAVE_AVX2 0
 #endif
+#ifndef DIALGA_HAVE_AVX512
+#define DIALGA_HAVE_AVX512 0
+#endif
+#ifndef DIALGA_HAVE_GFNI
+#define DIALGA_HAVE_GFNI 0
+#endif

@@ -1,6 +1,10 @@
-// AVX2 region kernels: VPSHUFB nibble-table GF multiply, 32 bytes per
-// step. Compiled with -mavx2 in its own TU; only reached when the
-// runtime dispatcher confirmed host support.
+// GFNI region kernels: one VGF2P8AFFINEQB per 32 B vector replaces the
+// 5-op PSHUFB nibble sequence — the multiply-by-c bit matrix from
+// PreparedCoeff::affine is broadcast to every qword lane. 256-bit VEX
+// forms only (compiled with -mgfni -mavx2 in its own TU), so the
+// backend also serves client CPUs that ship GFNI without AVX-512; the
+// dispatcher gates it on gfni + avx2. Tails reuse the split-table
+// scalar kernel, which is bit-identical by construction.
 #include "gf/gf_simd.h"
 
 #if defined(__x86_64__)
@@ -9,61 +13,52 @@
 namespace gf::detail {
 
 namespace {
-inline __m256i mul32(const __m256i tlo, const __m256i thi, const __m256i x) {
-  const __m256i mask = _mm256_set1_epi8(0x0f);
-  const __m256i lo = _mm256_and_si256(x, mask);
-  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(x, 4), mask);
-  return _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
-                          _mm256_shuffle_epi8(thi, hi));
+inline __m256i broadcast_matrix(std::uint64_t affine) {
+  return _mm256_set1_epi64x(static_cast<long long>(affine));
 }
 
-inline __m256i broadcast_table(const std::array<gf::u8, 16>& t) {
-  const __m128i v = _mm_load_si128(reinterpret_cast<const __m128i*>(t.data()));
-  return _mm256_broadcastsi128_si256(v);
+inline __m256i gfmul32(const __m256i matrix, const __m256i x) {
+  return _mm256_gf2p8affine_epi64_epi8(x, matrix, 0);
 }
 }  // namespace
 
-void mul_acc_avx2(const SplitTable& t, const std::byte* src, std::byte* dst,
+void mul_acc_gfni(const PreparedCoeff& c, const std::byte* src, std::byte* dst,
                   std::size_t n) {
-  const __m256i tlo = broadcast_table(t.lo);
-  const __m256i thi = broadcast_table(t.hi);
+  const __m256i matrix = broadcast_matrix(c.affine);
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
     const __m256i x =
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
     __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
-    d = _mm256_xor_si256(d, mul32(tlo, thi, x));
+    d = _mm256_xor_si256(d, gfmul32(matrix, x));
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
   }
-  if (i < n) mul_acc_scalar(t, src + i, dst + i, n - i);
+  if (i < n) mul_acc_scalar(c.split, src + i, dst + i, n - i);
 }
 
-void mul_set_avx2(const SplitTable& t, const std::byte* src, std::byte* dst,
+void mul_set_gfni(const PreparedCoeff& c, const std::byte* src, std::byte* dst,
                   std::size_t n) {
-  const __m256i tlo = broadcast_table(t.lo);
-  const __m256i thi = broadcast_table(t.hi);
+  const __m256i matrix = broadcast_matrix(c.affine);
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
     const __m256i x =
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        mul32(tlo, thi, x));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), gfmul32(matrix, x));
   }
-  if (i < n) mul_set_scalar(t, src + i, dst + i, n - i);
+  if (i < n) mul_set_scalar(c.split, src + i, dst + i, n - i);
 }
 
 namespace {
-// Fused pass, 64 B (one cache line, two ymm vectors) per iteration: the
-// source vectors are loaded once and reused for all N accumulators.
+// Fused pass, 64 B (two ymm vectors) per cache line: the source vectors
+// are loaded once and reused for all N accumulators, each one affine
+// instruction + one XOR per vector.
 template <std::size_t N>
-void mul_acc_multi_avx2_impl(const PreparedCoeff* coeffs, const std::byte* src,
+void mul_acc_multi_gfni_impl(const PreparedCoeff* coeffs, const std::byte* src,
                              std::byte* const* dsts, std::size_t n,
                              const std::byte* const* prefetch) {
-  __m256i tlo[N];
-  __m256i thi[N];
+  __m256i matrix[N];
   for (std::size_t t = 0; t < N; ++t) {
-    tlo[t] = broadcast_table(coeffs[t].split.lo);
-    thi[t] = broadcast_table(coeffs[t].split.hi);
+    matrix[t] = broadcast_matrix(coeffs[t].affine);
   }
   std::size_t i = 0;
   for (; i + 64 <= n; i += 64) {
@@ -79,8 +74,8 @@ void mul_acc_multi_avx2_impl(const PreparedCoeff* coeffs, const std::byte* src,
       __m256i d0 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dsts[t] + i));
       __m256i d1 =
           _mm256_loadu_si256(reinterpret_cast<__m256i*>(dsts[t] + i + 32));
-      d0 = _mm256_xor_si256(d0, mul32(tlo[t], thi[t], x0));
-      d1 = _mm256_xor_si256(d1, mul32(tlo[t], thi[t], x1));
+      d0 = _mm256_xor_si256(d0, gfmul32(matrix[t], x0));
+      d1 = _mm256_xor_si256(d1, gfmul32(matrix[t], x1));
       _mm256_storeu_si256(reinterpret_cast<__m256i*>(dsts[t] + i), d0);
       _mm256_storeu_si256(reinterpret_cast<__m256i*>(dsts[t] + i + 32), d1);
     }
@@ -91,39 +86,38 @@ void mul_acc_multi_avx2_impl(const PreparedCoeff* coeffs, const std::byte* src,
                    _MM_HINT_T0);
     }
     for (std::size_t t = 0; t < N; ++t) {
-      mul_acc_avx2(coeffs[t].split, src + i, dsts[t] + i, n - i);
+      mul_acc_gfni(coeffs[t], src + i, dsts[t] + i, n - i);
     }
   }
 }
 }  // namespace
 
-void mul_acc_multi_avx2(const PreparedCoeff* coeffs, const std::byte* src,
+void mul_acc_multi_gfni(const PreparedCoeff* coeffs, const std::byte* src,
                         std::byte* const* dsts, std::size_t ndst,
                         std::size_t n, const std::byte* const* prefetch) {
   switch (ndst) {
     case 1:
-      mul_acc_multi_avx2_impl<1>(coeffs, src, dsts, n, prefetch);
+      mul_acc_multi_gfni_impl<1>(coeffs, src, dsts, n, prefetch);
       break;
     case 2:
-      mul_acc_multi_avx2_impl<2>(coeffs, src, dsts, n, prefetch);
+      mul_acc_multi_gfni_impl<2>(coeffs, src, dsts, n, prefetch);
       break;
     case 3:
-      mul_acc_multi_avx2_impl<3>(coeffs, src, dsts, n, prefetch);
+      mul_acc_multi_gfni_impl<3>(coeffs, src, dsts, n, prefetch);
       break;
     default:
-      mul_acc_multi_avx2_impl<4>(coeffs, src, dsts, n, prefetch);
+      mul_acc_multi_gfni_impl<4>(coeffs, src, dsts, n, prefetch);
       break;
   }
 }
 
 namespace {
-// Dot-product pass, 32 B (one ymm) per tile: the N accumulators stay in
-// ymm registers across the whole source loop, so the parity arrays see
-// ONE store per tile instead of a load+store per source. Per-source
-// table broadcasts are hot 16 B L1 loads; the nibble split of each
-// source vector is shared by all N destinations.
+// Dot-product pass, 32 B per tile: N ymm accumulators live across the
+// source loop; each (source, destination) contribution is one matrix
+// broadcast + one affine instruction + one XOR, and the parity arrays
+// see a single store per tile.
 template <std::size_t N>
-void mul_dot_multi_avx2_impl(const PreparedCoeff* coeffs,
+void mul_dot_multi_gfni_impl(const PreparedCoeff* coeffs,
                              std::size_t coeff_stride,
                              const std::byte* const* srcs, std::size_t nsrc,
                              std::byte* const* dsts, std::size_t n,
@@ -146,8 +140,7 @@ void mul_dot_multi_avx2_impl(const PreparedCoeff* coeffs,
       const PreparedCoeff* c = coeffs + s * coeff_stride;
       for (std::size_t t = 0; t < N; ++t) {
         acc[t] = _mm256_xor_si256(
-            acc[t], mul32(broadcast_table(c[t].split.lo),
-                          broadcast_table(c[t].split.hi), x));
+            acc[t], gfmul32(broadcast_matrix(c[t].affine), x));
       }
     }
     for (std::size_t t = 0; t < N; ++t) {
@@ -166,7 +159,7 @@ void mul_dot_multi_avx2_impl(const PreparedCoeff* coeffs,
 }
 }  // namespace
 
-void mul_dot_multi_avx2(const PreparedCoeff* coeffs,
+void mul_dot_multi_gfni(const PreparedCoeff* coeffs,
                         std::size_t coeff_stride,
                         const std::byte* const* srcs, std::size_t nsrc,
                         std::byte* const* dsts, std::size_t ndst,
@@ -174,34 +167,22 @@ void mul_dot_multi_avx2(const PreparedCoeff* coeffs,
                         std::size_t prefetch_stride) {
   switch (ndst) {
     case 1:
-      mul_dot_multi_avx2_impl<1>(coeffs, coeff_stride, srcs, nsrc, dsts, n,
+      mul_dot_multi_gfni_impl<1>(coeffs, coeff_stride, srcs, nsrc, dsts, n,
                                  prefetch, prefetch_stride);
       break;
     case 2:
-      mul_dot_multi_avx2_impl<2>(coeffs, coeff_stride, srcs, nsrc, dsts, n,
+      mul_dot_multi_gfni_impl<2>(coeffs, coeff_stride, srcs, nsrc, dsts, n,
                                  prefetch, prefetch_stride);
       break;
     case 3:
-      mul_dot_multi_avx2_impl<3>(coeffs, coeff_stride, srcs, nsrc, dsts, n,
+      mul_dot_multi_gfni_impl<3>(coeffs, coeff_stride, srcs, nsrc, dsts, n,
                                  prefetch, prefetch_stride);
       break;
     default:
-      mul_dot_multi_avx2_impl<4>(coeffs, coeff_stride, srcs, nsrc, dsts, n,
+      mul_dot_multi_gfni_impl<4>(coeffs, coeff_stride, srcs, nsrc, dsts, n,
                                  prefetch, prefetch_stride);
       break;
   }
-}
-
-void xor_acc_avx2(const std::byte* src, std::byte* dst, std::size_t n) {
-  std::size_t i = 0;
-  for (; i + 32 <= n; i += 32) {
-    const __m256i x =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_xor_si256(d, x));
-  }
-  if (i < n) xor_acc_scalar(src + i, dst + i, n - i);
 }
 
 }  // namespace gf::detail

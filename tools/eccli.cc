@@ -24,6 +24,7 @@
 
 #include "dialga/dialga.h"
 #include "fault/injector.h"
+#include "gf/gf_simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "shard/shard_store.h"
@@ -73,6 +74,12 @@ void Usage() {
          "completed spans\n"
          "                    as JSON-lines on exit (also read from "
          "DIALGA_TRACE_OUT)\n"
+         "  --isa LEVEL       pin the GF region-kernel backend: scalar, "
+         "ssse3, avx2,\n"
+         "                    avx512, or gfni (also read from DIALGA_ISA; "
+         "unsupported\n"
+         "                    levels clamp to the best available with a "
+         "warning)\n"
          "exit codes:\n"
          "  0  success\n"
          "  1  data damaged beyond what parity can repair\n"
@@ -95,6 +102,7 @@ struct Options {
   std::string fault_plan;
   std::string metrics_out;
   std::string trace_out;
+  std::string isa;
   std::vector<std::string> positional;
 };
 
@@ -129,6 +137,9 @@ bool Parse(int argc, char** argv, Options* opt) {
     } else if (arg == "--trace-out") {
       if (i + 1 >= argc) return false;
       opt->trace_out = argv[++i];
+    } else if (arg == "--isa") {
+      if (i + 1 >= argc) return false;
+      opt->isa = argv[++i];
     } else if (arg == "--serial") {
       opt->serial = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -306,6 +317,23 @@ int main(int argc, char** argv) {
       !fault::Injector::Global().install_spec(opt.fault_plan, &plan_error)) {
     std::cerr << "eccli: bad --fault-plan: " << plan_error << "\n";
     return kExitUsage;
+  }
+
+  // ISA pin: DIALGA_ISA was applied at first kernel dispatch; --isa
+  // overrides it. Unsupported levels clamp to the best available.
+  if (!opt.isa.empty()) {
+    const auto parsed = gf::parse_isa(opt.isa);
+    if (!parsed) {
+      std::cerr << "eccli: --isa '" << opt.isa
+                << "' not recognized (scalar|ssse3|avx2|avx512|gfni)\n";
+      return kExitUsage;
+    }
+    const gf::IsaLevel installed = gf::set_active_isa(*parsed);
+    if (installed != *parsed) {
+      std::cerr << "eccli: --isa " << gf::isa_name(*parsed)
+                << " unsupported on this host/build; using "
+                << gf::isa_name(installed) << "\n";
+    }
   }
 
   const std::string metrics_out = OrEnv(opt.metrics_out, "DIALGA_METRICS_OUT");
