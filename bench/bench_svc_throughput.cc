@@ -14,16 +14,31 @@
 // bench_svc_throughput.csv; every point is also a google-benchmark
 // entry whose counters carry the same columns (JSON via
 // --benchmark_format=json).
+//
+// --file-backed switches to the file datapath comparison instead: one
+// encode_file + decode_file round trip per aio backend (stdio, and
+// uring when the kernel has io_uring) over a 32 MiB input with the
+// stripe service attached, checking the two backends produce
+// bit-identical shards, manifest, and decoded output, and reporting
+// throughput per backend. Series lands as
+// bench_svc_throughput_datapath.csv under DIALGA_CSV_DIR.
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <random>
 #include <thread>
 #include <vector>
 
+#include "aio/datapath.h"
 #include "ec/isal.h"
 #include "fault/injector.h"
 #include "fig_common.h"
+#include "shard/shard_store.h"
 #include "svc/stripe_service.h"
 
 namespace {
@@ -119,6 +134,136 @@ PointResult RunPoint(double offered_kops, std::size_t producers,
   return r;
 }
 
+/// Slurp a file's bytes (plain read; comparison only).
+std::vector<std::byte> Slurp(const std::filesystem::path& p) {
+  std::vector<std::byte> out;
+  aio::ReadFileFull(p, &out);
+  return out;
+}
+
+/// Whole-directory byte comparison: same file set, same contents.
+bool DirsIdentical(const std::filesystem::path& a,
+                   const std::filesystem::path& b) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> names;
+  for (const auto& e : fs::directory_iterator(a)) {
+    names.push_back(e.path().filename().string());
+  }
+  std::size_t b_count = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(b)) ++b_count;
+  if (b_count != names.size()) return false;
+  for (const auto& n : names) {
+    if (Slurp(a / n) != Slurp(b / n)) return false;
+  }
+  return true;
+}
+
+/// The --file-backed mode: stdio vs uring over the shard datapath.
+int RunFileBacked() {
+  namespace fs = std::filesystem;
+  const std::size_t k = 8, m = 3, bs = 64 * 1024;
+  const std::size_t input_bytes = 32ull << 20;
+  const ec::IsalCodec codec(k, m);
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("dialga_bench_datapath_" + std::to_string(::getpid()));
+  fs::create_directories(root);
+  const fs::path input = root / "input.bin";
+  {
+    std::mt19937_64 rng(42);
+    std::vector<std::byte> data(input_bytes);
+    for (auto& x : data) x = static_cast<std::byte>(rng());
+    std::ofstream out(input, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+
+  struct BackendRun {
+    const char* name;
+    aio::Mode mode;
+    double encode_s = 0.0, decode_s = 0.0;
+    bool ok = false;
+  };
+  std::vector<BackendRun> runs{{"stdio", aio::Mode::kStdio}};
+  const bool have_uring =
+      aio::SelectBackend(aio::Mode::kAuto) == aio::Backend::kUring;
+  if (have_uring) runs.push_back({"uring", aio::Mode::kUring});
+
+  bench_util::Table table({"backend", "op", "bytes", "seconds", "GBps"});
+  for (auto& run : runs) {
+    svc::StripeService service(svc::StripeService::Config{});
+    shard::ShardStore store(codec, bs);
+    store.use_service(&service);
+    store.set_aio_mode(run.mode);
+    const fs::path dir = root / (std::string("shards_") + run.name);
+    const fs::path decoded = root / (std::string("out_") + run.name);
+
+    auto t0 = std::chrono::steady_clock::now();
+    const shard::Status enc = store.encode_file(input, dir);
+    auto t1 = std::chrono::steady_clock::now();
+    const shard::Status dec = store.decode_file(dir, decoded);
+    auto t2 = std::chrono::steady_clock::now();
+    run.encode_s = std::chrono::duration<double>(t1 - t0).count();
+    run.decode_s = std::chrono::duration<double>(t2 - t1).count();
+    run.ok = enc.ok() && dec.ok();
+    if (!run.ok) {
+      std::fprintf(stderr, "%s backend failed: %s\n", run.name,
+                   (enc.ok() ? dec : enc).message().c_str());
+    }
+    for (const auto& [op, secs] : {std::pair{"encode", run.encode_s},
+                                   std::pair{"decode", run.decode_s}}) {
+      table.row({run.name, op, std::to_string(input_bytes),
+                 bench_util::Table::num(secs, 6),
+                 bench_util::Table::num(
+                     secs > 0 ? input_bytes / (secs * 1e9) : 0.0, 3)});
+    }
+  }
+
+  const auto original = Slurp(input);
+  bool outputs_match = true;
+  bool shards_match = true;
+  for (const auto& run : runs) {
+    outputs_match &=
+        run.ok && Slurp(root / (std::string("out_") + run.name)) == original;
+  }
+  if (runs.size() == 2 && runs[0].ok && runs[1].ok) {
+    shards_match = DirsIdentical(root / "shards_stdio", root / "shards_uring");
+  }
+
+  std::printf("\n=== File-backed shard datapath: RS(%zu,%zu), %zu B blocks, "
+              "%zu MiB input ===\n",
+              k, m, bs, input_bytes >> 20);
+  table.print(std::cout);
+  std::printf("\npaper-shape checks:\n");
+  bool all = true;
+  auto check = [&](const char* claim, bool holds) {
+    std::printf("  [%s] %s\n", holds ? "PASS" : "FAIL", claim);
+    all &= holds;
+  };
+  bool every_ok = true;
+  for (const auto& run : runs) every_ok &= run.ok;
+  check("every backend round-trips without error", every_ok);
+  check("decoded outputs are bit-identical to the input", outputs_match);
+  if (runs.size() == 2) {
+    check("stdio and uring emit bit-identical shards and manifest",
+          shards_match);
+    const double ratio =
+        runs[1].encode_s > 0 ? runs[0].encode_s / runs[1].encode_s : 0.0;
+    std::printf("  uring/stdio encode speedup: %.2fx\n", ratio);
+  } else {
+    std::printf("  (io_uring unavailable: stdio only, no comparison)\n");
+  }
+
+  if (const char* dir = std::getenv("DIALGA_CSV_DIR"); dir != nullptr) {
+    std::ofstream out(std::string(dir) + "/bench_svc_throughput_datapath.csv");
+    if (out) table.print_csv(out);
+  }
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  return all ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -130,6 +275,9 @@ int main(int argc, char** argv) {
   if (!fault::Injector::Global().install_from_env(&plan_error)) {
     std::fprintf(stderr, "bad DIALGA_FAULT_PLAN: %s\n", plan_error.c_str());
     return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--file-backed") == 0) return RunFileBacked();
   }
   const std::size_t k = 8, m = 3, bs = 1024;
   const std::size_t producers = 4;

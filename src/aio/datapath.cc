@@ -1,0 +1,627 @@
+#include "aio/datapath.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "fault/injector.h"
+#include "obs/metrics.h"
+
+namespace aio {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Sub-op granularity: large enough to amortize per-op cost, small
+/// enough that a 128-deep ring keeps many in flight per shard file.
+constexpr std::size_t kChunkBytes = std::size_t{1} << 20;
+constexpr unsigned kRingEntries = 128;
+/// Transient (EINTR/EAGAIN) resubmits per operation before giving up.
+constexpr int kTransientBudget = 1024;
+constexpr std::uint64_t kFsyncUserData = ~std::uint64_t{0};
+
+int FireSite(const char* site) {
+  return site != nullptr ? fault::FireErrno(site) : 0;
+}
+bool FiresSite(const char* site) {
+  return site != nullptr && fault::Fires(site);
+}
+
+struct DpMetrics {
+  obs::Counter& read_bytes_stdio;
+  obs::Counter& read_bytes_uring;
+  obs::Counter& write_bytes_stdio;
+  obs::Counter& write_bytes_uring;
+  obs::Counter& ops_read;
+  obs::Counter& ops_write;
+  obs::Counter& fallbacks;
+
+  obs::Counter& bytes(Backend b, bool write) {
+    if (write) {
+      return b == Backend::kUring ? write_bytes_uring : write_bytes_stdio;
+    }
+    return b == Backend::kUring ? read_bytes_uring : read_bytes_stdio;
+  }
+
+  static DpMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    // All label combinations registered eagerly so exporters see every
+    // series from the first scrape, whichever backend actually ran.
+    static DpMetrics m{
+        reg.counter("dialga_aio_bytes_total",
+                    {{"backend", "stdio"}, {"op", "read"}},
+                    "Bytes moved through the file datapath"),
+        reg.counter("dialga_aio_bytes_total",
+                    {{"backend", "uring"}, {"op", "read"}}),
+        reg.counter("dialga_aio_bytes_total",
+                    {{"backend", "stdio"}, {"op", "write"}}),
+        reg.counter("dialga_aio_bytes_total",
+                    {{"backend", "uring"}, {"op", "write"}}),
+        reg.counter("dialga_aio_ops_total", {{"op", "read"}},
+                    "Datapath operations (whole files or scatter sets)"),
+        reg.counter("dialga_aio_ops_total", {{"op", "write"}}),
+        reg.counter("dialga_aio_fallback_total", {},
+                    "Times uring was requested/probed but stdio ran"),
+    };
+    return m;
+  }
+};
+
+std::string ShortReadDetail(std::uint64_t got, std::uint64_t want,
+                            std::uint64_t offset) {
+  return "short read: got " + std::to_string(got) + " of " +
+         std::to_string(want) + " bytes at offset " + std::to_string(offset);
+}
+
+/// Clean the ring for reuse before an error return: rewind SQEs the
+/// kernel never saw (they would otherwise ride along with the next
+/// operation's submit and complete with stale user_data, corrupting
+/// its accounting), then drain every submitted-but-unreaped completion
+/// so the kernel is done with the caller's buffers.
+void DrainRing(Ring* ring) {
+  ring->drop_unsubmitted();
+  std::vector<Completion> sink;
+  while (true) {
+    sink.clear();
+    if (ring->wait(1, &sink) <= 0) break;
+  }
+}
+
+/// One chunk of a segment, small enough for a single SQE.
+struct SubOp {
+  std::size_t seg = 0;
+  std::byte* buf = nullptr;
+  std::size_t len = 0;
+  std::uint64_t off = 0;
+};
+
+std::vector<SubOp> ChunkSegs(std::span<const Seg> segs) {
+  std::vector<SubOp> subs;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const Seg& s = segs[i];
+    for (std::size_t done = 0; done < s.len;) {
+      const std::size_t n = std::min(kChunkBytes, s.len - done);
+      subs.push_back({i, s.buf + done, n, s.offset + done});
+      done += n;
+    }
+  }
+  return subs;
+}
+
+// ---------------------------------------------------------------------------
+// Reads.
+
+IoStatus PreadSeg(int fd, const Seg& seg, const FaultSites& sites) {
+  std::size_t done = 0;
+  int budget = kTransientBudget;
+  while (done < seg.len) {
+    const ::ssize_t n = ::pread(fd, seg.buf + done, seg.len - done,
+                                static_cast<::off_t>(seg.offset + done));
+    if (n < 0) {
+      if ((errno == EINTR || errno == EAGAIN) && --budget >= 0) continue;
+      return IoStatus::Error(errno, "read failed");
+    }
+    if (const int fe = FireSite(sites.read); fe != 0) {
+      if ((fe == EINTR || fe == EAGAIN) && --budget >= 0) continue;
+      return IoStatus::Error(fe, "read failed");
+    }
+    if (n == 0 || FiresSite(sites.short_read)) {
+      return IoStatus::Error(
+          EIO, ShortReadDetail(done, seg.len, seg.offset));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return IoStatus::Ok();
+}
+
+IoStatus ReadSegsFd(Transfer& xfer, int fd, std::span<const Seg> segs,
+                    const FaultSites& sites,
+                    const std::function<void(std::size_t)>& on_segment) {
+  std::vector<std::size_t> remaining(segs.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    remaining[i] = segs[i].len;
+    total += segs[i].len;
+  }
+
+  Ring* ring = xfer.backend() == Backend::kUring ? xfer.ring() : nullptr;
+  if (ring == nullptr) {
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      if (IoStatus st = PreadSeg(fd, segs[i], sites); !st.ok()) return st;
+      DpMetrics::Get().bytes(Backend::kStdio, false).inc(segs[i].len);
+      if (on_segment) on_segment(i);
+    }
+    return IoStatus::Ok();
+  }
+
+  std::vector<SubOp> subs = ChunkSegs(segs);
+  std::vector<std::size_t> pending(subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) pending[i] = i;
+  std::size_t outstanding = 0;
+  int budget = kTransientBudget;
+  std::vector<Completion> cqes;
+
+  while (!pending.empty() || outstanding > 0) {
+    while (!pending.empty() && ring->sq_space() > 0) {
+      const std::size_t idx = pending.back();
+      const SubOp& s = subs[idx];
+      ring->queue_read(fd, s.buf, static_cast<unsigned>(s.len), s.off, idx,
+                       xfer.buf_index_for(s.buf, s.len));
+      pending.pop_back();
+      ++outstanding;
+    }
+    if (int rc = ring->submit(); rc < 0) {
+      if ((rc == -EINTR || rc == -EAGAIN) && --budget >= 0) continue;
+      DrainRing(ring);
+      return IoStatus::Error(-rc, "aio submit failed");
+    }
+    cqes.clear();
+    if (int rc = ring->wait(1, &cqes); rc < 0) {
+      if ((rc == -EINTR || rc == -EAGAIN) && --budget >= 0) continue;
+      DrainRing(ring);
+      return IoStatus::Error(-rc, "aio completion wait failed");
+    }
+    for (const Completion& c : cqes) {
+      --outstanding;
+      SubOp& s = subs[c.user_data];
+      int injected = FireSite(sites.read);
+      if (c.res < 0 || injected != 0) {
+        const int e = injected != 0 ? injected : -c.res;
+        if ((e == EINTR || e == EAGAIN) && --budget >= 0) {
+          pending.push_back(static_cast<std::size_t>(c.user_data));
+          continue;
+        }
+        DrainRing(ring);
+        return IoStatus::Error(e, "read failed");
+      }
+      if (c.res == 0 || FiresSite(sites.short_read)) {
+        const std::size_t seg_done = segs[s.seg].len - remaining[s.seg];
+        DrainRing(ring);
+        return IoStatus::Error(
+            EIO, ShortReadDetail(seg_done, segs[s.seg].len,
+                                 segs[s.seg].offset));
+      }
+      const std::size_t got = static_cast<std::size_t>(c.res);
+      remaining[s.seg] -= got;
+      if (got < s.len) {  // partial chunk: continue where it stopped
+        s.buf += got;
+        s.len -= got;
+        s.off += got;
+        pending.push_back(static_cast<std::size_t>(c.user_data));
+        continue;
+      }
+      if (remaining[s.seg] == 0 && on_segment) on_segment(s.seg);
+    }
+  }
+  DpMetrics::Get().bytes(Backend::kUring, false).inc(total);
+  return IoStatus::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Writes.
+
+IoStatus PwriteAll(int fd, const std::byte* buf, std::size_t len,
+                   std::uint64_t off) {
+  std::size_t done = 0;
+  int budget = kTransientBudget;
+  while (done < len) {
+    const ::ssize_t n = ::pwrite(fd, buf + done, len - done,
+                                 static_cast<::off_t>(off + done));
+    if (n < 0) {
+      if ((errno == EINTR || errno == EAGAIN) && --budget >= 0) continue;
+      return IoStatus::Error(errno, "write failed");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return IoStatus::Ok();
+}
+
+/// Write every sub-op through the ring. The final write is linked
+/// (IOSQE_IO_LINK) to an fsync SQE, so on the happy path data and
+/// metadata ordering is resolved entirely inside the kernel; any
+/// wrinkle (short write, cancelled link) falls back to fsync(2), which
+/// the caller issues when *synced stays false.
+IoStatus WriteSegsFdUring(Transfer& xfer, Ring* ring, int fd,
+                          std::vector<SubOp> subs, bool* synced) {
+  *synced = false;
+  if (subs.empty()) return IoStatus::Ok();
+  std::vector<std::size_t> pending(subs.size() - 1);
+  for (std::size_t i = 0; i + 1 < subs.size(); ++i) pending[i] = i;
+  const std::size_t last = subs.size() - 1;
+  bool last_queued = false;
+  bool fsync_ok = false;
+  bool link_intact = true;  // no retry/short-write leaked past the fsync
+  std::size_t outstanding = 0;
+  int budget = kTransientBudget;
+  std::vector<Completion> cqes;
+
+  while (!pending.empty() || !last_queued || outstanding > 0) {
+    while (!pending.empty() && ring->sq_space() > 0) {
+      const std::size_t idx = pending.back();
+      const SubOp& s = subs[idx];
+      ring->queue_write(fd, s.buf, static_cast<unsigned>(s.len), s.off, idx,
+                        xfer.buf_index_for(s.buf, s.len));
+      pending.pop_back();
+      ++outstanding;
+    }
+    // The link orders only the pair, so the chain is queued after
+    // every other write has *completed* — at that point the fsync's
+    // turn implies all data hit the file before it ran.
+    if (pending.empty() && outstanding == 0 && !last_queued &&
+        ring->sq_space() >= 2) {
+      const SubOp& s = subs[last];
+      ring->queue_write(fd, s.buf, static_cast<unsigned>(s.len), s.off, last,
+                        xfer.buf_index_for(s.buf, s.len), /*link=*/true);
+      ring->queue_fsync(fd, kFsyncUserData);
+      last_queued = true;
+      outstanding += 2;
+    }
+    if (int rc = ring->submit(); rc < 0) {
+      if ((rc == -EINTR || rc == -EAGAIN) && --budget >= 0) continue;
+      DrainRing(ring);
+      return IoStatus::Error(-rc, "aio submit failed");
+    }
+    cqes.clear();
+    if (int rc = ring->wait(1, &cqes); rc < 0) {
+      if ((rc == -EINTR || rc == -EAGAIN) && --budget >= 0) continue;
+      DrainRing(ring);
+      return IoStatus::Error(-rc, "aio completion wait failed");
+    }
+    for (const Completion& c : cqes) {
+      --outstanding;
+      if (c.user_data == kFsyncUserData) {
+        // -ECANCELED (broken link) or a real fsync error: retried as
+        // fsync(2) by the caller. Success means ordering held.
+        fsync_ok = c.res == 0;
+        continue;
+      }
+      SubOp& s = subs[c.user_data];
+      if (c.res < 0) {
+        const int e = -c.res;
+        if ((e == EINTR || e == EAGAIN || e == ECANCELED) && --budget >= 0) {
+          pending.push_back(static_cast<std::size_t>(c.user_data));
+          if (last_queued) link_intact = false;
+          continue;
+        }
+        DrainRing(ring);
+        return IoStatus::Error(e, "write failed");
+      }
+      const std::size_t put = static_cast<std::size_t>(c.res);
+      if (put < s.len) {  // short write: finish the remainder
+        s.buf += put;
+        s.len -= put;
+        s.off += put;
+        pending.push_back(static_cast<std::size_t>(c.user_data));
+        if (last_queued) link_intact = false;  // remainder lands post-fsync
+      }
+    }
+  }
+  *synced = fsync_ok && link_intact;
+  return IoStatus::Ok();
+}
+
+std::atomic<unsigned> g_tmp_seq{0};
+
+fs::path TmpPathFor(const fs::path& path) {
+  fs::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  return dir / (path.filename().string() + ".tmp-" +
+                std::to_string(::getpid()) + "-" +
+                std::to_string(g_tmp_seq.fetch_add(1)));
+}
+
+IoStatus SyncParentDir(const fs::path& path) {
+  fs::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return IoStatus::Error(errno, "cannot open parent directory");
+  if (::fsync(dfd) < 0) {
+    const int e = errno;
+    ::close(dfd);
+    return IoStatus::Error(e, "cannot fsync parent directory");
+  }
+  ::close(dfd);
+  return IoStatus::Ok();
+}
+
+IoStatus WriteDurableImpl(Transfer& xfer, const fs::path& path,
+                          std::span<const Seg> segs, const FaultSites& sites,
+                          bool sync_parent) {
+  std::uint64_t total = 0;
+  std::uint64_t payload = 0;
+  for (const Seg& s : segs) {
+    total = std::max(total, s.offset + s.len);
+    payload += s.len;
+  }
+  const fs::path tmp = TmpPathFor(path);
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return IoStatus::Error(errno, "cannot create temp file");
+  auto fail = [&](IoStatus st) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  };
+  // Pre-size the file: gaps between segments (none in practice) read
+  // as zero, and the final length is right even for an empty gather.
+  if (::ftruncate(fd, static_cast<::off_t>(total)) < 0) {
+    return fail(IoStatus::Error(errno, "cannot size temp file"));
+  }
+
+  bool synced = false;
+  Ring* ring = xfer.backend() == Backend::kUring ? xfer.ring() : nullptr;
+  if (ring != nullptr) {
+    if (IoStatus st =
+            WriteSegsFdUring(xfer, ring, fd, ChunkSegs(segs), &synced);
+        !st.ok()) {
+      return fail(st);
+    }
+  } else {
+    for (const Seg& s : segs) {
+      if (IoStatus st = PwriteAll(fd, s.buf, s.len, s.offset); !st.ok()) {
+        return fail(st);
+      }
+    }
+  }
+  DpMetrics::Get().bytes(xfer.backend(), true).inc(payload);
+  DpMetrics::Get().ops_write.inc();
+
+  // The injected failure lands before durability is declared, so a
+  // fired site aborts with the target file untouched — exactly the
+  // crash the temp→rename protocol is there to survive.
+  if (const int fe = FireSite(sites.write); fe != 0) {
+    return fail(IoStatus::Error(fe, "write failed"));
+  }
+  if (!synced && ::fsync(fd) < 0) {
+    return fail(IoStatus::Error(errno, "fsync failed"));
+  }
+  ::close(fd);
+  fd = -1;
+  if (::rename(tmp.c_str(), path.c_str()) < 0) {
+    const int e = errno;
+    ::unlink(tmp.c_str());
+    return IoStatus::Error(e, "rename failed");
+  }
+  if (sync_parent) {
+    if (IoStatus st = SyncParentDir(path); !st.ok()) return st;
+  }
+  return IoStatus::Ok();
+}
+
+std::atomic<bool> g_warned_forced_uring{false};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mode / backend selection.
+
+std::optional<Mode> ParseMode(std::string_view s) {
+  if (s == "auto") return Mode::kAuto;
+  if (s == "stdio") return Mode::kStdio;
+  if (s == "uring" || s == "io_uring") return Mode::kUring;
+  return std::nullopt;
+}
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kStdio:
+      return "stdio";
+    case Mode::kUring:
+      return "uring";
+    default:
+      return "auto";
+  }
+}
+
+Mode ModeFromEnv() {
+  const char* v = std::getenv("DIALGA_AIO");
+  if (v == nullptr || *v == '\0') return Mode::kAuto;
+  if (const auto m = ParseMode(v)) return *m;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "dialga: DIALGA_AIO '%s' not recognized "
+                 "(stdio|uring|auto); using auto\n",
+                 v);
+  }
+  return Mode::kAuto;
+}
+
+Backend SelectBackend(Mode m) {
+  DpMetrics::Get();  // eager registration, whichever backend runs
+  switch (m) {
+    case Mode::kStdio:
+      return Backend::kStdio;
+    case Mode::kUring:
+      if (Ring::KernelSupported()) return Backend::kUring;
+      if (!g_warned_forced_uring.exchange(true)) {
+        std::fprintf(stderr,
+                     "dialga: io_uring unavailable on this kernel; "
+                     "falling back to the stdio datapath\n");
+      }
+      DpMetrics::Get().fallbacks.inc();
+      return Backend::kStdio;
+    default:
+      if (Ring::KernelSupported()) return Backend::kUring;
+      DpMetrics::Get().fallbacks.inc();
+      return Backend::kStdio;
+  }
+}
+
+const char* BackendName(Backend b) {
+  return b == Backend::kUring ? "uring" : "stdio";
+}
+
+// ---------------------------------------------------------------------------
+// Transfer.
+
+Transfer::Transfer(Backend backend, std::span<const iovec> registered)
+    : backend_(backend),
+      registered_(registered.begin(), registered.end()) {
+  DpMetrics::Get();
+}
+
+Ring* Transfer::ring() {
+  if (backend_ != Backend::kUring) return nullptr;
+  if (!ring_tried_) {
+    ring_tried_ = true;
+    ring_ = Ring::Create(kRingEntries);
+    if (ring_ == nullptr) {
+      backend_ = Backend::kStdio;  // degrade this transfer, keep going
+      DpMetrics::Get().fallbacks.inc();
+      return nullptr;
+    }
+    if (!registered_.empty()) {
+      // Registration failure (RLIMIT_MEMLOCK) is non-fatal: ops simply
+      // run unfixed; buf_index_for answers -1 from here on.
+      if (!ring_->register_buffers(registered_.data(),
+                                   static_cast<unsigned>(
+                                       registered_.size()))) {
+        registered_.clear();
+      }
+    }
+  }
+  return ring_.get();
+}
+
+int Transfer::buf_index_for(const void* p, std::size_t len) const {
+  if (ring_ == nullptr || !ring_->buffers_registered()) return -1;
+  const auto* b = static_cast<const std::byte*>(p);
+  for (std::size_t i = 0; i < registered_.size(); ++i) {
+    const auto* base = static_cast<const std::byte*>(registered_[i].iov_base);
+    if (b >= base && b + len <= base + registered_[i].iov_len) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+
+IoStatus ReadFileFull(const fs::path& path, std::vector<std::byte>* out,
+                      const FaultSites& sites) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoStatus::Error(errno, "cannot open");
+  if (const int fe = FireSite(sites.open); fe != 0) {
+    ::close(fd);
+    return IoStatus::Error(fe, "cannot open");
+  }
+  struct ::stat st;
+  if (::fstat(fd, &st) < 0) {
+    const int e = errno;
+    ::close(fd);
+    return IoStatus::Error(e, "cannot size");
+  }
+  out->resize(static_cast<std::size_t>(st.st_size));
+  const Seg seg{out->data(), out->size(), 0};
+  IoStatus r = out->empty() ? IoStatus::Ok() : PreadSeg(fd, seg, sites);
+  ::close(fd);
+  if (r.ok()) {
+    DpMetrics::Get().bytes(Backend::kStdio, false).inc(out->size());
+    DpMetrics::Get().ops_read.inc();
+  }
+  return r;
+}
+
+IoStatus StatSize(const fs::path& path, std::uint64_t* size) {
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) < 0) {
+    return IoStatus::Error(errno, "cannot stat");
+  }
+  *size = static_cast<std::uint64_t>(st.st_size);
+  return IoStatus::Ok();
+}
+
+IoStatus ReadFileExact(Transfer& xfer, const fs::path& path,
+                       std::span<std::byte> dst, const FaultSites& sites) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoStatus::Error(errno, "cannot open");
+  if (const int fe = FireSite(sites.open); fe != 0) {
+    ::close(fd);
+    return IoStatus::Error(fe, "cannot open");
+  }
+  struct ::stat st;
+  if (::fstat(fd, &st) < 0) {
+    const int e = errno;
+    ::close(fd);
+    return IoStatus::Error(e, "cannot size");
+  }
+  if (static_cast<std::uint64_t>(st.st_size) != dst.size()) {
+    ::close(fd);
+    return IoStatus::Error(EIO, "size mismatch: file holds " +
+                                    std::to_string(st.st_size) +
+                                    " bytes, expected " +
+                                    std::to_string(dst.size()));
+  }
+  const Seg seg{dst.data(), dst.size(), 0};
+  IoStatus r = dst.empty()
+                   ? IoStatus::Ok()
+                   : ReadSegsFd(xfer, fd, std::span<const Seg>(&seg, 1),
+                                sites, {});
+  ::close(fd);
+  if (r.ok()) DpMetrics::Get().ops_read.inc();
+  return r;
+}
+
+IoStatus ReadScatter(Transfer& xfer, const fs::path& path,
+                     std::span<const Seg> segs, const FaultSites& sites,
+                     const std::function<void(std::size_t)>& on_segment) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoStatus::Error(errno, "cannot open");
+  if (const int fe = FireSite(sites.open); fe != 0) {
+    ::close(fd);
+    return IoStatus::Error(fe, "cannot open");
+  }
+  IoStatus r = ReadSegsFd(xfer, fd, segs, sites, on_segment);
+  ::close(fd);
+  if (r.ok()) DpMetrics::Get().ops_read.inc();
+  return r;
+}
+
+IoStatus WriteFileDurable(Transfer& xfer, const fs::path& path,
+                          std::span<const std::byte> data,
+                          const FaultSites& sites, bool sync_parent) {
+  const Seg seg{const_cast<std::byte*>(data.data()), data.size(), 0};
+  return WriteDurableImpl(xfer, path,
+                          data.empty() ? std::span<const Seg>{}
+                                       : std::span<const Seg>(&seg, 1),
+                          sites, sync_parent);
+}
+
+IoStatus WriteGatherDurable(Transfer& xfer, const fs::path& path,
+                            std::span<const Seg> segs,
+                            const FaultSites& sites, bool sync_parent) {
+  return WriteDurableImpl(xfer, path, segs, sites, sync_parent);
+}
+
+}  // namespace aio

@@ -15,9 +15,12 @@
 //
 // Site catalog (see docs/fault_injection.md):
 //   shard.open        shard/manifest file open fails (errno)
-//   shard.read        stream read fails after the open (errno)
-//   shard.short_read  read returns fewer bytes than the file holds
-//   shard.write       shard/manifest write fails (errno)
+//   shard.read        a segment pread fails after the open (errno);
+//                     fires on both datapath backends
+//   shard.short_read  read stops short of the expected bytes
+//   shard.write       durable shard/manifest write fails (errno)
+//   aio.submit        io_uring_enter submission fails (uring only)
+//   aio.cqe           a ring completion is rewritten to the errno
 //   pmpool.alloc      PM stripe allocation fails
 //   svc.admission     service admission reports the queue full
 //   svc.codec         codec batch execution throws InjectedFault

@@ -1,0 +1,34 @@
+#include "pmpool/arena.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace pmpool {
+
+void Arena::FreeDeleter::operator()(std::byte* p) const { std::free(p); }
+
+Arena::Arena(std::size_t alignment) : alignment_(alignment) {}
+
+std::span<std::byte> Arena::allocate(std::size_t n) {
+  // aligned_alloc wants the size to be a multiple of the alignment;
+  // allocate a zero-length request as one alignment unit so the span
+  // still points at real (registrable) memory.
+  const std::size_t padded =
+      ((n == 0 ? 1 : n) + alignment_ - 1) / alignment_ * alignment_;
+  auto* p = static_cast<std::byte*>(std::aligned_alloc(alignment_, padded));
+  if (p == nullptr) throw std::bad_alloc();
+  std::memset(p, 0, padded);
+  slabs_.emplace_back(p);
+  iovecs_.push_back({p, padded});
+  bytes_ += padded;
+  return {p, n};
+}
+
+void Arena::reset() {
+  slabs_.clear();
+  iovecs_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace pmpool

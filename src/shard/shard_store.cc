@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <fstream>
 #include <future>
 #include <sstream>
 #include <thread>
 
+#include "aio/datapath.h"
 #include "fault/injector.h"
 #include "obs/metrics.h"
+#include "pmpool/arena.h"
 #include "svc/stripe_service.h"
 
 namespace shard {
@@ -75,8 +77,13 @@ std::size_t Manifest::stripes() const {
   const std::uint64_t stripe_bytes =
       static_cast<std::uint64_t>(k) * block_size;
   if (stripe_bytes == 0) return 0;
-  return static_cast<std::size_t>((file_size + stripe_bytes - 1) /
-                                  stripe_bytes);
+  // An empty file still occupies one all-padding stripe: encode writes
+  // that stripe out, so readers sizing buffers from shard_bytes() must
+  // see the same clamp or every shard of an empty generation reads back
+  // as a size mismatch.
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>((file_size + stripe_bytes - 1) /
+                                  stripe_bytes));
 }
 
 std::string Manifest::serialize() const {
@@ -159,68 +166,47 @@ fs::path ShardPath(const fs::path& dir, std::size_t index) {
   return dir / name;
 }
 
-bool WriteFile(const fs::path& path, const std::byte* data, std::size_t n,
-               int* err = nullptr) {
-  errno = 0;
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (out) {
-    out.write(reinterpret_cast<const char*>(data),
-              static_cast<std::streamsize>(n));
-    out.flush();
-  }
-  if (const int fe = fault::FireErrno("shard.write"); fe != 0) {
-    if (err) *err = fe;
-    return false;
-  }
-  if (!out) {
-    if (err) *err = errno != 0 ? errno : EIO;
-    return false;
-  }
-  return true;
-}
+/// The shard store's fault-site names, handed to the datapath so the
+/// same chaos schedules exercise both backends (aio/datapath.h).
+constexpr aio::FaultSites kShardSites{
+    "shard.open", "shard.read", "shard.short_read", "shard.write"};
 
-bool ReadFile(const fs::path& path, std::vector<std::byte>* out,
-              int* err = nullptr, std::string* detail = nullptr) {
-  errno = 0;
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    if (err) *err = errno != 0 ? errno : EIO;
-    if (detail) *detail = "cannot open";
-    return false;
-  }
-  if (const int fe = fault::FireErrno("shard.open"); fe != 0) {
-    if (err) *err = fe;
-    if (detail) *detail = "cannot open";
-    return false;
-  }
-  const std::streamsize n = in.tellg();
-  if (n < 0) {
-    if (err) *err = errno != 0 ? errno : EIO;
-    if (detail) *detail = "cannot size";
-    return false;
-  }
-  in.seekg(0);
-  out->resize(static_cast<std::size_t>(n));
-  in.read(reinterpret_cast<char*>(out->data()), n);
-  if (const int fe = fault::FireErrno("shard.read"); fe != 0) {
-    if (err) *err = fe;
-    if (detail) *detail = "read failed";
-    return false;
-  }
-  // A truncated stream (file shrank after tellg, media error) can leave
-  // the read short without an exception; gcount is the only witness.
-  // badbit is the stream-level ferror() equivalent.
-  std::streamsize got = in.gcount();
-  if (fault::Fires("shard.short_read") && got > 0) got /= 2;
-  if (in.bad() || got != n) {
-    if (err) *err = errno != 0 ? errno : EIO;
-    if (detail) {
-      *detail = "short read: got " + std::to_string(got) + " of " +
-                std::to_string(n) + " bytes";
+/// Run `op`, retrying transient errnos (EINTR/EAGAIN) with the
+/// policy's jittered backoff — but never sleeping past the policy
+/// deadline. Without the clamp a generous backoff schedule could keep
+/// an operation in bed long after its time budget expired (base_delay
+/// 20ms doubling for 50 retries ≈ forever against a 50ms deadline);
+/// here each sleep is truncated to the remaining budget and expiry
+/// returns the last error immediately.
+aio::IoStatus RetryTransient(const ServicePolicy& policy,
+                             const std::function<aio::IoStatus()>& op) {
+  using clock = std::chrono::steady_clock;
+  const bool bounded = policy.deadline.count() > 0;
+  const clock::time_point deadline =
+      bounded ? clock::now() + policy.deadline : clock::time_point::max();
+  aio::IoStatus st;
+  for (std::size_t attempt = 0;; ++attempt) {
+    st = op();
+    if (st.ok()) return st;
+    // Only genuinely transient errnos are worth the backoff; a missing
+    // file or a short read will not heal by waiting.
+    const bool transient = st.err == EINTR || st.err == EAGAIN;
+    if (!transient || attempt >= policy.retry.max_retries) return st;
+    auto delay = std::chrono::duration_cast<std::chrono::microseconds>(
+        policy.retry.delay(attempt));
+    if (bounded) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                                clock::now());
+      if (remaining <= std::chrono::microseconds::zero()) {
+        st.detail += " (deadline expired during retry backoff)";
+        return st;
+      }
+      delay = std::min(delay, remaining);
     }
-    return false;
+    ShardMetrics::Get().read_retries.inc();
+    std::this_thread::sleep_for(delay);
   }
-  return true;
 }
 
 }  // namespace
@@ -231,21 +217,11 @@ ShardStore::ShardStore(const ec::Codec& codec, std::size_t block_size)
 bool ShardStore::read_file_retrying(const fs::path& path,
                                     std::vector<std::byte>* out, int* err,
                                     std::string* detail) const {
-  int local_err = 0;
-  std::string local_detail;
-  for (std::size_t attempt = 0;; ++attempt) {
-    local_err = 0;
-    local_detail.clear();
-    if (ReadFile(path, out, &local_err, &local_detail)) return true;
-    // Only genuinely transient errnos are worth the backoff; a missing
-    // file or a short read will not heal by waiting.
-    const bool transient = local_err == EINTR || local_err == EAGAIN;
-    if (!transient || attempt >= policy_.retry.max_retries) break;
-    ShardMetrics::Get().read_retries.inc();
-    std::this_thread::sleep_for(policy_.retry.delay(attempt));
-  }
-  if (err) *err = local_err;
-  if (detail) *detail = std::move(local_detail);
+  const aio::IoStatus st = RetryTransient(
+      policy_, [&] { return aio::ReadFileFull(path, out, kShardSites); });
+  if (st.ok()) return true;
+  if (err) *err = st.err;
+  if (detail) *detail = st.detail;
   return false;
 }
 
@@ -262,8 +238,33 @@ Status ShardStore::read_failure(int err, fs::path path,
   return Status::Io(err, std::move(path), std::move(detail));
 }
 
+namespace {
+
+/// Batched encode request for stripe `r` over the shard spans. The
+/// spans are arena-backed and outlive the service round-trip.
+svc::EncodeRequest MakeEncodeRequest(
+    const ec::Codec& codec, const ServicePolicy& policy, const Manifest& mf,
+    const std::vector<std::span<std::byte>>& shards, std::size_t r) {
+  svc::EncodeRequest req;
+  req.shape = {mf.k, mf.m, mf.block_size};
+  req.codec = &codec;
+  req.timeout = policy.deadline;
+  req.data.resize(mf.k);
+  req.parity.resize(mf.m);
+  for (std::size_t i = 0; i < mf.k; ++i) {
+    req.data[i] = shards[i].data() + r * mf.block_size;
+  }
+  for (std::size_t j = 0; j < mf.m; ++j) {
+    req.parity[j] = shards[mf.k + j].data() + r * mf.block_size;
+  }
+  return req;
+}
+
+}  // namespace
+
 Status ShardStore::encode_stripes(
-    const Manifest& mf, std::vector<std::vector<std::byte>>& shards) const {
+    const Manifest& mf, const std::vector<std::span<std::byte>>& shards,
+    std::vector<std::future<svc::Result>>* pre) const {
   const std::size_t stripes = std::max<std::size_t>(1, mf.stripes());
   auto serial = [&](std::size_t r) {
     std::vector<const std::byte*> data(mf.k);
@@ -281,27 +282,20 @@ Status ShardStore::encode_stripes(
     return Status::Ok();
   }
   auto make_request = [&](std::size_t r) {
-    svc::EncodeRequest req;
-    req.shape = {mf.k, mf.m, mf.block_size};
-    req.codec = &codec_;
-    req.timeout = policy_.deadline;
-    req.data.resize(mf.k);
-    req.parity.resize(mf.m);
-    for (std::size_t i = 0; i < mf.k; ++i) {
-      req.data[i] = shards[i].data() + r * mf.block_size;
-    }
-    for (std::size_t j = 0; j < mf.m; ++j) {
-      req.parity[j] = shards[mf.k + j].data() + r * mf.block_size;
-    }
-    return req;
+    return MakeEncodeRequest(codec_, policy_, mf, shards, r);
   };
-  // Submit every stripe up front so the service can batch them, then
-  // reap every future before acting on any outcome — the stripe
+  // Take the caller's overlapped futures when it dispatched some (the
+  // scatter-read hook), submitting any it missed; otherwise submit
+  // every stripe up front so the service can batch them. Either way
+  // every future is reaped before acting on any outcome — the stripe
   // buffers must stay valid until the service is done with them.
   std::vector<std::future<svc::Result>> done;
-  done.reserve(stripes);
+  if (pre != nullptr) {
+    done = std::move(*pre);
+  }
+  done.resize(stripes);
   for (std::size_t r = 0; r < stripes; ++r) {
-    done.push_back(service_->submit(make_request(r)));
+    if (!done[r].valid()) done[r] = service_->submit(make_request(r));
   }
   std::vector<svc::StatusCode> outcome(stripes);
   for (std::size_t r = 0; r < stripes; ++r) {
@@ -337,10 +331,9 @@ Status ShardStore::encode_stripes(
   return Status::Ok();
 }
 
-Status ShardStore::decode_stripes(const Manifest& mf,
-                                  std::vector<std::vector<std::byte>>& shards,
-                                  const std::vector<std::size_t>& erasures)
-    const {
+Status ShardStore::decode_stripes(
+    const Manifest& mf, const std::vector<std::span<std::byte>>& shards,
+    const std::vector<std::size_t>& erasures) const {
   const std::size_t stripes = mf.stripes();
   auto serial = [&](std::size_t r) {
     std::vector<std::byte*> blocks(mf.k + mf.m);
@@ -416,53 +409,110 @@ Status ShardStore::decode_stripes(const Manifest& mf,
 
 Status ShardStore::encode_file(const fs::path& input,
                                const fs::path& dir) const {
-  std::vector<std::byte> content;
-  int err = 0;
-  std::string detail;
-  if (!read_file_retrying(input, &content, &err, &detail)) {
-    return read_failure(err, input,
-                        detail.empty() ? "unreadable input" : detail);
-  }
   const auto [k, m] = codec_.params();
+  std::uint64_t file_size = 0;
+  if (const auto st = aio::StatSize(input, &file_size); !st.ok()) {
+    return Status::Io(st.err, input, "unreadable input");
+  }
 
   Manifest mf;
   mf.k = k;
   mf.m = m;
   mf.block_size = block_size_;
-  mf.file_size = content.size();
-  const std::size_t stripes = std::max<std::size_t>(1, mf.stripes());
+  mf.file_size = file_size;
+  const std::size_t stripes = mf.stripes();  // >= 1: empty files clamp
   const std::size_t shard_bytes = stripes * block_size_;
-  content.resize(k * shard_bytes, std::byte{0});  // zero padding
 
-  // Shard s holds: for every stripe r, block s of that stripe. Data is
-  // striped row-major: stripe r covers content[r*k*bs, (r+1)*k*bs).
-  std::vector<std::vector<std::byte>> shards(
-      k + m, std::vector<std::byte>(shard_bytes));
+  // Shard s holds: for every stripe r, block s of that stripe. The
+  // arena slabs are zeroed, page-aligned, and (on the uring backend)
+  // pinned as registered buffers — input blocks scatter-read straight
+  // into shard layout, so the old whole-file staging vector and its
+  // per-stripe std::copy are gone.
+  pmpool::Arena arena;
+  std::vector<std::span<std::byte>> shards;
+  shards.reserve(k + m);
+  for (std::size_t s = 0; s < k + m; ++s) {
+    shards.push_back(arena.allocate(shard_bytes));
+  }
+  aio::Transfer xfer(aio::SelectBackend(aio_mode_), arena.iovecs());
+
+  // Scatter plan: block (r, i) of the input lands at stripe offset r
+  // of data shard i; the zero padding of a partial tail block is the
+  // arena's zero fill.
+  std::vector<aio::Seg> segs;
+  std::vector<std::size_t> seg_stripe;  // segment index -> stripe
+  std::vector<std::size_t> blocks_left(stripes, 0);
   for (std::size_t r = 0; r < stripes; ++r) {
     for (std::size_t i = 0; i < k; ++i) {
-      std::byte* dst = shards[i].data() + r * block_size_;
-      const std::byte* src = content.data() + (r * k + i) * block_size_;
-      std::copy(src, src + block_size_, dst);
+      const std::uint64_t off =
+          (static_cast<std::uint64_t>(r) * k + i) * block_size_;
+      if (off >= file_size) break;
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(block_size_, file_size - off));
+      segs.push_back({shards[i].data() + r * block_size_, len, off});
+      seg_stripe.push_back(r);
+      ++blocks_left[r];
     }
   }
-  if (const Status st = encode_stripes(mf, shards); !st.ok()) return st;
+
+  // Overlap I/O and compute: a stripe whose blocks are all resident
+  // dispatches to the service while the remaining reads are still in
+  // flight. (Serial encoding stays after the read: it would otherwise
+  // stall the ring.)
+  std::vector<std::future<svc::Result>> futures(stripes);
+  auto dispatch = [&](std::size_t r) {
+    if (service_ == nullptr) return;
+    futures[r] = service_->submit(
+        MakeEncodeRequest(codec_, policy_, mf, shards, r));
+  };
+  for (std::size_t r = 0; r < stripes; ++r) {
+    if (blocks_left[r] == 0) dispatch(r);  // all-padding stripe (empty file)
+  }
+  const auto read_st = aio::ReadScatter(
+      xfer, input, segs, kShardSites, [&](std::size_t si) {
+        if (--blocks_left[seg_stripe[si]] == 0) dispatch(seg_stripe[si]);
+      });
+  if (!read_st.ok()) {
+    // Reap anything already dispatched before the arena goes away.
+    for (auto& f : futures) {
+      if (f.valid()) f.get();
+    }
+    return read_failure(read_st.err, input,
+                        read_st.detail.empty() ? "unreadable input"
+                                               : read_st.detail);
+  }
+  if (const Status st = encode_stripes(mf, shards, &futures); !st.ok()) {
+    return st;
+  }
 
   std::error_code dir_ec;
   fs::create_directories(dir, dir_ec);
   if (dir_ec) {
     return Status::Io(dir_ec.value(), dir, "cannot create shard directory");
   }
+  // Durable commit protocol: every shard lands via temp → fsync →
+  // rename; the manifest goes last and carries the parent-directory
+  // fsync, so a crash anywhere leaves the old manifest (and old
+  // shards, each themselves whole) or the complete new generation —
+  // never a manifest naming torn shards.
   for (std::size_t s = 0; s < k + m; ++s) {
     mf.shard_checksums.push_back(Checksum(shards[s].data(), shard_bytes));
-    if (!WriteFile(ShardPath(dir, s), shards[s].data(), shard_bytes, &err)) {
-      return Status::Io(err, ShardPath(dir, s), "cannot write shard");
+    const auto st = aio::WriteFileDurable(xfer, ShardPath(dir, s), shards[s],
+                                          kShardSites, /*sync_parent=*/false);
+    if (!st.ok()) {
+      return Status::Io(st.err, ShardPath(dir, s),
+                        st.detail.empty() ? "cannot write shard" : st.detail);
     }
   }
   const std::string text = mf.serialize();
-  if (!WriteFile(dir / "manifest.txt",
-                 reinterpret_cast<const std::byte*>(text.data()), text.size(),
-                 &err)) {
-    return Status::Io(err, dir / "manifest.txt", "cannot write manifest");
+  const auto st = aio::WriteFileDurable(
+      xfer, dir / "manifest.txt",
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(text.data()), text.size()),
+      kShardSites, /*sync_parent=*/true);
+  if (!st.ok()) {
+    return Status::Io(st.err, dir / "manifest.txt",
+                      st.detail.empty() ? "cannot write manifest" : st.detail);
   }
   return Status::Ok();
 }
@@ -476,34 +526,41 @@ std::optional<Manifest> ShardStore::load_manifest(const fs::path& dir) const {
       std::string(reinterpret_cast<const char*>(raw.data()), raw.size()));
 }
 
-bool ShardStore::load_shards(const fs::path& dir, const Manifest& mf,
-                             std::vector<std::vector<std::byte>>* shards,
+void ShardStore::load_shards(aio::Transfer& xfer, const fs::path& dir,
+                             const Manifest& mf,
+                             const std::vector<std::span<std::byte>>& shards,
                              std::vector<std::size_t>* damaged) const {
   const std::size_t n = mf.k + mf.m;
-  shards->assign(n, {});
   for (std::size_t s = 0; s < n; ++s) {
-    auto& buf = (*shards)[s];
     // Transient read errors retry before the shard is written off as
-    // damaged; persistent failures degrade to "rebuild it from parity".
-    const bool readable =
-        read_file_retrying(ShardPath(dir, s), &buf, nullptr, nullptr);
-    const bool intact = readable && buf.size() == mf.shard_bytes() &&
-                        Checksum(buf.data(), buf.size()) ==
+    // damaged; persistent failures degrade to "rebuild it from
+    // parity". ReadFileExact reports a size mismatch as an explicit
+    // error, so a truncated shard can never masquerade as intact.
+    const aio::IoStatus st = RetryTransient(policy_, [&] {
+      return aio::ReadFileExact(xfer, ShardPath(dir, s), shards[s],
+                                kShardSites);
+    });
+    const bool intact = st.ok() &&
+                        Checksum(shards[s].data(), shards[s].size()) ==
                             mf.shard_checksums[s];
     if (!intact) {
       damaged->push_back(s);
-      buf.assign(mf.shard_bytes(), std::byte{0});
+      std::fill(shards[s].begin(), shards[s].end(), std::byte{0});
     }
   }
-  return true;
 }
 
 std::vector<std::size_t> ShardStore::verify(const fs::path& dir) const {
   const auto mf = load_manifest(dir);
   if (!mf) return {SIZE_MAX};  // unusable directory
-  std::vector<std::vector<std::byte>> shards;
+  pmpool::Arena arena;
+  std::vector<std::span<std::byte>> shards;
+  for (std::size_t s = 0; s < mf->k + mf->m; ++s) {
+    shards.push_back(arena.allocate(mf->shard_bytes()));
+  }
+  aio::Transfer xfer(aio::SelectBackend(aio_mode_), arena.iovecs());
   std::vector<std::size_t> damaged;
-  load_shards(dir, *mf, &shards, &damaged);
+  load_shards(xfer, dir, *mf, shards, &damaged);
   return damaged;
 }
 
@@ -511,8 +568,13 @@ RepairReport ShardStore::repair(const fs::path& dir) const {
   RepairReport report;
   const auto mf = load_manifest(dir);
   if (!mf) return report;
-  std::vector<std::vector<std::byte>> shards;
-  load_shards(dir, *mf, &shards, &report.damaged);
+  pmpool::Arena arena;
+  std::vector<std::span<std::byte>> shards;
+  for (std::size_t s = 0; s < mf->k + mf->m; ++s) {
+    shards.push_back(arena.allocate(mf->shard_bytes()));
+  }
+  aio::Transfer xfer(aio::SelectBackend(aio_mode_), arena.iovecs());
+  load_shards(xfer, dir, *mf, shards, &report.damaged);
   if (report.damaged.empty()) return report;
   if (report.damaged.size() > mf->m) return report;  // unrecoverable
 
@@ -523,7 +585,8 @@ RepairReport ShardStore::repair(const fs::path& dir) const {
         mf->shard_checksums[s]) {
       continue;  // rebuilt bytes do not match the manifest: refuse
     }
-    if (WriteFile(ShardPath(dir, s), shards[s].data(), shards[s].size())) {
+    if (aio::WriteFileDurable(xfer, ShardPath(dir, s), shards[s], kShardSites)
+            .ok()) {
       report.repaired.push_back(s);
     }
   }
@@ -544,9 +607,14 @@ Status ShardStore::decode_file(const fs::path& dir,
   if (!mf) {
     return Status::Damaged(dir / "manifest.txt", "corrupt manifest");
   }
-  std::vector<std::vector<std::byte>> shards;
+  pmpool::Arena arena;
+  std::vector<std::span<std::byte>> shards;
+  for (std::size_t s = 0; s < mf->k + mf->m; ++s) {
+    shards.push_back(arena.allocate(mf->shard_bytes()));
+  }
+  aio::Transfer xfer(aio::SelectBackend(aio_mode_), arena.iovecs());
   std::vector<std::size_t> damaged;
-  load_shards(dir, *mf, &shards, &damaged);
+  load_shards(xfer, dir, *mf, shards, &damaged);
   if (damaged.size() > mf->m) {
     return Status::Damaged(
         dir, std::to_string(damaged.size()) + " shards lost, parity covers " +
@@ -562,20 +630,24 @@ Status ShardStore::decode_file(const fs::path& dir,
     }
   }
 
-  std::vector<std::byte> content(mf->file_size);
+  // Gather-write the output straight from the (registered) shard
+  // buffers — the inverse of the encode scatter, with no intermediate
+  // assembly copy. Durable like every other write on this path.
+  std::vector<aio::Seg> segs;
   const std::size_t stripes = mf->stripes();
-  std::size_t written = 0;
+  std::uint64_t written = 0;
   for (std::size_t r = 0; r < stripes && written < mf->file_size; ++r) {
     for (std::size_t i = 0; i < mf->k && written < mf->file_size; ++i) {
-      const std::size_t n =
-          std::min<std::size_t>(mf->block_size, mf->file_size - written);
-      const std::byte* src = shards[i].data() + r * mf->block_size;
-      std::copy(src, src + n, content.data() + written);
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(mf->block_size, mf->file_size - written));
+      segs.push_back({shards[i].data() + r * mf->block_size, n, written});
       written += n;
     }
   }
-  if (!WriteFile(output, content.data(), content.size(), &err)) {
-    return Status::Io(err, output, "cannot write output");
+  const auto st = aio::WriteGatherDurable(xfer, output, segs, kShardSites);
+  if (!st.ok()) {
+    return Status::Io(st.err, output,
+                      st.detail.empty() ? "cannot write output" : st.detail);
   }
   return Status::Ok();
 }

@@ -15,15 +15,22 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <future>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "aio/datapath.h"
 #include "ec/codec.h"
 #include "svc/retry.h"
 
+namespace pmpool {
+class Arena;
+}
 namespace svc {
 class StripeService;
+struct Result;
 }
 
 namespace shard {
@@ -128,6 +135,14 @@ class ShardStore {
   void set_service_policy(const ServicePolicy& policy) { policy_ = policy; }
   const ServicePolicy& service_policy() const { return policy_; }
 
+  /// Which file-I/O backend moves shard bytes (aio/datapath.h):
+  /// kUring drives the io_uring ring with registered arena buffers,
+  /// kStdio uses plain pread/pwrite, kAuto (the default, also read
+  /// from DIALGA_AIO at construction) probes the kernel and falls back
+  /// to stdio when io_uring is unavailable.
+  void set_aio_mode(aio::Mode mode) { aio_mode_ = mode; }
+  aio::Mode aio_mode() const { return aio_mode_; }
+
   /// Encode `input` into `dir` (created if needed). kIoError with
   /// errno + path on filesystem failure.
   Status encode_file(const std::filesystem::path& input,
@@ -149,10 +164,11 @@ class ShardStore {
  private:
   std::optional<Manifest> load_manifest(
       const std::filesystem::path& dir) const;
-  /// Read every shard into memory; entries for unreadable/bad shards
-  /// are resized but flagged in `damaged`.
-  bool load_shards(const std::filesystem::path& dir, const Manifest& mf,
-                   std::vector<std::vector<std::byte>>* shards,
+  /// Read every shard into its preallocated span; unreadable or
+  /// checksum-failing shards are zero-filled and flagged in `damaged`.
+  void load_shards(aio::Transfer& xfer, const std::filesystem::path& dir,
+                   const Manifest& mf,
+                   const std::vector<std::span<std::byte>>& shards,
                    std::vector<std::size_t>* damaged) const;
   /// Read a file with the policy's transient-errno retry (EINTR /
   /// EAGAIN back off and re-read; anything else fails immediately).
@@ -166,19 +182,24 @@ class ShardStore {
   /// Compute every stripe's parity into the parity shards — through
   /// the service when one is attached, serially otherwise. Non-kOk
   /// only for exhausted deadline/retry budgets (see ServicePolicy).
+  /// `pre`, when non-null, holds futures for stripes already dispatched
+  /// by the caller (overlapped with the scatter read); entries without
+  /// a valid future are submitted here.
   Status encode_stripes(const Manifest& mf,
-                        std::vector<std::vector<std::byte>>& shards) const;
+                        const std::vector<std::span<std::byte>>& shards,
+                        std::vector<std::future<svc::Result>>* pre) const;
   /// Reconstruct `erasures` of every stripe in place. kDamaged if any
   /// stripe is unrecoverable; kDeadlineExceeded / kRetryExhausted per
   /// the policy.
   Status decode_stripes(const Manifest& mf,
-                        std::vector<std::vector<std::byte>>& shards,
+                        const std::vector<std::span<std::byte>>& shards,
                         const std::vector<std::size_t>& erasures) const;
 
   const ec::Codec& codec_;
   std::size_t block_size_;
   svc::StripeService* service_ = nullptr;
   ServicePolicy policy_;
+  aio::Mode aio_mode_ = aio::ModeFromEnv();
 };
 
 }  // namespace shard

@@ -1,0 +1,359 @@
+// aio subsystem tests: mode parsing/selection, the raw io_uring ring
+// (skipped cleanly where the kernel lacks it), and the datapath
+// contract both backends share — fstat-sized reads, explicit
+// short-read errors, scatter/gather with segment callbacks, durable
+// temp→fsync→rename writes, and the aio.submit / aio.cqe fault sites.
+#include "aio/datapath.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "aio/ring.h"
+#include "fault/injector.h"
+#include "pmpool/arena.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class AioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Injector::Global().clear();
+    dir_ = fs::temp_directory_path() /
+           ("dialga_aio_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::Injector::Global().clear();
+    fs::remove_all(dir_);
+  }
+
+  fs::path file_with(const std::string& name, std::size_t bytes,
+                     std::uint64_t seed) {
+    const fs::path p = dir_ / name;
+    std::mt19937_64 rng(seed);
+    std::ofstream out(p, std::ios::binary);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      const char c = static_cast<char>(rng());
+      out.write(&c, 1);
+    }
+    return p;
+  }
+
+  std::vector<std::byte> slurp(const fs::path& p) {
+    std::vector<std::byte> out;
+    EXPECT_TRUE(aio::ReadFileFull(p, &out).ok()) << p;
+    return out;
+  }
+
+  /// The durable-write protocol must never leak its temp files.
+  std::size_t tmp_leftovers() const {
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(dir_)) {
+      if (e.path().filename().string().find(".tmp-") != std::string::npos) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// Backends to exercise: stdio always, uring when the kernel has it.
+  std::vector<aio::Backend> backends() const {
+    std::vector<aio::Backend> b{aio::Backend::kStdio};
+    if (aio::Ring::KernelSupported()) b.push_back(aio::Backend::kUring);
+    return b;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AioTest, ParseModeAcceptsTheDocumentedSpellings) {
+  EXPECT_EQ(aio::ParseMode("auto"), aio::Mode::kAuto);
+  EXPECT_EQ(aio::ParseMode("stdio"), aio::Mode::kStdio);
+  EXPECT_EQ(aio::ParseMode("uring"), aio::Mode::kUring);
+  EXPECT_EQ(aio::ParseMode("io_uring"), aio::Mode::kUring);
+  EXPECT_FALSE(aio::ParseMode("").has_value());
+  EXPECT_FALSE(aio::ParseMode("aio").has_value());
+  EXPECT_FALSE(aio::ParseMode("URING").has_value());
+}
+
+TEST_F(AioTest, ModeFromEnvFallsBackToAuto) {
+  ::setenv("DIALGA_AIO", "stdio", 1);
+  EXPECT_EQ(aio::ModeFromEnv(), aio::Mode::kStdio);
+  ::setenv("DIALGA_AIO", "bogus-backend", 1);
+  EXPECT_EQ(aio::ModeFromEnv(), aio::Mode::kAuto);
+  ::unsetenv("DIALGA_AIO");
+  EXPECT_EQ(aio::ModeFromEnv(), aio::Mode::kAuto);
+}
+
+TEST_F(AioTest, SelectBackendNeverFails) {
+  // Forced stdio is always honoured; auto and forced uring must both
+  // resolve to a working backend whatever the kernel supports.
+  EXPECT_EQ(aio::SelectBackend(aio::Mode::kStdio), aio::Backend::kStdio);
+  const aio::Backend resolved = aio::SelectBackend(aio::Mode::kAuto);
+  EXPECT_EQ(aio::SelectBackend(aio::Mode::kUring), resolved);
+  EXPECT_EQ(resolved, aio::Ring::KernelSupported() ? aio::Backend::kUring
+                                                   : aio::Backend::kStdio);
+}
+
+TEST_F(AioTest, RingRoundtripWithRegisteredBuffers) {
+  if (!aio::Ring::KernelSupported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  int err = 0;
+  auto ring = aio::Ring::Create(8, &err);
+  ASSERT_NE(ring, nullptr) << "io_uring_setup: " << std::strerror(err);
+
+  pmpool::Arena arena;
+  auto out_buf = arena.allocate(8192);
+  auto in_buf = arena.allocate(8192);
+  std::mt19937_64 rng(7);
+  for (auto& b : out_buf) b = static_cast<std::byte>(rng());
+  const bool fixed = ring->register_buffers(arena.iovecs().data(),
+                                            static_cast<unsigned>(
+                                                arena.iovecs().size()));
+
+  const fs::path p = dir_ / "ring.bin";
+  const int fd = ::open(p.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(ring->queue_write(fd, out_buf.data(), 8192, 0, 1,
+                                fixed ? 0 : -1));
+  ASSERT_EQ(ring->submit(), 1);
+  std::vector<aio::Completion> cqes;
+  ASSERT_EQ(ring->wait(1, &cqes), 1);
+  EXPECT_EQ(cqes[0].user_data, 1u);
+  EXPECT_EQ(cqes[0].res, 8192);
+
+  ASSERT_TRUE(ring->queue_read(fd, in_buf.data(), 8192, 0, 2,
+                               fixed ? 1 : -1));
+  ASSERT_EQ(ring->submit(), 1);
+  cqes.clear();
+  ASSERT_EQ(ring->wait(1, &cqes), 1);
+  EXPECT_EQ(cqes[0].res, 8192);
+  ::close(fd);
+  EXPECT_EQ(std::memcmp(out_buf.data(), in_buf.data(), 8192), 0);
+}
+
+TEST_F(AioTest, ReadFileFullSizesWithFstatAndReportsRealErrno) {
+  const fs::path p = file_with("f.bin", 12345, 1);
+  std::vector<std::byte> out;
+  ASSERT_TRUE(aio::ReadFileFull(p, &out).ok());
+  EXPECT_EQ(out.size(), 12345u);
+
+  // Missing file: the errno is the open(2) failure, not a stale value.
+  errno = 0;
+  const auto st = aio::ReadFileFull(dir_ / "nope.bin", &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.err, ENOENT);
+}
+
+TEST_F(AioTest, ReadFileExactFlagsSizeMismatchExplicitly) {
+  const fs::path p = file_with("short.bin", 100, 2);
+  std::vector<std::byte> buf(256);
+  for (const aio::Backend b : backends()) {
+    SCOPED_TRACE(aio::BackendName(b));
+    aio::Transfer xfer(b);
+    const auto st = aio::ReadFileExact(xfer, p, buf);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.detail.find("size mismatch"), std::string::npos)
+        << st.detail;
+  }
+}
+
+TEST_F(AioTest, ScatterReadFiresSegmentCallbacksOnceEach) {
+  const std::size_t n = 64 * 1024;
+  const fs::path p = file_with("scatter.bin", n, 3);
+  const auto expect = slurp(p);
+  for (const aio::Backend b : backends()) {
+    SCOPED_TRACE(aio::BackendName(b));
+    pmpool::Arena arena;
+    auto buf = arena.allocate(n);
+    // Interleaved segments: file quarters land out of order.
+    std::vector<aio::Seg> segs{
+        {buf.data() + 3 * n / 4, n / 4, 0},
+        {buf.data() + n / 2, n / 4, n / 4},
+        {buf.data() + n / 4, n / 4, n / 2},
+        {buf.data(), n / 4, 3 * n / 4},
+    };
+    aio::Transfer xfer(b, arena.iovecs());
+    std::vector<int> fired(segs.size(), 0);
+    ASSERT_TRUE(aio::ReadScatter(xfer, p, segs, {},
+                                 [&](std::size_t i) { ++fired[i]; })
+                    .ok());
+    EXPECT_EQ(fired, (std::vector<int>{1, 1, 1, 1}));
+    for (std::size_t q = 0; q < 4; ++q) {
+      EXPECT_EQ(std::memcmp(segs[q].buf, expect.data() + segs[q].offset,
+                            n / 4),
+                0)
+          << "quarter " << q;
+    }
+  }
+}
+
+TEST_F(AioTest, ScatterReadPastEofIsAnExplicitShortRead) {
+  const fs::path p = file_with("eof.bin", 1000, 4);
+  for (const aio::Backend b : backends()) {
+    SCOPED_TRACE(aio::BackendName(b));
+    std::vector<std::byte> buf(2000);
+    const std::vector<aio::Seg> segs{{buf.data(), buf.size(), 0}};
+    aio::Transfer xfer(b);
+    const auto st = aio::ReadScatter(xfer, p, segs);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.detail.find("short read"), std::string::npos) << st.detail;
+  }
+}
+
+TEST_F(AioTest, DurableWriteReplacesAtomicallyAndLeavesNoTemp) {
+  const fs::path p = dir_ / "target.bin";
+  for (const aio::Backend b : backends()) {
+    SCOPED_TRACE(aio::BackendName(b));
+    std::vector<std::byte> v1(3000, std::byte{0x11});
+    std::vector<std::byte> v2(5000, std::byte{0x22});
+    aio::Transfer xfer(b);
+    ASSERT_TRUE(aio::WriteFileDurable(xfer, p, v1).ok());
+    EXPECT_EQ(slurp(p), v1);
+    aio::Transfer xfer2(b);
+    ASSERT_TRUE(aio::WriteFileDurable(xfer2, p, v2).ok());
+    EXPECT_EQ(slurp(p), v2);
+    EXPECT_EQ(tmp_leftovers(), 0u);
+  }
+}
+
+TEST_F(AioTest, FailedDurableWriteLeavesOldContentAndNoTemp) {
+  const fs::path p = dir_ / "victim.bin";
+  const std::vector<std::byte> old(2048, std::byte{0x33});
+  const std::vector<std::byte> next(4096, std::byte{0x44});
+  aio::FaultSites sites;
+  sites.write = "t.write";
+  for (const aio::Backend b : backends()) {
+    SCOPED_TRACE(aio::BackendName(b));
+    {
+      aio::Transfer xfer(b);
+      ASSERT_TRUE(aio::WriteFileDurable(xfer, p, old, sites).ok());
+    }
+    fault::SitePlan plan;
+    plan.probability = 1.0;
+    plan.error = EIO;
+    const fault::ScopedPlan scoped("t.write", plan);
+    aio::Transfer xfer(b);
+    const auto st = aio::WriteFileDurable(xfer, p, next, sites);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.err, EIO);
+    EXPECT_EQ(slurp(p), old) << "failed write must not touch the target";
+    EXPECT_EQ(tmp_leftovers(), 0u);
+  }
+}
+
+TEST_F(AioTest, GatherWriteAssemblesSegmentsWithZeroGaps) {
+  for (const aio::Backend b : backends()) {
+    SCOPED_TRACE(aio::BackendName(b));
+    const fs::path p = dir_ / (std::string("gather_") + aio::BackendName(b));
+    std::vector<std::byte> a(100, std::byte{0xaa});
+    std::vector<std::byte> c(100, std::byte{0xcc});
+    // [0,100) = a, [100,200) = hole (zeros), [200,300) = c.
+    const std::vector<aio::Seg> segs{{a.data(), a.size(), 0},
+                                     {c.data(), c.size(), 200}};
+    aio::Transfer xfer(b);
+    ASSERT_TRUE(aio::WriteGatherDurable(xfer, p, segs).ok());
+    const auto got = slurp(p);
+    ASSERT_EQ(got.size(), 300u);
+    EXPECT_EQ(std::memcmp(got.data(), a.data(), 100), 0);
+    EXPECT_EQ(std::count(got.begin() + 100, got.begin() + 200,
+                         std::byte{0}),
+              100);
+    EXPECT_EQ(std::memcmp(got.data() + 200, c.data(), 100), 0);
+  }
+}
+
+TEST_F(AioTest, InjectedSubmitErrnoSurfacesFromTheRing) {
+  if (!aio::Ring::KernelSupported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  const fs::path p = file_with("submit.bin", 8192, 5);
+  fault::SitePlan plan;
+  plan.probability = 1.0;
+  plan.error = EIO;
+  const fault::ScopedPlan scoped("aio.submit", plan);
+  std::vector<std::byte> buf(8192);
+  const std::vector<aio::Seg> segs{{buf.data(), buf.size(), 0}};
+  aio::Transfer xfer(aio::Backend::kUring);
+  const auto st = aio::ReadScatter(xfer, p, segs);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.err, EIO);
+}
+
+TEST_F(AioTest, RingStaysUsableAfterAnInjectedSubmitFailure) {
+  // A failed submit leaves its SQEs queued-but-unsubmitted; the error
+  // path must rewind them, or the next operation on the same Transfer
+  // submits them too and reaps completions with stale user_data —
+  // which double-completes a sub-op and wraps its outstanding counter
+  // into an infinite spin.
+  if (!aio::Ring::KernelSupported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  const fs::path p = file_with("reuse.bin", 8192, 7);
+  aio::Transfer xfer(aio::Backend::kUring);
+  std::vector<std::byte> buf(8192);
+  const std::vector<aio::Seg> segs{{buf.data(), buf.size(), 0}};
+  {
+    fault::SitePlan plan;
+    plan.nth = {1};
+    plan.error = EIO;
+    const fault::ScopedPlan scoped("aio.submit", plan);
+    const auto st = aio::ReadScatter(xfer, p, segs);
+    ASSERT_FALSE(st.ok());
+    ASSERT_EQ(st.err, EIO);
+  }
+  std::fill(buf.begin(), buf.end(), std::byte{0});
+  ASSERT_TRUE(aio::ReadScatter(xfer, p, segs).ok());
+  EXPECT_EQ(buf, slurp(p));
+}
+
+TEST_F(AioTest, InjectedCqeErrnoSurfacesFromTheRing) {
+  if (!aio::Ring::KernelSupported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  const fs::path p = file_with("cqe.bin", 8192, 6);
+  fault::SitePlan plan;
+  plan.probability = 1.0;
+  plan.error = EIO;
+  const fault::ScopedPlan scoped("aio.cqe", plan);
+  std::vector<std::byte> buf(8192);
+  const std::vector<aio::Seg> segs{{buf.data(), buf.size(), 0}};
+  aio::Transfer xfer(aio::Backend::kUring);
+  const auto st = aio::ReadScatter(xfer, p, segs);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.err, EIO);
+}
+
+TEST_F(AioTest, BackendsProduceBitIdenticalFiles) {
+  if (!aio::Ring::KernelSupported()) {
+    GTEST_SKIP() << "io_uring unavailable: nothing to compare";
+  }
+  std::mt19937_64 rng(9);
+  std::vector<std::byte> data(3 * 1024 * 1024 + 137);  // > chunk size
+  for (auto& b : data) b = static_cast<std::byte>(rng());
+  aio::Transfer stdio_xfer(aio::Backend::kStdio);
+  aio::Transfer uring_xfer(aio::Backend::kUring);
+  ASSERT_TRUE(
+      aio::WriteFileDurable(stdio_xfer, dir_ / "a.bin", data).ok());
+  ASSERT_TRUE(
+      aio::WriteFileDurable(uring_xfer, dir_ / "b.bin", data).ok());
+  EXPECT_EQ(slurp(dir_ / "a.bin"), slurp(dir_ / "b.bin"));
+  EXPECT_EQ(slurp(dir_ / "a.bin"), data);
+}
+
+}  // namespace

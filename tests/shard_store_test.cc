@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <fstream>
 #include <random>
 
+#include "aio/ring.h"
 #include "dialga/dialga.h"
 #include "ec/isal.h"
+#include "fault/injector.h"
 
 namespace shard {
 namespace {
@@ -84,6 +87,20 @@ TEST_F(ShardStoreTest, ManifestRejectsGarbage) {
       Manifest::parse("dialga-shard-v1\nk 2\nm 1\nblock 64\nsize 1\n")
           .has_value())
       << "missing checksums";
+}
+
+TEST_F(ShardStoreTest, EmptyFileRoundTripsThroughOnePaddingStripe) {
+  // A zero-byte input still encodes one all-padding stripe, so the
+  // manifest's shard_bytes() must agree with the 1-stripe shard files
+  // on disk — readers sizing buffers from stripes()==0 would reject
+  // every shard of an empty generation as a size mismatch.
+  const ec::IsalCodec codec(4, 2);
+  const ShardStore store(codec, 1024);
+  const fs::path input = write_input(0, 1);
+  ASSERT_TRUE(store.encode_file(input, dir_ / "shards"));
+  EXPECT_TRUE(store.verify(dir_ / "shards").empty());
+  ASSERT_TRUE(store.decode_file(dir_ / "shards", dir_ / "out.bin"));
+  EXPECT_EQ(fs::file_size(dir_ / "out.bin"), 0u);
 }
 
 TEST_F(ShardStoreTest, EncodeVerifyDecodeCleanPath) {
@@ -204,6 +221,90 @@ TEST_F(ShardStoreTest, ManifestParserSurvivesFuzz) {
       EXPECT_GT(parsed->block_size, 0u);
     }
   }
+}
+
+TEST_F(ShardStoreTest, BackendsEmitBitIdenticalShardsAndNoTempFiles) {
+  const ec::IsalCodec codec(4, 2);
+  const fs::path input = write_input(100000, 8);
+
+  ShardStore stdio_store(codec, 1024);
+  stdio_store.set_aio_mode(aio::Mode::kStdio);
+  ASSERT_TRUE(stdio_store.encode_file(input, dir_ / "stdio"));
+  ASSERT_TRUE(stdio_store.decode_file(dir_ / "stdio", dir_ / "out_s.bin"));
+  EXPECT_EQ(slurp(input), slurp(dir_ / "out_s.bin"));
+
+  if (!aio::Ring::KernelSupported()) {
+    GTEST_SKIP() << "io_uring unavailable: stdio-only run";
+  }
+  ShardStore uring_store(codec, 1024);
+  uring_store.set_aio_mode(aio::Mode::kUring);
+  ASSERT_TRUE(uring_store.encode_file(input, dir_ / "uring"));
+  ASSERT_TRUE(uring_store.decode_file(dir_ / "uring", dir_ / "out_u.bin"));
+  EXPECT_EQ(slurp(input), slurp(dir_ / "out_u.bin"));
+
+  // The two shard directories must be byte-for-byte identical, and the
+  // durable-write protocol must leave no temp files behind.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir_ / "stdio")) {
+    ++files;
+    const auto name = e.path().filename();
+    EXPECT_EQ(slurp(e.path()), slurp(dir_ / "uring" / name)) << name;
+    EXPECT_EQ(name.string().find(".tmp-"), std::string::npos) << name;
+  }
+  EXPECT_EQ(files, 4 + 2 + 1u);  // k + m shards + manifest
+}
+
+TEST_F(ShardStoreTest, FailedReencodePreservesThePreviousGeneration) {
+  const ec::IsalCodec codec(4, 2);
+  const ShardStore store(codec, 1024);
+  const fs::path v1 = write_input(9000, 9);
+  const auto v1_bytes = slurp(v1);
+  ASSERT_TRUE(store.encode_file(v1, dir_ / "shards"));
+
+  // Re-encode different content into the same directory with every
+  // write failing: the durable protocol must leave generation 1 fully
+  // decodable (temp files never replace the real ones).
+  const fs::path v2 = write_input(12000, 10);
+  {
+    fault::SitePlan plan;
+    plan.probability = 1.0;
+    plan.error = EIO;
+    const fault::ScopedPlan scoped("shard.write", plan);
+    const Status st = store.encode_file(v2, dir_ / "shards");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.kind, Status::Kind::kIoError);
+  }
+  ASSERT_TRUE(store.decode_file(dir_ / "shards", dir_ / "out.bin"));
+  EXPECT_EQ(slurp(dir_ / "out.bin"), v1_bytes);
+}
+
+TEST_F(ShardStoreTest, RetryBackoffIsClampedToTheDeadline) {
+  using namespace std::chrono_literals;
+  const ec::IsalCodec codec(4, 2);
+  ShardStore store(codec, 1024);
+  ASSERT_TRUE(store.encode_file(write_input(8192, 11), dir_ / "shards"));
+
+  // Every read fails EINTR forever. An unclamped schedule would sleep
+  // ~20ms doubling per attempt for 50 attempts (tens of seconds); the
+  // deadline clamp caps total backoff at ~50ms, so the operation must
+  // return an explicit failure almost immediately.
+  ServicePolicy policy;
+  policy.deadline = 50ms;
+  policy.retry.max_retries = 50;
+  policy.retry.base_delay = 20ms;
+  policy.retry.max_delay = 500ms;
+  store.set_service_policy(policy);
+  fault::SitePlan plan;
+  plan.probability = 1.0;
+  plan.error = EINTR;
+  const fault::ScopedPlan scoped("shard.read", plan);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = store.decode_file(dir_ / "shards", dir_ / "out.bin");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.kind, Status::Kind::kRetryExhausted) << st.message();
+  EXPECT_LT(elapsed, 2s) << "backoff ignored the deadline budget";
 }
 
 TEST_F(ShardStoreTest, ChecksumIsStable) {

@@ -18,10 +18,10 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "aio/datapath.h"
 #include "dialga/dialga.h"
 #include "fault/injector.h"
 #include "gf/gf_simd.h"
@@ -80,6 +80,11 @@ void Usage() {
          "unsupported\n"
          "                    levels clamp to the best available with a "
          "warning)\n"
+         "  --aio MODE        file-I/O backend: uring, stdio, or auto "
+         "(default; also\n"
+         "                    read from DIALGA_AIO; a forced uring on a "
+         "kernel without\n"
+         "                    io_uring falls back to stdio with a warning)\n"
          "exit codes:\n"
          "  0  success\n"
          "  1  data damaged beyond what parity can repair\n"
@@ -103,6 +108,7 @@ struct Options {
   std::string metrics_out;
   std::string trace_out;
   std::string isa;
+  aio::Mode aio = aio::ModeFromEnv();
   std::vector<std::string> positional;
 };
 
@@ -140,6 +146,11 @@ bool Parse(int argc, char** argv, Options* opt) {
     } else if (arg == "--isa") {
       if (i + 1 >= argc) return false;
       opt->isa = argv[++i];
+    } else if (arg == "--aio") {
+      if (i + 1 >= argc) return false;
+      const auto mode = aio::ParseMode(argv[++i]);
+      if (!mode) return false;
+      opt->aio = *mode;
     } else if (arg == "--serial") {
       opt->serial = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -158,16 +169,16 @@ bool Parse(int argc, char** argv, Options* opt) {
 std::optional<shard::Manifest> ManifestOf(const std::string& dir,
                                           shard::Status* status) {
   const auto path = std::filesystem::path(dir) / "manifest.txt";
-  errno = 0;
-  std::ifstream in(path);
-  if (!in) {
-    *status = shard::Status::Io(errno != 0 ? errno : EIO, path,
-                                "unreadable manifest");
+  std::vector<std::byte> raw;
+  // aio::ReadFileFull sizes with fstat and reports the errno of the
+  // syscall that actually failed — the old ifstream path here could
+  // blame a stale errno from an unrelated earlier call.
+  if (const auto st = aio::ReadFileFull(path, &raw); !st.ok()) {
+    *status = shard::Status::Io(st.err, path, "unreadable manifest");
     return std::nullopt;
   }
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  auto mf = shard::Manifest::parse(text);
+  auto mf = shard::Manifest::parse(
+      std::string(reinterpret_cast<const char*>(raw.data()), raw.size()));
   if (!mf) *status = shard::Status::Damaged(path, "corrupt manifest");
   return mf;
 }
@@ -214,6 +225,7 @@ int RunCommand(const std::string& cmd, const Options& opt) {
   auto attach = [&](shard::ShardStore& store) {
     if (service) store.use_service(&*service);
     store.set_service_policy(policy);
+    store.set_aio_mode(opt.aio);
   };
 
   if (cmd == "encode") {
