@@ -22,6 +22,12 @@
 // bit-identical shards, manifest, and decoded output, and reporting
 // throughput per backend. Series lands as
 // bench_svc_throughput_datapath.csv under DIALGA_CSV_DIR.
+//
+// --cluster-nodes N switches to the cluster-tier sweep: healthy
+// writes/reads, degraded reads with a node down, a scrub-repair pass
+// and a remove-node rebalance against an in-process N-node cluster,
+// reported as payload throughput per operation. Series lands as
+// bench_svc_throughput_cluster.csv under DIALGA_CSV_DIR.
 #include <unistd.h>
 
 #include <atomic>
@@ -35,6 +41,7 @@
 #include <vector>
 
 #include "aio/datapath.h"
+#include "cluster/local_cluster.h"
 #include "ec/isal.h"
 #include "fault/injector.h"
 #include "fig_common.h"
@@ -264,6 +271,135 @@ int RunFileBacked() {
   return all ? 0 : 1;
 }
 
+/// The --cluster-nodes N mode: operation sweep over the in-process
+/// cluster tier — healthy writes and reads, degraded reads with a node
+/// down, a scrub-repair pass over dropped chunks, and a remove-node
+/// rebalance — each reported as payload throughput. Series lands as
+/// bench_svc_throughput_cluster.csv under DIALGA_CSV_DIR.
+int RunCluster(std::size_t nodes) {
+  const std::size_t stripes = 48;
+  cluster::Geometry geom;
+  geom.k = 4;
+  geom.global = 2;
+  geom.local = 0;
+  geom.block_size = 64 * 1024;
+
+  cluster::LocalClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.geom = geom;
+  cluster::LocalCluster c(std::move(cfg));
+  cluster::Coordinator& coord = c.coordinator();
+
+  std::mt19937_64 rng(7);
+  std::vector<std::vector<std::byte>> data(stripes * geom.k);
+  for (auto& b : data) {
+    b.resize(geom.block_size);
+    for (auto& x : b) x = static_cast<std::byte>(rng());
+  }
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(stripes) * geom.k * geom.block_size;
+
+  bench_util::Table table({"op", "stripes", "bytes", "seconds", "GBps"});
+  auto timed = [&](const char* op, std::uint64_t bytes, auto&& body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = body();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    table.row({op, std::to_string(stripes), std::to_string(bytes),
+               bench_util::Table::num(secs, 6),
+               bench_util::Table::num(
+                   secs > 0 ? bytes / (secs * 1e9) : 0.0, 3)});
+    return ok;
+  };
+
+  const bool writes_acked = timed("write", payload, [&] {
+    bool ok = true;
+    for (std::size_t s = 0; s < stripes; ++s) {
+      std::vector<const std::byte*> blocks;
+      for (std::size_t i = 0; i < geom.k; ++i) {
+        blocks.push_back(data[s * geom.k + i].data());
+      }
+      ok &= coord.write_stripe(s, blocks).code ==
+            cluster::OpResult::Code::kOk;
+    }
+    return ok;
+  });
+
+  auto read_all = [&](bool* identical) {
+    bool ok = true;
+    *identical = true;
+    std::vector<std::vector<std::byte>> out(geom.k);
+    for (auto& b : out) b.resize(geom.block_size);
+    for (std::size_t s = 0; s < stripes; ++s) {
+      std::vector<std::byte*> ptrs;
+      for (auto& b : out) ptrs.push_back(b.data());
+      ok &= coord.read_stripe(s, ptrs).ok();
+      for (std::size_t i = 0; i < geom.k; ++i) {
+        *identical &= out[i] == data[s * geom.k + i];
+      }
+    }
+    return ok;
+  };
+
+  bool healthy_identical = false;
+  const bool healthy_ok =
+      timed("read", payload, [&] { return read_all(&healthy_identical); });
+
+  c.kill(0);
+  bool degraded_identical = false;
+  const bool degraded_ok = timed("degraded_read", payload, [&] {
+    return read_all(&degraded_identical);
+  });
+  c.revive(0);
+
+  // Damage: drop the first data chunk of every stripe at its home, then
+  // let one scrub pass put them all back.
+  std::size_t dropped = 0;
+  for (std::size_t s = 0; s < stripes; ++s) {
+    const auto t = c.placement().table(s, geom);
+    if (c.node(t[0] - 1).drop_chunk(s, 0)) ++dropped;
+  }
+  cluster::ScrubReport scrub;
+  const bool scrub_ok =
+      timed("scrub_repair",
+            static_cast<std::uint64_t>(dropped) * geom.block_size,
+            [&] {
+              scrub = coord.scrub_pass();
+              return scrub.repaired == dropped && scrub.unrecoverable == 0;
+            });
+
+  cluster::RebalanceReport rebal;
+  const bool rebal_ok = timed("rebalance", payload, [&] {
+    rebal = coord.remove_node(cluster::LocalCluster::id_of(nodes - 1));
+    return rebal.failed == 0;
+  });
+
+  std::printf("\n=== Cluster tier: %zu nodes, RS(%u,%u), %u B blocks, "
+              "%zu stripes ===\n",
+              nodes, geom.k, geom.global, geom.block_size, stripes);
+  table.print(std::cout);
+  std::printf("\npaper-shape checks:\n");
+  bool all = true;
+  auto check = [&](const char* claim, bool holds) {
+    std::printf("  [%s] %s\n", holds ? "PASS" : "FAIL", claim);
+    all &= holds;
+  };
+  check("every write is acknowledged (all chunks homed)", writes_acked);
+  check("healthy reads return bit-identical data",
+        healthy_ok && healthy_identical);
+  check("degraded reads with a node down stay bit-identical",
+        degraded_ok && degraded_identical);
+  check("one scrub pass repairs every dropped chunk", scrub_ok);
+  check("remove-node rebalance re-homes chunks without failures",
+        rebal_ok && rebal.moved + rebal.rebuilt > 0);
+
+  if (const char* dir = std::getenv("DIALGA_CSV_DIR"); dir != nullptr) {
+    std::ofstream out(std::string(dir) + "/bench_svc_throughput_cluster.csv");
+    if (out) table.print_csv(out);
+  }
+  return all ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -278,6 +414,14 @@ int main(int argc, char** argv) {
   }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--file-backed") == 0) return RunFileBacked();
+    if (std::strcmp(argv[i], "--cluster-nodes") == 0 && i + 1 < argc) {
+      const std::size_t n = std::strtoull(argv[i + 1], nullptr, 10);
+      if (n == 0) {
+        std::fprintf(stderr, "--cluster-nodes wants a positive count\n");
+        return 2;
+      }
+      return RunCluster(n);
+    }
   }
   const std::size_t k = 8, m = 3, bs = 1024;
   const std::size_t producers = 4;

@@ -42,6 +42,11 @@ int ParseErrno(const std::string& name, bool* ok) {
   if (name == "ENOENT") return ENOENT;
   if (name == "EACCES") return EACCES;
   if (name == "ENOMEM") return ENOMEM;
+  // Network-flavored errnos the cluster transport sites speak.
+  if (name == "ETIMEDOUT") return ETIMEDOUT;
+  if (name == "EHOSTUNREACH") return EHOSTUNREACH;
+  if (name == "ECONNRESET") return ECONNRESET;
+  if (name == "EBADMSG") return EBADMSG;
   char* end = nullptr;
   const long v = std::strtol(name.c_str(), &end, 10);
   if (end == nullptr || *end != '\0' || v <= 0) {

@@ -26,6 +26,16 @@
 //   svc.codec         codec batch execution throws InjectedFault
 //   repair.scrub      one scrub stripe decode reports failure
 //   repair.rebuild    one rebuild stripe decode reports failure
+//   cluster.send      a cluster RPC fails on the sender side
+//   cluster.recv      a cluster RPC fails on the receiver side
+//
+// Per-node site prefixes: cluster call sites consult FireErrnoAt(node,
+// site), which checks the node-scoped site "n<id>.<site>" first and
+// falls back to the plain site, so a spec like
+//   n3.cluster.recv:p=0.5;cluster.send:nth=7
+// targets node 3's receive path specifically while the un-prefixed
+// plan still covers every node. The spec parser treats the prefix as
+// part of the site name — any "nN." prefix is valid for any site.
 #pragma once
 
 #include <atomic>
@@ -142,6 +152,30 @@ inline int FireErrno(const char* site) {
 }
 
 inline bool Fires(const char* site) { return FireErrno(site) != 0; }
+
+/// The node-scoped spelling of a site: "n<id>.<site>".
+inline std::string NodeSite(std::uint32_t node, const char* site) {
+  std::string s = "n";
+  s += std::to_string(node);
+  s += '.';
+  s += site;
+  return s;
+}
+
+/// Per-node site check: the node-scoped plan ("n<id>.<site>") is
+/// consulted first, then the plain site, so node-targeted and global
+/// chaos schedules compose. Still a single relaxed load when no plan
+/// is installed anywhere.
+inline int FireErrnoAt(std::uint32_t node, const char* site) {
+  Injector& in = Injector::Global();
+  if (!in.active()) return 0;
+  if (const int err = in.fire(NodeSite(node, site)); err != 0) return err;
+  return in.fire(site);
+}
+
+inline bool FiresAt(std::uint32_t node, const char* site) {
+  return FireErrnoAt(node, site) != 0;
+}
 
 inline void MaybeThrow(const char* site) {
   if (const int err = FireErrno(site); err != 0) {

@@ -277,5 +277,56 @@ TEST_F(FaultTest, ClearDropsPlansCountersAndSeed) {
   EXPECT_TRUE(Injector::Global().all_stats().empty());
 }
 
+TEST_F(FaultTest, NodeSiteSpelling) {
+  EXPECT_EQ(NodeSite(3, "shard.read"), "n3.shard.read");
+  EXPECT_EQ(NodeSite(0, "cluster.send"), "n0.cluster.send");
+}
+
+TEST_F(FaultTest, NodeScopedPlanHitsOnlyThatNode) {
+  SitePlan plan;
+  plan.every = 1;
+  plan.error = EIO;
+  ScopedPlan scoped("n3.cluster.recv", plan);
+  EXPECT_EQ(FireErrnoAt(3, "cluster.recv"), EIO);
+  EXPECT_EQ(FireErrnoAt(2, "cluster.recv"), 0);
+  EXPECT_FALSE(FiresAt(7, "cluster.recv"));
+  EXPECT_TRUE(FiresAt(3, "cluster.recv"));
+}
+
+TEST_F(FaultTest, PlainSiteStillHitsEveryNode) {
+  SitePlan plan;
+  plan.every = 1;
+  plan.error = ETIMEDOUT;
+  ScopedPlan scoped("cluster.send", plan);
+  EXPECT_EQ(FireErrnoAt(1, "cluster.send"), ETIMEDOUT);
+  EXPECT_EQ(FireErrnoAt(9, "cluster.send"), ETIMEDOUT);
+  EXPECT_EQ(FireErrno("cluster.send"), ETIMEDOUT);
+}
+
+TEST_F(FaultTest, NodeScopedAndGlobalPlansCompose) {
+  // Node plan consulted first: its errno wins on node 2; other nodes
+  // fall through to the global plan.
+  SitePlan node_plan;
+  node_plan.every = 1;
+  node_plan.error = ENOSPC;
+  ScopedPlan node_scoped("n2.shard.write", node_plan);
+  SitePlan global_plan;
+  global_plan.every = 1;
+  global_plan.error = EIO;
+  ScopedPlan global_scoped("shard.write", global_plan);
+  EXPECT_EQ(FireErrnoAt(2, "shard.write"), ENOSPC);
+  EXPECT_EQ(FireErrnoAt(4, "shard.write"), EIO);
+}
+
+TEST_F(FaultTest, NodeScopedSpecParses) {
+  std::string err;
+  ASSERT_TRUE(Injector::Global().install_spec(
+      "n3.shard.read:p=1.0,err=EIO", &err))
+      << err;
+  EXPECT_TRUE(FiresAt(3, "shard.read"));
+  EXPECT_FALSE(FiresAt(1, "shard.read"));
+  EXPECT_FALSE(Fires("shard.read"));
+}
+
 }  // namespace
 }  // namespace fault

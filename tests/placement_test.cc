@@ -1,0 +1,246 @@
+// Placement-ring invariants the cluster tier depends on: determinism
+// (tables are pure functions of membership + stripe id), minimal
+// movement on membership change, distinct-node spreading, and the LRC
+// failure-domain pinning — every local group inside one domain, global
+// parities elsewhere.
+#include "cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace {
+
+using cluster::Geometry;
+using cluster::NodeId;
+using cluster::NodeInfo;
+using cluster::Placement;
+
+std::vector<NodeInfo> FlatNodes(std::size_t n) {
+  std::vector<NodeInfo> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back({static_cast<NodeId>(i + 1),
+                     static_cast<std::uint32_t>(i)});
+  }
+  return nodes;
+}
+
+// 9 nodes in 3 racks: n1-n3 rack 0, n4-n6 rack 1, n7-n9 rack 2.
+std::vector<NodeInfo> RackedNodes() {
+  std::vector<NodeInfo> nodes;
+  for (std::size_t i = 0; i < 9; ++i) {
+    nodes.push_back({static_cast<NodeId>(i + 1),
+                     static_cast<std::uint32_t>(i / 3)});
+  }
+  return nodes;
+}
+
+constexpr Geometry kRs{.k = 4, .global = 2, .local = 0, .block_size = 4096};
+constexpr Geometry kLrc{.k = 4, .global = 2, .local = 2, .block_size = 4096};
+
+TEST(GeometryTest, ShardLayout) {
+  EXPECT_EQ(kLrc.total_shards(), 8u);
+  EXPECT_EQ(kLrc.group_size(), 2u);
+  EXPECT_TRUE(kLrc.is_data(0));
+  EXPECT_TRUE(kLrc.is_global(4));
+  EXPECT_TRUE(kLrc.is_global(5));
+  EXPECT_TRUE(kLrc.is_local_parity(6));
+  EXPECT_TRUE(kLrc.is_local_parity(7));
+  // Group 0 = data {0,1} + local parity 6; group 1 = {2,3} + 7.
+  EXPECT_EQ(kLrc.group_of(0), 0);
+  EXPECT_EQ(kLrc.group_of(1), 0);
+  EXPECT_EQ(kLrc.group_of(2), 1);
+  EXPECT_EQ(kLrc.group_of(3), 1);
+  EXPECT_EQ(kLrc.group_of(6), 0);
+  EXPECT_EQ(kLrc.group_of(7), 1);
+  EXPECT_EQ(kLrc.group_of(4), -1);  // global parity: all groups
+  EXPECT_EQ(kLrc.group_members(0),
+            (std::vector<std::uint32_t>{0, 1, 6}));
+  EXPECT_EQ(kLrc.group_members(1),
+            (std::vector<std::uint32_t>{2, 3, 7}));
+  EXPECT_EQ(kRs.group_of(0), -1);
+}
+
+TEST(GeometryTest, Validity) {
+  EXPECT_TRUE(kRs.valid());
+  EXPECT_TRUE(kLrc.valid());
+  EXPECT_FALSE((Geometry{.k = 0, .global = 2, .block_size = 4096}.valid()));
+  EXPECT_FALSE((Geometry{.k = 4, .global = 0, .local = 0,
+                         .block_size = 4096}
+                    .valid()));
+  EXPECT_FALSE((Geometry{.k = 4, .global = 2, .block_size = 0}.valid()));
+  EXPECT_FALSE(
+      (Geometry{.k = 4, .global = 2, .local = 5, .block_size = 64}.valid()));
+}
+
+TEST(PlacementTest, DeterministicAcrossReplicas) {
+  Placement a(FlatNodes(8));
+  Placement b(FlatNodes(8));
+  for (std::uint64_t stripe = 0; stripe < 256; ++stripe) {
+    EXPECT_EQ(a.table(stripe, kRs), b.table(stripe, kRs)) << stripe;
+    EXPECT_EQ(a.table(stripe, kLrc), b.table(stripe, kLrc)) << stripe;
+  }
+}
+
+TEST(PlacementTest, InsertionOrderIrrelevant) {
+  auto nodes = FlatNodes(8);
+  Placement a(nodes);
+  std::reverse(nodes.begin(), nodes.end());
+  Placement b(nodes);
+  for (std::uint64_t stripe = 0; stripe < 64; ++stripe) {
+    EXPECT_EQ(a.table(stripe, kRs), b.table(stripe, kRs)) << stripe;
+  }
+}
+
+TEST(PlacementTest, DistinctNodesWhileMembershipAllows) {
+  Placement p(FlatNodes(8));
+  for (std::uint64_t stripe = 0; stripe < 128; ++stripe) {
+    const auto table = p.table(stripe, kRs);
+    ASSERT_EQ(table.size(), kRs.total_shards());
+    std::set<NodeId> distinct(table.begin(), table.end());
+    EXPECT_EQ(distinct.size(), table.size()) << "stripe " << stripe;
+  }
+}
+
+TEST(PlacementTest, SmallClusterStillPlacesWideStripes) {
+  Placement p(FlatNodes(3));  // 3 nodes, 6-shard stripes
+  for (std::uint64_t stripe = 0; stripe < 32; ++stripe) {
+    const auto table = p.table(stripe, kRs);
+    ASSERT_EQ(table.size(), kRs.total_shards());
+    for (const NodeId n : table) {
+      EXPECT_GE(n, 1u);
+      EXPECT_LE(n, 3u);
+    }
+  }
+}
+
+TEST(PlacementTest, LoadRoughlyBalanced) {
+  Placement p(FlatNodes(8));
+  std::map<NodeId, std::size_t> load;
+  const std::size_t stripes = 2000;
+  for (std::uint64_t stripe = 0; stripe < stripes; ++stripe) {
+    for (const NodeId n : p.table(stripe, kRs)) ++load[n];
+  }
+  const double mean =
+      static_cast<double>(stripes * kRs.total_shards()) / 8.0;
+  for (const auto& [node, count] : load) {
+    EXPECT_GT(count, mean * 0.6) << "node " << node;
+    EXPECT_LT(count, mean * 1.4) << "node " << node;
+  }
+}
+
+TEST(PlacementTest, MinimalMovementOnJoin) {
+  Placement p(FlatNodes(8));
+  const std::size_t stripes = 500;
+  std::vector<std::vector<NodeId>> before;
+  for (std::uint64_t s = 0; s < stripes; ++s) {
+    before.push_back(p.table(s, kRs));
+  }
+  ASSERT_TRUE(p.add_node({9, 8}));
+  std::size_t moved = 0, total = 0;
+  for (std::uint64_t s = 0; s < stripes; ++s) {
+    const auto after = p.table(s, kRs);
+    for (std::size_t j = 0; j < after.size(); ++j) {
+      ++total;
+      if (after[j] != before[s][j]) ++moved;
+    }
+  }
+  // Consistent hashing: one of 9 nodes joining should re-home roughly
+  // 1/9 of shards; allow generous slack but reject full reshuffles.
+  EXPECT_LT(moved, total * 30 / 100)
+      << moved << " of " << total << " shards moved";
+  EXPECT_GT(moved, 0u);  // the new node must take SOME load
+}
+
+TEST(PlacementTest, RemoveOnlyMovesTheDeadNodesShards) {
+  Placement p(FlatNodes(8));
+  const std::size_t stripes = 500;
+  std::vector<std::vector<NodeId>> before;
+  for (std::uint64_t s = 0; s < stripes; ++s) {
+    before.push_back(p.table(s, kRs));
+  }
+  const NodeId dead = 3;
+  ASSERT_TRUE(p.remove_node(dead));
+  std::size_t moved = 0, total = 0, was_dead = 0;
+  for (std::uint64_t s = 0; s < stripes; ++s) {
+    const auto after = p.table(s, kRs);
+    for (std::size_t j = 0; j < after.size(); ++j) {
+      ++total;
+      EXPECT_NE(after[j], dead);
+      if (before[s][j] == dead) ++was_dead;
+      if (after[j] != before[s][j]) ++moved;
+    }
+  }
+  // Everything the dead node held must move; little else should.
+  EXPECT_GE(moved, was_dead);
+  EXPECT_LT(moved, was_dead + total * 15 / 100);
+}
+
+TEST(PlacementTest, EpochBumpsOnMembershipChange) {
+  Placement p(FlatNodes(4));
+  const std::uint64_t e0 = p.epoch();
+  ASSERT_TRUE(p.add_node({5, 4}));
+  EXPECT_GT(p.epoch(), e0);
+  EXPECT_FALSE(p.add_node({5, 4}));  // duplicate id
+  ASSERT_TRUE(p.remove_node(5));
+  EXPECT_FALSE(p.remove_node(5));  // already gone
+}
+
+TEST(PlacementTest, LrcGroupsPinnedToOneFailureDomain) {
+  Placement p(RackedNodes());
+  for (std::uint64_t stripe = 0; stripe < 200; ++stripe) {
+    const auto table = p.table(stripe, kLrc);
+    ASSERT_EQ(table.size(), kLrc.total_shards());
+    auto domain_of = [](NodeId id) { return (id - 1) / 3; };
+    std::vector<std::set<NodeId>> group_domains(kLrc.groups());
+    for (std::uint32_t g = 0; g < kLrc.groups(); ++g) {
+      std::set<NodeId> members;
+      for (const std::uint32_t shard : kLrc.group_members(g)) {
+        group_domains[g].insert(domain_of(table[shard]));
+        members.insert(table[shard]);
+      }
+      // Whole group in ONE domain, on distinct nodes inside it.
+      EXPECT_EQ(group_domains[g].size(), 1u)
+          << "stripe " << stripe << " group " << g;
+      EXPECT_EQ(members.size(), kLrc.group_members(g).size())
+          << "stripe " << stripe << " group " << g;
+    }
+    // Distinct groups in distinct domains, global parity in neither:
+    // losing one rack then costs at most one group OR the globals.
+    EXPECT_NE(*group_domains[0].begin(), *group_domains[1].begin())
+        << "stripe " << stripe;
+    for (std::uint32_t shard = kLrc.k; shard < kLrc.k + kLrc.global;
+         ++shard) {
+      const auto dom = domain_of(table[shard]);
+      EXPECT_NE(dom, *group_domains[0].begin()) << "stripe " << stripe;
+      EXPECT_NE(dom, *group_domains[1].begin()) << "stripe " << stripe;
+    }
+  }
+}
+
+TEST(PlacementTest, LrcDeterministicToo) {
+  Placement a(RackedNodes());
+  Placement b(RackedNodes());
+  for (std::uint64_t stripe = 0; stripe < 64; ++stripe) {
+    EXPECT_EQ(a.table(stripe, kLrc), b.table(stripe, kLrc));
+  }
+}
+
+TEST(PlacementTest, NodeOfMatchesTable) {
+  Placement p(FlatNodes(6));
+  for (std::uint64_t stripe = 0; stripe < 32; ++stripe) {
+    const auto table = p.table(stripe, kRs);
+    for (std::uint32_t j = 0; j < kRs.total_shards(); ++j) {
+      EXPECT_EQ(p.node_of(stripe, j, kRs), table[j]);
+    }
+  }
+}
+
+TEST(PlacementTest, EmptyMembershipYieldsEmptyTable) {
+  Placement p({});
+  EXPECT_TRUE(p.table(7, kRs).empty());
+}
+
+}  // namespace

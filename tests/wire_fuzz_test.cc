@@ -1,0 +1,236 @@
+// Hostile-input suite for the cluster wire codec: round-trips,
+// truncation at every byte boundary, seeded random mutation, and
+// adversarial size fields. The contract under test — DecodeFrame
+// never crashes, never reads out of bounds (the CI chaos job runs
+// this under ASan+UBSan), and never allocates more than a frame's
+// bounds-checked declared sizes.
+#include "cluster/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+namespace {
+
+using cluster::Blob;
+using cluster::DecodeFrame;
+using cluster::EncodeFrame;
+using cluster::Frame;
+using cluster::MsgType;
+using cluster::ParseStatus;
+using cluster::WireStatus;
+
+Frame SampleFrame() {
+  Frame f;
+  f.type = MsgType::kEncode;
+  f.seq = 0x0123456789abcdefull;
+  f.stripe = 42;
+  f.shard = 3;
+  f.status = WireStatus::kStoreFailed;
+  f.aux = 7;
+  f.geom = {.k = 4, .global = 2, .local = 2, .block_size = 4096};
+  f.placement = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    Blob b;
+    b.index = i;
+    b.bytes.assign(64 + i, std::byte{static_cast<unsigned char>(i + 1)});
+    f.blocks.push_back(std::move(b));
+  }
+  return f;
+}
+
+bool FramesEqual(const Frame& a, const Frame& b) {
+  if (a.type != b.type || a.seq != b.seq || a.stripe != b.stripe ||
+      a.shard != b.shard || a.status != b.status || a.aux != b.aux ||
+      !(a.geom == b.geom) || a.placement != b.placement ||
+      a.blocks.size() != b.blocks.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    if (a.blocks[i].index != b.blocks[i].index ||
+        a.blocks[i].bytes != b.blocks[i].bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(WireTest, RoundTrip) {
+  const Frame f = SampleFrame();
+  const auto bytes = EncodeFrame(f);
+  Frame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes, &out, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_TRUE(FramesEqual(f, out));
+}
+
+TEST(WireTest, RoundTripEveryType) {
+  for (std::uint8_t t = 1; t <= 12; ++t) {
+    Frame f;
+    f.type = static_cast<MsgType>(t);
+    f.seq = t;
+    const auto bytes = EncodeFrame(f);
+    Frame out;
+    ASSERT_EQ(DecodeFrame(bytes, &out, nullptr), ParseStatus::kOk) << int(t);
+    EXPECT_EQ(out.type, f.type);
+  }
+}
+
+TEST(WireTest, EmptyFrameFields) {
+  Frame f;  // all defaults
+  const auto bytes = EncodeFrame(f);
+  Frame out;
+  ASSERT_EQ(DecodeFrame(bytes, &out, nullptr), ParseStatus::kOk);
+  EXPECT_TRUE(FramesEqual(f, out));
+}
+
+TEST(WireFuzzTest, TruncationAtEveryLength) {
+  const auto bytes = EncodeFrame(SampleFrame());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Frame out;
+    const ParseStatus st =
+        DecodeFrame(std::span<const std::byte>(bytes.data(), len), &out,
+                    nullptr);
+    // A prefix is either recognizably incomplete or (if the cut hits
+    // inside a length field's claim) malformed — never kOk.
+    EXPECT_NE(st, ParseStatus::kOk) << "prefix length " << len;
+  }
+}
+
+TEST(WireFuzzTest, TrailingGarbageRejected) {
+  auto bytes = EncodeFrame(SampleFrame());
+  bytes.push_back(std::byte{0xaa});
+  Frame out;
+  // DecodeFrame parses ONE frame; extra bytes past the declared length
+  // are the caller's (a stream would start the next frame there), so a
+  // single-frame parse of the padded buffer reports the true length.
+  std::size_t consumed = 0;
+  const ParseStatus st = DecodeFrame(bytes, &out, &consumed);
+  if (st == ParseStatus::kOk) {
+    EXPECT_EQ(consumed, bytes.size() - 1);
+  } else {
+    EXPECT_EQ(st, ParseStatus::kMalformed);
+  }
+}
+
+TEST(WireFuzzTest, BadMagicVersionType) {
+  const auto good = EncodeFrame(SampleFrame());
+  {
+    auto bytes = good;
+    bytes[0] = std::byte{0x00};  // magic low byte
+    Frame out;
+    EXPECT_EQ(DecodeFrame(bytes, &out, nullptr), ParseStatus::kMalformed);
+  }
+  {
+    auto bytes = good;
+    bytes[2] = std::byte{99};  // version
+    Frame out;
+    EXPECT_EQ(DecodeFrame(bytes, &out, nullptr), ParseStatus::kMalformed);
+  }
+  {
+    auto bytes = good;
+    bytes[3] = std::byte{0};  // type 0 invalid
+    Frame out;
+    EXPECT_EQ(DecodeFrame(bytes, &out, nullptr), ParseStatus::kMalformed);
+  }
+  {
+    auto bytes = good;
+    bytes[3] = std::byte{200};  // type out of range
+    Frame out;
+    EXPECT_EQ(DecodeFrame(bytes, &out, nullptr), ParseStatus::kMalformed);
+  }
+}
+
+TEST(WireFuzzTest, HugeDeclaredBodyIsMalformedNotAllocated) {
+  // Header claiming a body far past kMaxWireBody must be rejected from
+  // the 8 header bytes alone.
+  std::vector<std::byte> bytes(8);
+  bytes[0] = std::byte{0x17};
+  bytes[1] = std::byte{0xDC};
+  bytes[2] = std::byte{1};  // version
+  bytes[3] = std::byte{11}; // kHeartbeat
+  const std::uint32_t huge = 0xffffffffu;
+  std::memcpy(bytes.data() + 4, &huge, 4);
+  Frame out;
+  EXPECT_EQ(DecodeFrame(bytes, &out, nullptr), ParseStatus::kMalformed);
+}
+
+TEST(WireFuzzTest, HugeCountsInsideBodyRejected) {
+  // Corrupt the placement count inside a valid frame to claim more
+  // entries than the body holds.
+  Frame f = SampleFrame();
+  f.blocks.clear();
+  auto bytes = EncodeFrame(f);
+  // Body starts at offset 8; placement count sits after seq(8) +
+  // stripe(8) + shard(4) + status(4) + aux(8) + geom(16) = offset 56.
+  const std::size_t count_off = 8 + 48;
+  ASSERT_LT(count_off + 4, bytes.size());
+  const std::uint32_t huge = 0x7fffffffu;
+  std::memcpy(bytes.data() + count_off, &huge, 4);
+  Frame out;
+  EXPECT_EQ(DecodeFrame(bytes, &out, nullptr), ParseStatus::kMalformed);
+}
+
+TEST(WireFuzzTest, SeededRandomMutationsNeverCrash) {
+  const auto good = EncodeFrame(SampleFrame());
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<std::size_t> pos(0, good.size() - 1);
+  std::uniform_int_distribution<int> val(0, 255);
+  for (int iter = 0; iter < 20000; ++iter) {
+    auto bytes = good;
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < flips; ++i) {
+      bytes[pos(rng)] = std::byte{static_cast<unsigned char>(val(rng))};
+    }
+    Frame out;
+    std::size_t consumed = 0;
+    const ParseStatus st = DecodeFrame(bytes, &out, &consumed);
+    if (st == ParseStatus::kOk) {
+      // Whatever parsed must respect the protocol bounds.
+      EXPECT_LE(out.placement.size(), cluster::kMaxWireShards);
+      EXPECT_LE(out.blocks.size(), cluster::kMaxWireShards);
+      for (const Blob& b : out.blocks) {
+        EXPECT_LE(b.bytes.size(), cluster::kMaxWireBlock);
+      }
+      EXPECT_LE(consumed, bytes.size());
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomGarbageNeverCrashes) {
+  std::mt19937_64 rng(424242);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::vector<std::byte> bytes(rng() % 256);
+    for (auto& b : bytes) {
+      b = std::byte{static_cast<unsigned char>(rng() & 0xff)};
+    }
+    Frame out;
+    DecodeFrame(bytes, &out, nullptr);  // must simply not crash
+  }
+}
+
+TEST(WireFuzzTest, StreamOfFramesParsesSequentially) {
+  // consumed lets a stream transport peel frames off a buffer.
+  std::vector<std::byte> stream;
+  std::vector<Frame> frames;
+  for (int i = 0; i < 5; ++i) {
+    Frame f = SampleFrame();
+    f.seq = static_cast<std::uint64_t>(i);
+    const auto bytes = EncodeFrame(f);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+    frames.push_back(std::move(f));
+  }
+  std::span<const std::byte> rest(stream);
+  for (int i = 0; i < 5; ++i) {
+    Frame out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(rest, &out, &consumed), ParseStatus::kOk) << i;
+    EXPECT_TRUE(FramesEqual(frames[i], out)) << i;
+    rest = rest.subspan(consumed);
+  }
+  EXPECT_TRUE(rest.empty());
+}
+
+}  // namespace

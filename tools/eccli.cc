@@ -13,15 +13,23 @@
 // Stripe work runs through a svc::StripeService (batched onto the
 // work-stealing pool) unless --serial is given.
 //
+// With --cluster-nodes N the same commands run against an in-process
+// cluster of N storage nodes (consistent-hash placement, RPC wire
+// format, degraded reads, scrub repair) persisted under
+// <shard-dir>/n<i>; a cluster.txt manifest makes encode/decode/repair
+// work across separate invocations.
+//
 // Exit codes (see --help): 0 success, 1 damaged, 2 usage, 3 I/O,
-// 4 deadline exceeded / retry budget exhausted.
+// 4 deadline exceeded / retry budget exhausted, 5 cluster quorum loss.
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "aio/datapath.h"
+#include "cluster/local_cluster.h"
 #include "dialga/dialga.h"
 #include "fault/injector.h"
 #include "gf/gf_simd.h"
@@ -37,6 +45,7 @@ constexpr int kExitDamaged = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
 constexpr int kExitDeadline = 4;
+constexpr int kExitQuorum = 5;
 
 void Usage() {
   std::cerr
@@ -85,6 +94,23 @@ void Usage() {
          "                    read from DIALGA_AIO; a forced uring on a "
          "kernel without\n"
          "                    io_uring falls back to stdio with a warning)\n"
+         "cluster mode:\n"
+         "  --cluster-nodes N run the command against an in-process "
+         "cluster of N\n"
+         "                    storage nodes persisted under <shard-dir>/"
+         "n<i>;\n"
+         "                    encode writes a cluster.txt manifest so "
+         "verify/repair/\n"
+         "                    decode in later invocations rebuild the "
+         "same placement\n"
+         "  --local L         LRC local-parity count (one XOR parity per "
+         "local group;\n"
+         "                    degraded reads are served inside the group "
+         "first);\n"
+         "                    0 (default) = plain RS(k, m)\n"
+         "  --domains D       spread the nodes over D failure domains "
+         "(round-robin);\n"
+         "                    0 (default) = one domain per node\n"
          "exit codes:\n"
          "  0  success\n"
          "  1  data damaged beyond what parity can repair\n"
@@ -92,7 +118,9 @@ void Usage() {
          "  3  I/O error (errno reported on stderr; environmental, worth "
          "retrying)\n"
          "  4  deadline exceeded or retry budget exhausted "
-         "(--deadline-ms/--retries)\n";
+         "(--deadline-ms/--retries)\n"
+         "  5  cluster quorum loss: fewer than k shard homes reachable "
+         "(--cluster-nodes)\n";
 }
 
 struct Options {
@@ -109,6 +137,9 @@ struct Options {
   std::string trace_out;
   std::string isa;
   aio::Mode aio = aio::ModeFromEnv();
+  std::size_t cluster_nodes = 0;  // 0 = single-process shard store
+  std::size_t local = 0;          // LRC local parities (cluster mode)
+  std::size_t domains = 0;        // failure domains (0 = one per node)
   std::vector<std::string> positional;
 };
 
@@ -151,6 +182,12 @@ bool Parse(int argc, char** argv, Options* opt) {
       const auto mode = aio::ParseMode(argv[++i]);
       if (!mode) return false;
       opt->aio = *mode;
+    } else if (arg == "--cluster-nodes") {
+      if (!next_value(&opt->cluster_nodes)) return false;
+    } else if (arg == "--local") {
+      if (!next_value(&opt->local)) return false;
+    } else if (arg == "--domains") {
+      if (!next_value(&opt->domains)) return false;
     } else if (arg == "--serial") {
       opt->serial = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -204,10 +241,206 @@ int Report(const shard::Status& st) {
   }
 }
 
+/// Exit code for a cluster-mode operation result.
+int ClusterExit(const cluster::OpResult& r) {
+  if (r.ok()) return kExitOk;
+  std::cerr << "eccli: cluster " << cluster::to_string(r.code) << ": "
+            << r.detail << "\n";
+  switch (r.code) {
+    case cluster::OpResult::Code::kQuorumLoss:
+      return kExitQuorum;
+    case cluster::OpResult::Code::kInvalid:
+      return kExitUsage;
+    default:
+      return kExitIo;
+  }
+}
+
+/// Rebuild the cluster an earlier invocation persisted under `dir`
+/// (cluster.txt + n<i>/ chunk directories) and re-track its stripes.
+std::unique_ptr<cluster::LocalCluster> OpenCluster(
+    const std::filesystem::path& dir, cluster::ClusterManifest* mf) {
+  if (!cluster::ClusterManifest::load(dir / "cluster.txt", mf)) {
+    std::cerr << "eccli: no readable cluster.txt under '" << dir.string()
+              << "' (not a cluster directory?)\n";
+    return nullptr;
+  }
+  cluster::LocalClusterConfig cfg;
+  cfg.nodes = mf->nodes;
+  cfg.domains = mf->domains;
+  cfg.geom = mf->geom;
+  cfg.data_root = dir;
+  auto c = std::make_unique<cluster::LocalCluster>(std::move(cfg));
+  for (const std::uint64_t s : mf->stripes) c->coordinator().track(s);
+  return c;
+}
+
+/// The --cluster-nodes path: the same four commands, executed against
+/// an in-process cluster whose node directories live under the shard
+/// dir. Geometry is RS(k, m) or, with --local L, LRC(k, m, L).
+int RunClusterCommand(const std::string& cmd, const Options& opt) {
+  namespace fs = std::filesystem;
+
+  if (cmd == "encode") {
+    if (opt.positional.size() != 2) {
+      Usage();
+      return kExitUsage;
+    }
+    const cluster::Geometry geom{
+        .k = static_cast<std::uint32_t>(opt.k),
+        .global = static_cast<std::uint32_t>(opt.m),
+        .local = static_cast<std::uint32_t>(opt.local),
+        .block_size = static_cast<std::uint32_t>(opt.block)};
+    if (!geom.valid()) {
+      std::cerr << "eccli: invalid cluster geometry k=" << opt.k
+                << " m=" << opt.m << " local=" << opt.local
+                << " block=" << opt.block << "\n";
+      return kExitUsage;
+    }
+    std::vector<std::byte> input;
+    if (const auto st = aio::ReadFileFull(opt.positional[0], &input);
+        !st.ok()) {
+      std::cerr << "eccli: cannot read '" << opt.positional[0]
+                << "': " << std::strerror(st.err) << "\n";
+      return kExitIo;
+    }
+    const fs::path dir(opt.positional[1]);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+
+    cluster::LocalClusterConfig cfg;
+    cfg.nodes = opt.cluster_nodes;
+    cfg.domains = opt.domains;
+    cfg.geom = geom;
+    cfg.data_root = dir;
+    cfg.service_threads = opt.threads == 0 ? 2 : opt.threads;
+    cluster::LocalCluster c(std::move(cfg));
+
+    cluster::ClusterManifest mf;
+    mf.nodes = opt.cluster_nodes;
+    mf.domains = opt.domains;
+    mf.geom = geom;
+    mf.file_size = input.size();
+    const std::size_t stripe_bytes =
+        static_cast<std::size_t>(geom.k) * geom.block_size;
+    const std::size_t stripes =
+        input.empty() ? 1 : (input.size() + stripe_bytes - 1) / stripe_bytes;
+    input.resize(stripes * stripe_bytes);  // zero-pad the tail
+    for (std::uint64_t s = 0; s < stripes; ++s) {
+      std::vector<const std::byte*> ptrs;
+      for (std::uint32_t j = 0; j < geom.k; ++j) {
+        ptrs.push_back(input.data() + s * stripe_bytes +
+                       static_cast<std::size_t>(j) * geom.block_size);
+      }
+      const auto r = c.coordinator().write_stripe(
+          s, std::span<const std::byte* const>(ptrs));
+      if (!r.ok()) return ClusterExit(r);
+      mf.stripes.push_back(s);
+    }
+    if (!mf.save(dir / "cluster.txt")) {
+      std::cerr << "eccli: cannot write " << (dir / "cluster.txt").string()
+                << "\n";
+      return kExitIo;
+    }
+    std::cout << "encoded '" << opt.positional[0] << "' into " << stripes
+              << " stripe(s) across " << opt.cluster_nodes << " nodes ("
+              << (opt.local > 0
+                      ? "LRC(" + std::to_string(opt.k) + "," +
+                            std::to_string(opt.m) + "," +
+                            std::to_string(opt.local) + ")"
+                      : "RS(" + std::to_string(opt.k) + "," +
+                            std::to_string(opt.m) + ")")
+              << ", " << opt.block << " B blocks) under '" << dir.string()
+              << "'\n";
+    return kExitOk;
+  }
+
+  if (cmd != "verify" && cmd != "repair" && cmd != "decode") {
+    Usage();
+    return kExitUsage;
+  }
+  if (opt.positional.empty()) {
+    Usage();
+    return kExitUsage;
+  }
+  cluster::ClusterManifest mf;
+  auto c = OpenCluster(opt.positional[0], &mf);
+  if (!c) return kExitIo;
+  c->coordinator().heartbeat();  // routing skips nuked node dirs
+
+  if (cmd == "verify") {
+    // Read every data block; report how many needed reconstruction.
+    std::size_t degraded = 0;
+    for (const std::uint64_t s : mf.stripes) {
+      for (std::uint32_t j = 0; j < mf.geom.k; ++j) {
+        std::vector<std::byte> out;
+        const auto r = c->coordinator().read_block(s, j, &out);
+        if (!r.ok()) return ClusterExit(r);
+        if (r.code == cluster::OpResult::Code::kDegraded) ++degraded;
+      }
+    }
+    if (degraded == 0) {
+      std::cout << "all " << mf.stripes.size() << " stripe(s) healthy\n";
+      return kExitOk;
+    }
+    std::cout << degraded << " degraded block read(s) across "
+              << mf.stripes.size() << " stripe(s)\n";
+    return kExitDamaged;
+  }
+  if (cmd == "repair") {
+    const auto report = c->coordinator().scrub_pass();
+    if (report.unrecoverable > 0) {
+      std::cerr << "eccli: " << report.unrecoverable
+                << " chunk(s) unrecoverable (fewer than k survivors)\n";
+      return kExitQuorum;
+    }
+    if (report.repaired == 0 && report.unreachable == 0) {
+      std::cout << "nothing to repair (" << report.chunks_checked
+                << " chunks verified)\n";
+    } else {
+      std::cout << "repaired " << report.repaired << " chunk(s), "
+                << report.unreachable << " unreachable (node down)\n";
+    }
+    return kExitOk;
+  }
+  // decode
+  if (opt.positional.size() != 2) {
+    Usage();
+    return kExitUsage;
+  }
+  const std::size_t stripe_bytes =
+      static_cast<std::size_t>(mf.geom.k) * mf.geom.block_size;
+  std::vector<std::byte> output(mf.stripes.size() * stripe_bytes);
+  for (std::size_t i = 0; i < mf.stripes.size(); ++i) {
+    std::vector<std::byte*> outp;
+    for (std::uint32_t j = 0; j < mf.geom.k; ++j) {
+      outp.push_back(output.data() + i * stripe_bytes +
+                     static_cast<std::size_t>(j) * mf.geom.block_size);
+    }
+    const auto r = c->coordinator().read_stripe(
+        mf.stripes[i], std::span<std::byte* const>(outp));
+    if (!r.ok()) return ClusterExit(r);
+  }
+  output.resize(mf.file_size);  // strip the zero padding
+  aio::Transfer xfer(aio::SelectBackend(opt.aio));
+  if (const auto st =
+          aio::WriteFileDurable(xfer, opt.positional[1], output);
+      !st.ok()) {
+    std::cerr << "eccli: cannot write '" << opt.positional[1]
+              << "': " << std::strerror(st.err) << "\n";
+    return kExitIo;
+  }
+  std::cout << "reassembled '" << opt.positional[1] << "' ("
+            << mf.file_size << " bytes) from " << mf.stripes.size()
+            << " stripe(s)\n";
+  return kExitOk;
+}
+
 /// Execute the command with the service alive only inside this scope:
 /// metrics/trace dumps in main() run after the service destructor has
 /// drained every in-flight batch, so the scrape sees final counts.
 int RunCommand(const std::string& cmd, const Options& opt) {
+  if (opt.cluster_nodes > 0) return RunClusterCommand(cmd, opt);
   // One service for the whole command; stores attach to it unless the
   // user opted out with --serial. With an explicit --deadline-ms or
   // --retries the budget is strict: exhaustion surfaces as exit 4
