@@ -28,6 +28,10 @@
 // and a remove-node rebalance against an in-process N-node cluster,
 // reported as payload throughput per operation. Series lands as
 // bench_svc_throughput_cluster.csv under DIALGA_CSV_DIR.
+//
+// --integrity measures what verify-on-read costs the decode path
+// (checksum verification off vs on, best of three reps; target <= 5%
+// overhead). Series lands as bench_svc_throughput_integrity.csv.
 #include <unistd.h>
 
 #include <atomic>
@@ -271,6 +275,87 @@ int RunFileBacked() {
   return all ? 0 : 1;
 }
 
+/// The --integrity mode: what verify-on-read costs on the decode path.
+/// One shard generation, decoded with checksum verification off and
+/// then on (best of three reps each, so a scheduler hiccup cannot fake
+/// a regression); the overhead target from the integrity work is <= 5%
+/// — CRC-32C runs an order of magnitude faster than the decode itself,
+/// so verification should be noise. Series lands as
+/// bench_svc_throughput_integrity.csv under DIALGA_CSV_DIR.
+int RunIntegrity() {
+  namespace fs = std::filesystem;
+  const std::size_t k = 8, m = 3, bs = 64 * 1024;
+  const std::size_t input_bytes = 32ull << 20;
+  const int reps = 3;
+  const ec::IsalCodec codec(k, m);
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("dialga_bench_integrity_" + std::to_string(::getpid()));
+  fs::create_directories(root);
+  const fs::path input = root / "input.bin";
+  {
+    std::mt19937_64 rng(42);
+    std::vector<std::byte> data(input_bytes);
+    for (auto& x : data) x = static_cast<std::byte>(rng());
+    std::ofstream out(input, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+
+  shard::ShardStore store(codec, bs);
+  const fs::path dir = root / "shards";
+  const bool encoded = store.encode_file(input, dir).ok();
+  const auto original = Slurp(input);
+
+  bench_util::Table table({"verify", "op", "bytes", "seconds", "GBps"});
+  double best[2] = {0.0, 0.0};  // [0]=off, [1]=on
+  bool ok[2] = {encoded, encoded};
+  for (int v = 0; v < 2 && encoded; ++v) {
+    store.set_verify_on_read(v == 1);
+    for (int rep = 0; rep < reps; ++rep) {
+      const fs::path decoded =
+          root / ("out_" + std::to_string(v) + "_" + std::to_string(rep));
+      const auto t0 = std::chrono::steady_clock::now();
+      const shard::Status dec = store.decode_file(dir, decoded);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      ok[v] &= dec.ok() && Slurp(decoded) == original;
+      if (rep == 0 || secs < best[v]) best[v] = secs;
+    }
+    table.row({v == 1 ? "on" : "off", "decode", std::to_string(input_bytes),
+               bench_util::Table::num(best[v], 6),
+               bench_util::Table::num(
+                   best[v] > 0 ? input_bytes / (best[v] * 1e9) : 0.0, 3)});
+  }
+  const double overhead =
+      best[0] > 0.0 ? (best[1] - best[0]) / best[0] : 1.0;
+
+  std::printf("\n=== Verify-on-read overhead: RS(%zu,%zu), %zu B blocks, "
+              "%zu MiB input, best of %d ===\n",
+              k, m, bs, input_bytes >> 20, reps);
+  table.print(std::cout);
+  std::printf("\npaper-shape checks:\n");
+  bool all = true;
+  auto check = [&](const char* claim, bool holds) {
+    std::printf("  [%s] %s\n", holds ? "PASS" : "FAIL", claim);
+    all &= holds;
+  };
+  check("decode round-trips bit-identically with verification off", ok[0]);
+  check("decode round-trips bit-identically with verification on", ok[1]);
+  std::printf("  verify-on-read decode overhead: %+.1f%%\n", overhead * 100);
+  check("verify-on-read decode overhead stays within 5%", overhead <= 0.05);
+
+  if (const char* csv = std::getenv("DIALGA_CSV_DIR"); csv != nullptr) {
+    std::ofstream out(std::string(csv) +
+                      "/bench_svc_throughput_integrity.csv");
+    if (out) table.print_csv(out);
+  }
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  return all ? 0 : 1;
+}
+
 /// The --cluster-nodes N mode: operation sweep over the in-process
 /// cluster tier — healthy writes and reads, degraded reads with a node
 /// down, a scrub-repair pass over dropped chunks, and a remove-node
@@ -414,6 +499,7 @@ int main(int argc, char** argv) {
   }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--file-backed") == 0) return RunFileBacked();
+    if (std::strcmp(argv[i], "--integrity") == 0) return RunIntegrity();
     if (std::strcmp(argv[i], "--cluster-nodes") == 0 && i + 1 < argc) {
       const std::size_t n = std::strtoull(argv[i + 1], nullptr, 10);
       if (n == 0) {

@@ -211,6 +211,10 @@ IoStatus ReadSegsFd(Transfer& xfer, int fd, std::span<const Seg> segs,
                                  segs[s.seg].offset));
       }
       const std::size_t got = static_cast<std::size_t>(c.res);
+      // Corruption drill: a completion whose DMA'd payload rotted in
+      // flight. Only this completion's bytes are touched, so the
+      // mutation is pinned to (seed, aio.cqe.corrupt, op#).
+      fault::MaybeCorrupt("aio.cqe.corrupt", s.buf, got);
       remaining[s.seg] -= got;
       if (got < s.len) {  // partial chunk: continue where it stopped
         s.buf += got;
@@ -589,7 +593,15 @@ IoStatus ReadFileExact(Transfer& xfer, const fs::path& path,
                    : ReadSegsFd(xfer, fd, std::span<const Seg>(&seg, 1),
                                 sites, {});
   ::close(fd);
-  if (r.ok()) DpMetrics::Get().ops_read.inc();
+  if (r.ok()) {
+    DpMetrics::Get().ops_read.inc();
+    // Whole-payload corruption site: fires identically on both
+    // backends (one consult per successful exact read), so chaos
+    // schedules stay bit-identical across stdio and uring.
+    if (sites.corrupt != nullptr && !dst.empty()) {
+      fault::MaybeCorrupt(sites.corrupt, dst.data(), dst.size());
+    }
+  }
   return r;
 }
 

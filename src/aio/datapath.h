@@ -78,11 +78,17 @@ struct Seg {
 };
 
 /// Caller-named fault-injection sites (nullptr = site not consulted).
+/// `corrupt` is a corruption-mode site (corrupt= plans): consulted once
+/// per successful ReadFileExact, it mutates the returned payload — the
+/// defense-in-depth drill for verify-on-read. The uring backend
+/// additionally consults the built-in aio.cqe.corrupt site per read
+/// completion, mutating that completion's bytes.
 struct FaultSites {
   const char* open = nullptr;
   const char* read = nullptr;
   const char* short_read = nullptr;
   const char* write = nullptr;
+  const char* corrupt = nullptr;
 };
 
 /// Per-operation context: the chosen backend plus (for uring) one ring

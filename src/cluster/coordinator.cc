@@ -6,6 +6,7 @@
 
 #include "dialga/dialga.h"
 #include "ec/lrc.h"
+#include "integrity/checksum.h"
 #include "obs/metrics.h"
 
 namespace cluster {
@@ -292,6 +293,34 @@ OpResult Coordinator::DegradedRead(std::uint64_t stripe, std::uint32_t shard,
   return GlobalReconstruct(stripe, shard, table, out);
 }
 
+void Coordinator::MaybeReadRepair(std::uint64_t stripe, std::uint32_t shard,
+                                  const std::vector<NodeId>& table,
+                                  const std::vector<std::byte>& bytes) {
+  if (!cfg_.read_repair) return;
+  if (shard >= table.size() || !NodeUp(table[shard])) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (quarantined_.count(stripe) != 0) return;  // scrub's job now
+  }
+  auto& im = integrity::Metrics::Get();
+  const bool stored = StoreChunk(stripe, shard, table[shard], bytes);
+  im.heal("cluster", stored);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stored) {
+    heal_attempts_.erase(stripe);
+    return;
+  }
+  if (++heal_attempts_[stripe] >= cfg_.heal_retry_cap) {
+    quarantined_.insert(stripe);
+    im.quarantine("cluster");
+  }
+}
+
+std::size_t Coordinator::quarantined_stripes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quarantined_.size();
+}
+
 OpResult Coordinator::read_block(std::uint64_t stripe, std::uint32_t shard,
                                  std::vector<std::byte>* out) {
   const Geometry& geom = cfg_.geom;
@@ -301,7 +330,12 @@ OpResult Coordinator::read_block(std::uint64_t stripe, std::uint32_t shard,
   const std::vector<NodeId> table = placement_->table(stripe, geom);
   if (table.empty()) return {OpResult::Code::kInvalid, "empty membership"};
   if (FetchChunk(stripe, shard, table, out) == WireStatus::kOk) return {};
-  return DegradedRead(stripe, shard, table, out);
+  const OpResult r = DegradedRead(stripe, shard, table, out);
+  // The degraded bytes are codec-verified output; if the home is up
+  // (its chunk was corrupt or dropped, not unreachable), reseat them
+  // so the next read takes the healthy path again.
+  if (r.ok()) MaybeReadRepair(stripe, shard, table, *out);
+  return r;
 }
 
 OpResult Coordinator::read_stripe(std::uint64_t stripe,
@@ -401,10 +435,12 @@ ScrubReport Coordinator::scrub_pass() {
   report.stripes = stripes.size();
   for (const std::uint64_t stripe : stripes) {
     const std::vector<NodeId> table = placement_->table(stripe, geom);
+    bool converged = true;  // every chunk verified or repaired
     for (std::uint32_t j = 0; j < geom.total_shards(); ++j) {
       if (j >= table.size()) break;
       if (!NodeUp(table[j])) {
         ++report.unreachable;  // rebuild's job, not scrub's
+        converged = false;
         continue;
       }
       const std::uint64_t waits = scrub_bucket_.throttle(geom.block_size);
@@ -413,11 +449,20 @@ ScrubReport Coordinator::scrub_pass() {
       std::vector<std::byte> chunk;
       const WireStatus st = FetchChunk(stripe, j, table, &chunk);
       if (st == WireStatus::kOk) continue;
+      if (st == WireStatus::kCorrupt) ++report.corrupt;
       if (RepairChunk(stripe, j, table, table[j], RepairKind::kScrub)) {
         ++report.repaired;
       } else {
         ++report.unrecoverable;
+        converged = false;
       }
+    }
+    if (converged) {
+      // A stripe scrub fully verified (or repaired) is rehabilitated:
+      // read-repair write-backs may run again.
+      std::lock_guard<std::mutex> lk(mu_);
+      heal_attempts_.erase(stripe);
+      if (quarantined_.erase(stripe) != 0) ++report.stripes_unquarantined;
     }
   }
   report.throttle_waits = scrub_bucket_.waits() + rebuild_bucket_.waits();

@@ -50,6 +50,14 @@ struct CoordinatorConfig {
   /// Injectable clock/sleep (tests pin it to virtual time so the
   /// bandwidth invariant is checked deterministically).
   VirtualTime time = VirtualTime::Real();
+  /// After a degraded read caused by a missing/corrupt chunk whose
+  /// home is up, write the reconstructed chunk back in place so the
+  /// next read is healthy again (read-repair).
+  bool read_repair = true;
+  /// Failed read-repairs a stripe survives before its automatic heal
+  /// write-backs stop (reads still serve degraded; scrub_pass
+  /// rehabilitates and lifts the quarantine).
+  std::size_t heal_retry_cap = 3;
 };
 
 struct OpResult {
@@ -77,9 +85,11 @@ struct HeartbeatReport {
 struct ScrubReport {
   std::size_t stripes = 0;
   std::size_t chunks_checked = 0;
+  std::size_t corrupt = 0;       ///< present but failed its checksum
   std::size_t repaired = 0;
   std::size_t unreachable = 0;   ///< homes down — left for rebuild
   std::size_t unrecoverable = 0; ///< < k survivors; named, not hidden
+  std::size_t stripes_unquarantined = 0;  ///< quarantines lifted this pass
   std::uint64_t throttle_waits = 0;
 };
 
@@ -141,6 +151,15 @@ class Coordinator {
   const TokenBucket& scrub_bucket() const { return scrub_bucket_; }
   const TokenBucket& rebuild_bucket() const { return rebuild_bucket_; }
 
+  /// Stripes whose read-repair write-backs failed past the cap and are
+  /// waiting for a scrub pass to rehabilitate them.
+  std::size_t quarantined_stripes() const;
+
+  /// Toggle read-repair write-backs at runtime. Report-only readers
+  /// (eccli verify without --heal) turn this off so observing a store
+  /// never mutates it.
+  void set_read_repair(bool on) { cfg_.read_repair = on; }
+
  private:
   enum class RepairKind { kScrub, kRebuild };
 
@@ -166,6 +185,12 @@ class Coordinator {
                    RepairKind kind);
   bool StoreChunk(std::uint64_t stripe, std::uint32_t shard, NodeId dest,
                   std::vector<std::byte> bytes);
+  /// Read-repair after a degraded read: store the reconstructed chunk
+  /// back to its (up) home. Failures count toward the stripe's heal
+  /// cap; past it the stripe is quarantined and write-backs stop.
+  void MaybeReadRepair(std::uint64_t stripe, std::uint32_t shard,
+                       const std::vector<NodeId>& table,
+                       const std::vector<std::byte>& bytes);
   RebalanceReport Rebalance(
       const std::vector<std::pair<std::uint64_t, std::vector<NodeId>>>&
           old_tables);
@@ -180,6 +205,8 @@ class Coordinator {
   mutable std::mutex mu_;
   std::set<std::uint64_t> acked_;  // guarded by mu_
   std::set<NodeId> down_;          // guarded by mu_
+  std::map<std::uint64_t, std::size_t> heal_attempts_;  // guarded by mu_
+  std::set<std::uint64_t> quarantined_;                 // guarded by mu_
 
   std::mutex codec_mu_;
   std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,

@@ -7,17 +7,27 @@
 #include "aio/datapath.h"
 #include "dialga/dialga.h"
 #include "ec/lrc.h"
-#include "shard/shard_store.h"
+#include "fault/injector.h"
 
 namespace cluster {
 
 namespace {
 
-// Trailer appended to every persisted chunk: FNV-1a of the payload +
-// a magic word, so a restarted node never trusts a torn or truncated
-// chunk file (it is simply not loaded, and scrub rebuilds it).
-constexpr std::uint64_t kChunkMagic = 0x31414741'4c414944ull;  // "DIALGA1"
+// Trailer appended to every persisted chunk: a payload checksum + a
+// magic word, so a restarted node never trusts a torn or truncated
+// chunk file (it is simply not loaded, and scrub rebuilds it). The
+// magic doubles as the algorithm id: "DIALGA1" chunks carry FNV-1a
+// sums (pre-CRC generations), "DIALGA2" chunks carry CRC-32C. New
+// chunks persist with the magic matching their in-memory algo; both
+// generations load.
+constexpr std::uint64_t kChunkMagicFnv = 0x31414741'4c414944ull;  // "DIALGA1"
+constexpr std::uint64_t kChunkMagicCrc = 0x32414741'4c414944ull;  // "DIALGA2"
 constexpr std::size_t kTrailerBytes = 16;
+
+std::uint64_t ChunkSum(integrity::ChecksumAlgo algo, const std::byte* p,
+                       std::size_t n) {
+  return integrity::Checksum(algo, p, n);
+}
 
 void PutTrailerU64(std::vector<std::byte>* out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -100,11 +110,22 @@ void Node::LoadDir() {
     const std::size_t payload = raw.size() - kTrailerBytes;
     const std::uint64_t sum = GetTrailerU64(raw.data() + payload);
     const std::uint64_t magic = GetTrailerU64(raw.data() + payload + 8);
-    if (magic != kChunkMagic) continue;
-    if (shard::Checksum(raw.data(), payload) != sum) continue;  // bit rot
+    integrity::ChecksumAlgo algo;
+    if (magic == kChunkMagicFnv) {
+      algo = integrity::ChecksumAlgo::kFnv1a;
+    } else if (magic == kChunkMagicCrc) {
+      algo = integrity::ChecksumAlgo::kCrc32c;
+    } else {
+      continue;  // torn trailer / foreign file
+    }
+    integrity::Metrics::Get().verify("cluster");
+    if (ChunkSum(algo, raw.data(), payload) != sum) {
+      integrity::Metrics::Get().corrupt("cluster");
+      continue;  // bit rot
+    }
     raw.resize(payload);
     std::lock_guard<std::mutex> lk(mu_);
-    chunks_[{stripe, shard}] = Chunk{std::move(raw), sum};
+    chunks_[{stripe, shard}] = Chunk{std::move(raw), sum, algo};
   }
 }
 
@@ -113,7 +134,9 @@ bool Node::PersistChunk(std::uint64_t stripe, std::uint32_t shard,
   if (cfg_.data_dir.empty()) return true;
   std::vector<std::byte> out = c.bytes;
   PutTrailerU64(&out, c.sum);
-  PutTrailerU64(&out, kChunkMagic);
+  PutTrailerU64(&out, c.algo == integrity::ChecksumAlgo::kFnv1a
+                          ? kChunkMagicFnv
+                          : kChunkMagicCrc);
   aio::Transfer xfer(aio::SelectBackend(aio::ModeFromEnv()));
   return aio::WriteFileDurable(xfer, ChunkPath(stripe, shard), out).ok();
 }
@@ -121,7 +144,8 @@ bool Node::PersistChunk(std::uint64_t stripe, std::uint32_t shard,
 bool Node::PutChunk(std::uint64_t stripe, std::uint32_t shard,
                     std::vector<std::byte> bytes) {
   Chunk c;
-  c.sum = shard::Checksum(bytes.data(), bytes.size());
+  c.algo = integrity::kDefaultAlgo;
+  c.sum = ChunkSum(c.algo, bytes.data(), bytes.size());
   c.bytes = std::move(bytes);
   const bool persisted = PersistChunk(stripe, shard, c);
   std::lock_guard<std::mutex> lk(mu_);
@@ -135,7 +159,9 @@ WireStatus Node::FetchChunk(std::uint64_t stripe, std::uint32_t shard,
   const auto it = chunks_.find({stripe, shard});
   if (it == chunks_.end()) return WireStatus::kNotFound;
   const Chunk& c = it->second;
-  if (shard::Checksum(c.bytes.data(), c.bytes.size()) != c.sum) {
+  integrity::Metrics::Get().verify("cluster");
+  if (ChunkSum(c.algo, c.bytes.data(), c.bytes.size()) != c.sum) {
+    integrity::Metrics::Get().corrupt("cluster");
     return WireStatus::kCorrupt;
   }
   *out = c.bytes;

@@ -23,6 +23,7 @@
 #include "cluster/transport.h"
 #include "cluster/wire.h"
 #include "ec/codec.h"
+#include "integrity/checksum.h"
 #include "svc/stripe_service.h"
 
 namespace cluster {
@@ -73,6 +74,10 @@ class Node {
   struct Chunk {
     std::vector<std::byte> bytes;
     std::uint64_t sum = 0;
+    /// Algorithm `sum` was computed with. New chunks seal with
+    /// kDefaultAlgo; chunks reloaded from a legacy "DIALGA1" trailer
+    /// keep FNV-1a so their stored sums stay meaningful.
+    integrity::ChecksumAlgo algo = integrity::kDefaultAlgo;
   };
   using Key = std::pair<std::uint64_t, std::uint32_t>;
 

@@ -164,9 +164,13 @@ int LoopbackTransport::call(NodeId from, NodeId to, const Frame& req,
 
   // Round-trip both legs through the real wire codec so every RPC
   // exercises the exact byte format (and its bounds checks) a socket
-  // transport would put on the network.
-  const std::vector<std::byte> wire_req = EncodeFrame(req);
+  // transport would put on the network. The `cluster.recv.corrupt`
+  // site mutates the serialized bytes in flight — the frame CRC turns
+  // that into EBADMSG at the receiver, never silently-wrong payloads.
+  std::vector<std::byte> wire_req = EncodeFrame(req);
   RpcBytes(false).inc(wire_req.size());
+  fault::MaybeCorruptAt(to, "cluster.recv.corrupt", wire_req.data(),
+                        wire_req.size());
   Frame decoded_req;
   if (DecodeFrame(wire_req, &decoded_req) != ParseStatus::kOk) {
     RpcErrors().inc();
@@ -179,9 +183,11 @@ int LoopbackTransport::call(NodeId from, NodeId to, const Frame& req,
     return err;
   }
 
-  const std::vector<std::byte> wire_resp = EncodeFrame(raw_resp);
+  std::vector<std::byte> wire_resp = EncodeFrame(raw_resp);
   RpcBytes(true).inc(wire_resp.size());
   RpcCounter(raw_resp.type).inc();
+  fault::MaybeCorruptAt(from, "cluster.recv.corrupt", wire_resp.data(),
+                        wire_resp.size());
   if (DecodeFrame(wire_resp, resp) != ParseStatus::kOk) {
     RpcErrors().inc();
     return EBADMSG;

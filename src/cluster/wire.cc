@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "integrity/checksum.h"
+
 namespace cluster {
 
 namespace {
@@ -125,11 +127,12 @@ std::vector<std::byte> EncodeFrame(const Frame& f) {
   }
 
   std::vector<std::byte> out;
-  out.reserve(8 + body.size());
+  out.reserve(12 + body.size());
   PutU16(&out, kWireMagic);
   out.push_back(static_cast<std::byte>(kWireVersion));
   out.push_back(static_cast<std::byte>(f.type));
   PutU32(&out, static_cast<std::uint32_t>(body.size()));
+  PutU32(&out, integrity::Crc32c(body.data(), body.size()));
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }
@@ -141,7 +144,9 @@ ParseStatus DecodeFrame(std::span<const std::byte> in, Frame* out,
                               (static_cast<std::uint16_t>(in[1]) << 8);
   if (magic != kWireMagic) return ParseStatus::kMalformed;
   const std::uint8_t version = static_cast<std::uint8_t>(in[2]);
-  if (version != kWireVersion) return ParseStatus::kMalformed;
+  if (version != kWireVersion && version != kWireVersionLegacy) {
+    return ParseStatus::kMalformed;
+  }
   const std::uint8_t type = static_cast<std::uint8_t>(in[3]);
   if (!ValidMsgType(type)) return ParseStatus::kMalformed;
   std::uint32_t body_len = 0;
@@ -149,9 +154,23 @@ ParseStatus DecodeFrame(std::span<const std::byte> in, Frame* out,
     body_len |= static_cast<std::uint32_t>(in[4 + i]) << (8 * i);
   }
   if (body_len > kMaxWireBody) return ParseStatus::kMalformed;
-  if (in.size() - 8 < body_len) return ParseStatus::kTruncated;
+  // Version >= 2 carries a body CRC-32C after the length; verify it
+  // before any field is trusted — a flipped payload bit (even inside a
+  // chunk's bytes) is kMalformed here, not corrupt data downstream.
+  const std::size_t header = version >= 2 ? 12 : 8;
+  if (in.size() < header) return ParseStatus::kTruncated;
+  if (in.size() - header < body_len) return ParseStatus::kTruncated;
+  if (version >= 2) {
+    std::uint32_t want = 0;
+    for (int i = 0; i < 4; ++i) {
+      want |= static_cast<std::uint32_t>(in[8 + i]) << (8 * i);
+    }
+    if (integrity::Crc32c(in.data() + header, body_len) != want) {
+      return ParseStatus::kMalformed;
+    }
+  }
 
-  Reader r(in.subspan(8, body_len));
+  Reader r(in.subspan(header, body_len));
   Frame f;
   f.type = static_cast<MsgType>(type);
   std::uint32_t status = 0;
@@ -199,7 +218,7 @@ ParseStatus DecodeFrame(std::span<const std::byte> in, Frame* out,
   if (!r.done()) return ParseStatus::kMalformed;  // trailing garbage
 
   *out = std::move(f);
-  if (consumed != nullptr) *consumed = 8 + static_cast<std::size_t>(body_len);
+  if (consumed != nullptr) *consumed = header + static_cast<std::size_t>(body_len);
   return ParseStatus::kOk;
 }
 

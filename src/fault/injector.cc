@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iomanip>
 #include <sstream>
 
 #include "obs/metrics.h"
@@ -132,6 +133,21 @@ void Injector::clear() {
   active_.store(false, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Shared trigger evaluation for errno and corruption plans: operation
+/// #op fires if it is in nth, a multiple of every, or under the seeded
+/// coin.
+bool PlanHit(const SitePlan& plan, std::uint64_t seed,
+             std::uint64_t site_hash, std::uint64_t op) {
+  if (plan.every != 0 && op % plan.every == 0) return true;
+  if (std::binary_search(plan.nth.begin(), plan.nth.end(), op)) return true;
+  return plan.probability > 0.0 &&
+         Coin(seed, site_hash, op) < plan.probability;
+}
+
+}  // namespace
+
 int Injector::fire(const std::string& site) {
   if (!active()) return 0;
   std::lock_guard<std::mutex> lk(mu_);
@@ -139,20 +155,82 @@ int Injector::fire(const std::string& site) {
   if (it == sites_.end()) return 0;
   Site& s = it->second;
   const std::uint64_t op = ++s.ops;  // 1-based operation number
+  // Corruption-mode plans never surface as an errno: their ops still
+  // count (a consult is a consult), but only fire_corruption() fires.
+  if (s.plan.corrupt != CorruptKind::kNone) return 0;
   if (s.fires >= s.plan.max_fires) return 0;
-  bool hit = false;
-  if (s.plan.every != 0 && op % s.plan.every == 0) hit = true;
-  if (!hit &&
-      std::binary_search(s.plan.nth.begin(), s.plan.nth.end(), op)) {
-    hit = true;
-  }
-  if (!hit && s.plan.probability > 0.0 &&
-      Coin(seed_, HashName(site), op) < s.plan.probability) {
-    hit = true;
-  }
-  if (!hit) return 0;
+  if (!PlanHit(s.plan, seed_, HashName(site), op)) return 0;
   ++s.fires;
   return s.plan.error;
+}
+
+std::optional<Corruption> Injector::fire_corruption(const std::string& site) {
+  if (!active()) return std::nullopt;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return std::nullopt;
+  Site& s = it->second;
+  const std::uint64_t op = ++s.ops;  // 1-based operation number
+  if (s.plan.corrupt == CorruptKind::kNone) return std::nullopt;
+  if (s.fires >= s.plan.max_fires) return std::nullopt;
+  const std::uint64_t site_hash = HashName(site);
+  if (!PlanHit(s.plan, seed_, site_hash, op)) return std::nullopt;
+  ++s.fires;
+  Corruption c;
+  c.kind = s.plan.corrupt;
+  // Token derivation is decoupled from the Coin bits (extra SplitMix64
+  // round over a different combination) so trigger and mutation draw
+  // independent randomness while staying a pure function of
+  // (seed, site, op#).
+  c.token = SplitMix64(SplitMix64(seed_ ^ site_hash) ^
+                       (op * 0x9e3779b97f4a7c15ull));
+  c.span = s.plan.corrupt_span;
+  return c;
+}
+
+bool ApplyCorruption(const Corruption& c, void* data, std::size_t n) {
+  if (n == 0 || c.kind == CorruptKind::kNone || data == nullptr) {
+    return false;
+  }
+  auto* bytes = static_cast<unsigned char*>(data);
+  switch (c.kind) {
+    case CorruptKind::kBitFlip: {
+      const std::size_t pos = static_cast<std::size_t>(c.token % n);
+      bytes[pos] ^=
+          static_cast<unsigned char>(1u << ((c.token >> 56) & 7u));
+      return true;
+    }
+    case CorruptKind::kTorn: {
+      const std::size_t span =
+          std::min<std::size_t>(std::max<std::uint32_t>(c.span, 1), n);
+      const std::size_t pos =
+          static_cast<std::size_t>(c.token % (n - span + 1));
+      std::uint64_t x = c.token;
+      bool changed = false;
+      for (std::size_t i = 0; i < span; ++i) {
+        x = SplitMix64(x);
+        const auto b = static_cast<unsigned char>(x);
+        if (bytes[pos + i] != b) changed = true;
+        bytes[pos + i] = b;
+      }
+      return changed;
+    }
+    case CorruptKind::kStaleZero: {
+      const std::size_t span =
+          std::min<std::size_t>(std::max<std::uint32_t>(c.span, 1), n);
+      const std::size_t pos =
+          static_cast<std::size_t>(c.token % (n - span + 1));
+      bool changed = false;
+      for (std::size_t i = 0; i < span; ++i) {
+        if (bytes[pos + i] != 0) changed = true;
+        bytes[pos + i] = 0;
+      }
+      return changed;
+    }
+    case CorruptKind::kNone:
+      break;
+  }
+  return false;
 }
 
 SiteStats Injector::stats(const std::string& site) const {
@@ -241,6 +319,24 @@ bool Injector::install_spec(const std::string& spec, std::string* error_out) {
         bool ok = false;
         plan.error = ParseErrno(value, &ok);
         if (!ok) return fail("bad err '" + value + "' for " + site);
+      } else if (key == "corrupt") {
+        if (value == "bitflip") {
+          plan.corrupt = CorruptKind::kBitFlip;
+        } else if (value == "torn") {
+          plan.corrupt = CorruptKind::kTorn;
+        } else if (value == "zero") {
+          plan.corrupt = CorruptKind::kStaleZero;
+        } else {
+          return fail("bad corrupt kind '" + value + "' for " + site +
+                      " (want bitflip|torn|zero)");
+        }
+      } else if (key == "span") {
+        const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || v == 0 ||
+            v > (1ull << 20)) {
+          return fail("bad span '" + value + "' for " + site);
+        }
+        plan.corrupt_span = static_cast<std::uint32_t>(v);
       } else {
         return fail("unknown key '" + key + "' for " + site);
       }
@@ -251,6 +347,53 @@ bool Injector::install_spec(const std::string& spec, std::string* error_out) {
     install(site, std::move(plan));
   }
   return true;
+}
+
+std::string Injector::describe() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (sites_.empty()) return "";
+  std::vector<const std::pair<const std::string, Site>*> ordered;
+  ordered.reserve(sites_.size());
+  for (const auto& entry : sites_) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    return a->first < b->first;
+  });
+  std::ostringstream out;
+  out << "seed=" << seed_;
+  for (const auto* entry : ordered) {
+    const SitePlan& p = entry->second.plan;
+    out << ';' << entry->first << ':';
+    bool first = true;
+    const auto sep = [&]() -> std::ostream& {
+      if (!first) out << ',';
+      first = false;
+      return out;
+    };
+    if (p.probability > 0.0) {
+      sep() << "p=" << std::setprecision(17) << p.probability;
+    }
+    if (!p.nth.empty()) {
+      sep() << "nth=";
+      for (std::size_t i = 0; i < p.nth.size(); ++i) {
+        if (i != 0) out << '+';
+        out << p.nth[i];
+      }
+    }
+    if (p.every != 0) sep() << "every=" << p.every;
+    if (p.max_fires != ~std::uint64_t{0}) sep() << "max=" << p.max_fires;
+    if (p.corrupt != CorruptKind::kNone) {
+      const char* kind = p.corrupt == CorruptKind::kBitFlip ? "bitflip"
+                         : p.corrupt == CorruptKind::kTorn  ? "torn"
+                                                            : "zero";
+      sep() << "corrupt=" << kind;
+      if (p.corrupt != CorruptKind::kBitFlip) {
+        sep() << "span=" << p.corrupt_span;
+      }
+    } else if (p.error != EIO) {
+      sep() << "err=" << p.error;
+    }
+  }
+  return out.str();
 }
 
 bool Injector::install_from_env(std::string* error_out) {

@@ -29,6 +29,15 @@
 //   cluster.send      a cluster RPC fails on the sender side
 //   cluster.recv      a cluster RPC fails on the receiver side
 //
+// Corruption sites (corrupt=bitflip|torn|zero plans; see
+// docs/fault_injection.md for the catalogue): instead of an errno the
+// plan mutates the payload in flight, so verify-on-read defenses are
+// exercised. Distinct site names keep errno op-numbering untouched:
+//   shard.read.corrupt   shard payload bytes mutated after a full read
+//   pmpool.get.corrupt   a PM-resident block rots before Pool::get copies
+//   cluster.recv.corrupt serialized RPC response bytes mutated pre-decode
+//   aio.cqe.corrupt      a uring read completion's buffer is mutated
+//
 // Per-node site prefixes: cluster call sites consult FireErrnoAt(node,
 // site), which checks the node-scoped site "n<id>.<site>" first and
 // falls back to the plain site, so a spec like
@@ -40,8 +49,10 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -49,6 +60,16 @@
 #include <vector>
 
 namespace fault {
+
+/// Payload mutators for corruption-mode plans. kNone keeps the plan an
+/// errno plan (the default); anything else turns it into a data
+/// corruptor consulted via fire_corruption() instead of fire().
+enum class CorruptKind : std::uint8_t {
+  kNone = 0,
+  kBitFlip,    ///< flip one seeded bit
+  kTorn,       ///< overwrite `span` bytes with seeded garbage
+  kStaleZero,  ///< zero `span` bytes (stale / unwritten region)
+};
 
 /// When (and how) one site fails. Triggers combine with OR: the site
 /// fires on operation #n if n is in `nth`, or n is a multiple of
@@ -59,6 +80,17 @@ struct SitePlan {
   std::uint64_t every = 0;         ///< fire every Nth op; 0 = off
   std::uint64_t max_fires = ~std::uint64_t{0};  ///< stop after this many
   int error = EIO;  ///< errno delivered at I/O sites
+  CorruptKind corrupt = CorruptKind::kNone;  ///< data-corruption mode
+  std::uint32_t corrupt_span = 16;  ///< bytes mutated by torn/zero kinds
+};
+
+/// One fired corruption: the kind plus a seeded 64-bit token that fully
+/// determines the mutation (offset, bit index, garbage stream), so a
+/// corruption at (seed, site, op#) replays bit-identically.
+struct Corruption {
+  CorruptKind kind = CorruptKind::kNone;
+  std::uint64_t token = 0;
+  std::uint32_t span = 16;
 };
 
 /// Thread-safe per-site counters (snapshot).
@@ -106,8 +138,22 @@ class Injector {
 
   /// Consult the site for one operation. Returns the errno to inject
   /// (nonzero) when the site fires, 0 otherwise. Thread-safe; each
-  /// call advances the site's operation counter.
+  /// call advances the site's operation counter. A corruption-mode
+  /// plan (corrupt != kNone) never yields an errno here — its ops
+  /// still count, but only fire_corruption() can make it fire.
   int fire(const std::string& site);
+
+  /// Consult the site for one operation as a *data corruptor*. Returns
+  /// the mutation to apply when a corruption-mode plan fires, nullopt
+  /// otherwise (including for errno-mode plans, whose ops still
+  /// advance). The token is a pure function of (seed, site, op#).
+  std::optional<Corruption> fire_corruption(const std::string& site);
+
+  /// Canonical round-trippable dump of the installed schedule:
+  /// "seed=N;site:key=value,..." with sites sorted by name — feeding it
+  /// back to install_spec() reproduces the plan. Empty when no plans
+  /// are installed.
+  std::string describe() const;
 
   /// True when any plan is installed — the hot-path gate.
   bool active() const { return active_.load(std::memory_order_relaxed); }
@@ -181,6 +227,49 @@ inline void MaybeThrow(const char* site) {
   if (const int err = FireErrno(site); err != 0) {
     throw InjectedFault(site, err);
   }
+}
+
+/// Apply a fired Corruption to a byte range. The token alone picks the
+/// offset/bit/garbage, so replaying the same (seed, site, op#) against
+/// the same-sized buffer mutates identical bytes. Returns true when at
+/// least one byte changed (zeroing already-zero bytes is a no-op — the
+/// data stays self-consistent and checksums still match, which is the
+/// honest outcome for a stale-zero hit on a zero region).
+bool ApplyCorruption(const Corruption& c, void* data, std::size_t n);
+
+/// Corruption-site check over the global injector; single relaxed load
+/// when no plan is installed.
+inline std::optional<Corruption> FireCorruption(const char* site) {
+  Injector& in = Injector::Global();
+  if (!in.active()) return std::nullopt;
+  return in.fire_corruption(site);
+}
+
+/// Node-scoped corruption check: "n<id>.<site>" first, then the plain
+/// site, mirroring FireErrnoAt.
+inline std::optional<Corruption> FireCorruptionAt(std::uint32_t node,
+                                                  const char* site) {
+  Injector& in = Injector::Global();
+  if (!in.active()) return std::nullopt;
+  if (auto c = in.fire_corruption(NodeSite(node, site))) return c;
+  return in.fire_corruption(site);
+}
+
+/// Consult `site` and, if it fires, mutate [data, data+n). Returns true
+/// when bytes actually changed.
+inline bool MaybeCorrupt(const char* site, void* data, std::size_t n) {
+  if (const auto c = FireCorruption(site)) {
+    return ApplyCorruption(*c, data, n);
+  }
+  return false;
+}
+
+inline bool MaybeCorruptAt(std::uint32_t node, const char* site, void* data,
+                           std::size_t n) {
+  if (const auto c = FireCorruptionAt(node, site)) {
+    return ApplyCorruption(*c, data, n);
+  }
+  return false;
 }
 
 }  // namespace fault

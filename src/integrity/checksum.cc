@@ -1,0 +1,228 @@
+#include "integrity/checksum.h"
+
+#include <array>
+#include <cstring>
+
+#include "gf/gf_simd.h"
+#include "obs/metrics.h"
+
+namespace integrity {
+
+const char* algo_name(ChecksumAlgo algo) {
+  switch (algo) {
+    case ChecksumAlgo::kFnv1a:
+      return "fnv1a";
+    case ChecksumAlgo::kCrc32c:
+      return "crc32c";
+  }
+  return "unknown";
+}
+
+std::optional<ChecksumAlgo> parse_algo(std::string_view name) {
+  if (name == "fnv1a") return ChecksumAlgo::kFnv1a;
+  if (name == "crc32c") return ChecksumAlgo::kCrc32c;
+  return std::nullopt;
+}
+
+std::uint64_t Fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// CRC-32C slicing-by-8 tables (Castagnoli polynomial 0x1EDC6F41,
+/// reflected 0x82F63B78), built once. Table 0 is the classic byte-wise
+/// table; table t shifts a byte t further through the register.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  Crc32cTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+/// Hardware path selection: the build must carry the SSE4.2 TU and the
+/// active gf level must be kAvx2/kAvx512/kGfni — every CPU at those
+/// levels has SSE4.2, and pinning DIALGA_ISA to scalar/ssse3 pins the
+/// software path for differential runs.
+bool WantHardware() {
+  if (!Crc32cHardwareAvailable()) return false;
+  switch (gf::active_isa()) {
+    case gf::IsaLevel::kAvx2:
+    case gf::IsaLevel::kAvx512:
+    case gf::IsaLevel::kGfni:
+      return true;
+    case gf::IsaLevel::kScalar:
+    case gf::IsaLevel::kSsse3:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cSoftware(const void* data, std::size_t n) {
+  const auto& tbl = Tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  while (n >= 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: low 4 bytes absorb the register
+    crc = tbl[7][word & 0xFFu] ^ tbl[6][(word >> 8) & 0xFFu] ^
+          tbl[5][(word >> 16) & 0xFFu] ^ tbl[4][(word >> 24) & 0xFFu] ^
+          tbl[3][(word >> 32) & 0xFFu] ^ tbl[2][(word >> 40) & 0xFFu] ^
+          tbl[1][(word >> 48) & 0xFFu] ^ tbl[0][(word >> 56) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- != 0) {
+    crc = tbl[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+#if !DIALGA_HAVE_SSE42
+// The hardware TU is compiled only when the toolchain accepts
+// -msse4.2; these stubs keep the link honest elsewhere.
+std::uint32_t Crc32cHardware(const void*, std::size_t) { return 0; }
+bool Crc32cHardwareCpuOk() { return false; }
+#else
+// Defined in crc32c_sse42.cc.
+std::uint32_t Crc32cHardware(const void* data, std::size_t n);
+bool Crc32cHardwareCpuOk();
+#endif
+
+bool Crc32cHardwareAvailable() {
+#if DIALGA_HAVE_SSE42
+  static const bool ok = Crc32cHardwareCpuOk();
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool Crc32cUsesHardware() { return WantHardware(); }
+
+std::uint32_t Crc32c(const void* data, std::size_t n) {
+  if (WantHardware()) {
+    Metrics::Get().checksum_bytes(ChecksumAlgo::kCrc32c, true, n);
+    return Crc32cHardware(data, n);
+  }
+  Metrics::Get().checksum_bytes(ChecksumAlgo::kCrc32c, false, n);
+  return Crc32cSoftware(data, n);
+}
+
+std::uint64_t Checksum(ChecksumAlgo algo, const void* data, std::size_t n) {
+  switch (algo) {
+    case ChecksumAlgo::kFnv1a:
+      Metrics::Get().checksum_bytes(ChecksumAlgo::kFnv1a, false, n);
+      return Fnv1a(data, n);
+    case ChecksumAlgo::kCrc32c:
+      return static_cast<std::uint64_t>(Crc32c(data, n));
+  }
+  return 0;
+}
+
+struct Metrics::Impl {
+  static constexpr const char* kLayers[3] = {"shard", "pmpool", "cluster"};
+
+  obs::Counter* verify[3];
+  obs::Counter* corrupt[3];
+  obs::Counter* heal_ok[3];
+  obs::Counter* heal_failed[3];
+  obs::Counter* quarantine[3];
+  // [algo: fnv1a=0, crc32c=1][impl: sw=0, hw=1]
+  obs::Counter* bytes[2][2];
+
+  static int LayerIndex(const char* layer) {
+    if (std::strcmp(layer, "shard") == 0) return 0;
+    if (std::strcmp(layer, "pmpool") == 0) return 1;
+    return 2;
+  }
+};
+
+Metrics::Metrics() : impl_(new Impl) {
+  auto& reg = obs::Registry::Global();
+  for (int i = 0; i < 3; ++i) {
+    const std::string layer = Impl::kLayers[i];
+    impl_->verify[i] = &reg.counter(
+        "dialga_integrity_verify_total", {{"layer", layer}},
+        "Blocks checksum-verified on a read path");
+    impl_->corrupt[i] = &reg.counter(
+        "dialga_integrity_corrupt_total", {{"layer", layer}},
+        "Checksum mismatches detected by verify-on-read or scrub");
+    impl_->heal_ok[i] = &reg.counter(
+        "dialga_integrity_heal_total", {{"layer", layer}, {"outcome", "ok"}},
+        "Read-repair heal attempts by outcome");
+    impl_->heal_failed[i] = &reg.counter(
+        "dialga_integrity_heal_total",
+        {{"layer", layer}, {"outcome", "failed"}},
+        "Read-repair heal attempts by outcome");
+    impl_->quarantine[i] = &reg.counter(
+        "dialga_integrity_quarantine_total", {{"layer", layer}},
+        "Stripes/shards quarantined after exceeding the heal-retry cap");
+  }
+  const char* algos[2] = {"fnv1a", "crc32c"};
+  const char* impls[2] = {"sw", "hw"};
+  for (int a = 0; a < 2; ++a) {
+    for (int im = 0; im < 2; ++im) {
+      impl_->bytes[a][im] = &reg.counter(
+          "dialga_integrity_checksum_bytes_total",
+          {{"algo", algos[a]}, {"impl", impls[im]}},
+          "Bytes hashed per checksum algorithm and implementation");
+    }
+  }
+}
+
+Metrics& Metrics::Get() {
+  static Metrics m;
+  return m;
+}
+
+void Metrics::verify(const char* layer, std::uint64_t n) {
+  impl_->verify[Impl::LayerIndex(layer)]->inc(n);
+}
+
+void Metrics::corrupt(const char* layer, std::uint64_t n) {
+  impl_->corrupt[Impl::LayerIndex(layer)]->inc(n);
+}
+
+void Metrics::heal(const char* layer, bool ok, std::uint64_t n) {
+  const int i = Impl::LayerIndex(layer);
+  (ok ? impl_->heal_ok[i] : impl_->heal_failed[i])->inc(n);
+}
+
+void Metrics::quarantine(const char* layer, std::uint64_t n) {
+  impl_->quarantine[Impl::LayerIndex(layer)]->inc(n);
+}
+
+void Metrics::checksum_bytes(ChecksumAlgo algo, bool hw, std::uint64_t n) {
+  const int a = algo == ChecksumAlgo::kCrc32c ? 1 : 0;
+  impl_->bytes[a][hw ? 1 : 0]->inc(n);
+}
+
+}  // namespace integrity

@@ -1,0 +1,37 @@
+// SSE4.2 CRC32 instruction path — compiled with -msse4.2 in its own
+// TU (the gf_simd_* pattern), selected at runtime by Crc32c() when the
+// active ISA level implies the CPU has it.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include <nmmintrin.h>
+
+namespace integrity {
+
+bool Crc32cHardwareCpuOk() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("sse4.2");
+#else
+  return false;
+#endif
+}
+
+std::uint32_t Crc32cHardware(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = 0xFFFFFFFFu;
+  while (n >= 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, p, 8);
+    crc = _mm_crc32_u64(crc, word);
+    p += 8;
+    n -= 8;
+  }
+  auto crc32 = static_cast<std::uint32_t>(crc);
+  while (n-- != 0) {
+    crc32 = _mm_crc32_u8(crc32, *p++);
+  }
+  return crc32 ^ 0xFFFFFFFFu;
+}
+
+}  // namespace integrity

@@ -4,13 +4,9 @@
 #include <cstring>
 
 #include "fault/injector.h"
-#include "shard/shard_store.h"  // Checksum()
+#include "integrity/checksum.h"
 
 namespace pmpool {
-
-namespace {
-using shard::Checksum;
-}  // namespace
 
 Pool::Pool(const PoolConfig& cfg)
     : cfg_(cfg),
@@ -45,8 +41,51 @@ void Pool::encode_stripe(Stripe& s) {
 
 void Pool::reseal(Stripe& s) {
   for (std::size_t i = 0; i < cfg_.k + cfg_.m; ++i) {
-    s.checksums[i] = Checksum(s.blocks[i].host, cfg_.block_size);
+    s.checksums[i] = seal(s, i);
   }
+}
+
+std::uint64_t Pool::seal(const Stripe& s, std::size_t block) const {
+  return integrity::Checksum(cfg_.algo, s.blocks[block].host,
+                             cfg_.block_size);
+}
+
+bool Pool::heal_stripe(Stripe& s) const {
+  auto& im = integrity::Metrics::Get();
+  std::vector<std::size_t> bad;
+  for (std::size_t i = 0; i < cfg_.k + cfg_.m; ++i) {
+    im.verify("pmpool");
+    if (seal(s, i) != s.checksums[i]) bad.push_back(i);
+  }
+  im.corrupt("pmpool", bad.size());
+  bool healed = false;
+  if (!bad.empty() && bad.size() <= cfg_.m) {
+    std::vector<std::byte*> all;
+    all.reserve(cfg_.k + cfg_.m);
+    for (auto& b : s.blocks) all.push_back(b.host);
+    if (codec_.decode(cfg_.block_size, all, bad)) {
+      // Only sealed-checksum-confirmed reconstructions count: a decode
+      // poisoned by an undetected bad survivor must not pass as clean.
+      healed = true;
+      for (const std::size_t i : bad) {
+        if (seal(s, i) != s.checksums[i]) {
+          healed = false;
+          break;
+        }
+      }
+    }
+  }
+  if (healed || bad.empty()) {
+    if (!bad.empty()) im.heal("pmpool", true);
+    s.heal_attempts = 0;
+    return true;
+  }
+  im.heal("pmpool", false);
+  if (++s.heal_attempts >= cfg_.heal_retry_cap) {
+    s.quarantined = true;
+    im.quarantine("pmpool");
+  }
+  return false;
 }
 
 Pool::ObjectId Pool::put(std::span<const std::byte> value) {
@@ -92,7 +131,23 @@ std::optional<std::vector<std::byte>> Pool::get(ObjectId id) const {
   std::vector<std::byte> out(obj.size);
   std::size_t off = 0;
   for (const std::size_t si : obj.stripes) {
-    const Stripe& s = stripes_[si];
+    Stripe& s = stripes_[si];
+    if (s.quarantined) return std::nullopt;  // damage, named — not bytes
+    // Corruption drill first (models PM rot discovered at read time),
+    // then verify the data blocks this read consumes; any mismatch
+    // triggers a whole-stripe heal before a byte is copied out.
+    bool suspect = false;
+    std::size_t probe = off;
+    for (std::size_t i = 0; i < cfg_.k && probe < obj.size; ++i) {
+      fault::MaybeCorrupt("pmpool.get.corrupt", s.blocks[i].host,
+                          cfg_.block_size);
+      if (cfg_.verify_on_read) {
+        integrity::Metrics::Get().verify("pmpool");
+        if (seal(s, i) != s.checksums[i]) suspect = true;
+      }
+      probe += std::min(cfg_.block_size, obj.size - probe);
+    }
+    if (suspect && !heal_stripe(s)) return std::nullopt;
     for (std::size_t i = 0; i < cfg_.k && off < obj.size; ++i) {
       const std::size_t n = std::min(cfg_.block_size, obj.size - off);
       std::memcpy(out.data() + off, s.blocks[i].host, n);
@@ -134,34 +189,60 @@ bool Pool::update(ObjectId id, std::size_t offset,
 
 ScrubReport Pool::scrub() {
   ScrubReport report;
+  auto& im = integrity::Metrics::Get();
   for (Stripe& s : stripes_) {
     std::vector<std::size_t> bad;
     for (std::size_t i = 0; i < cfg_.k + cfg_.m; ++i) {
       ++report.blocks_checked;
-      if (Checksum(s.blocks[i].host, cfg_.block_size) != s.checksums[i]) {
-        bad.push_back(i);
-      }
+      im.verify("pmpool");
+      if (seal(s, i) != s.checksums[i]) bad.push_back(i);
     }
     report.blocks_damaged += bad.size();
-    if (bad.empty()) continue;
+    im.corrupt("pmpool", bad.size());
+    if (bad.empty()) {
+      // A clean pass over a quarantined stripe lifts the quarantine —
+      // scrub is the rehabilitation path.
+      if (s.quarantined) {
+        s.quarantined = false;
+        s.heal_attempts = 0;
+        ++report.stripes_unquarantined;
+      }
+      continue;
+    }
     if (bad.size() > cfg_.m) {
       ++report.objects_lost;
+      im.heal("pmpool", false);
       continue;
     }
     std::vector<std::byte*> all;
     for (auto& b : s.blocks) all.push_back(b.host);
     if (!codec_.decode(cfg_.block_size, all, bad)) {
       ++report.objects_lost;
+      im.heal("pmpool", false);
       continue;
     }
     // Only count blocks whose repaired bytes match the sealed checksum.
+    std::size_t confirmed = 0;
     for (const std::size_t i : bad) {
-      if (Checksum(s.blocks[i].host, cfg_.block_size) == s.checksums[i]) {
-        ++report.blocks_repaired;
-      }
+      if (seal(s, i) == s.checksums[i]) ++confirmed;
+    }
+    report.blocks_repaired += confirmed;
+    im.heal("pmpool", confirmed == bad.size());
+    if (confirmed == bad.size() && s.quarantined) {
+      s.quarantined = false;
+      s.heal_attempts = 0;
+      ++report.stripes_unquarantined;
     }
   }
   return report;
+}
+
+std::size_t Pool::quarantined_stripes() const {
+  std::size_t n = 0;
+  for (const Stripe& s : stripes_) {
+    if (s.quarantined) ++n;
+  }
+  return n;
 }
 
 PoolStats Pool::stats() const {

@@ -3,10 +3,15 @@
 // (NOVA-Fortis / Pangolin-style software redundancy for PM).
 //
 // Objects are striped RS(k, m) across k+m PM regions with per-block
-// checksums. Reads verify nothing (fast path); a scrub pass verifies
-// every block and repairs up to m damaged blocks per stripe with the
-// DIALGA codec. Small overwrites go through the delta-update engine
-// (ec/update.h) so parity maintenance touches only the affected lines.
+// checksums. Reads verify-on-read by default: every consumed block's
+// checksum is checked, a mismatch transparently reconstructs the bad
+// blocks from the stripe's survivors and reseats them in place, and a
+// stripe that keeps failing past the heal-retry cap is quarantined —
+// get() on it reports damage (nullopt) instead of ever returning
+// corrupt bytes as clean. A scrub pass verifies every block, repairs
+// stripe-wise, and lifts quarantine from stripes it fully heals.
+// Small overwrites go through the delta-update engine (ec/update.h) so
+// parity maintenance touches only the affected lines.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,7 @@
 
 #include "dialga/dialga.h"
 #include "ec/update.h"
+#include "integrity/checksum.h"
 #include "simmem/address_space.h"
 
 namespace pmpool {
@@ -25,6 +31,15 @@ struct PoolConfig {
   std::size_t m = 3;
   std::size_t block_size = 1024;
 
+  /// Verify consumed blocks on every get() (see header note). Turning
+  /// it off restores the old unverified fast path — the bench
+  /// integrity series measures the delta; keep it on in production.
+  bool verify_on_read = true;
+  /// Failed heals a stripe survives before it is quarantined.
+  std::size_t heal_retry_cap = 3;
+  /// Block-seal checksum algorithm (in-memory seals, no compat burden).
+  integrity::ChecksumAlgo algo = integrity::kDefaultAlgo;
+
   std::size_t stripe_payload() const { return k * block_size; }
 };
 
@@ -33,6 +48,7 @@ struct ScrubReport {
   std::size_t blocks_damaged = 0;
   std::size_t blocks_repaired = 0;
   std::size_t objects_lost = 0;  ///< stripes beyond m damaged blocks
+  std::size_t stripes_unquarantined = 0;  ///< quarantines lifted this pass
   bool clean() const { return blocks_damaged == blocks_repaired; }
 };
 
@@ -73,7 +89,11 @@ class Pool {
   /// object are released, so a later scrub never sees half an object.
   std::optional<ObjectId> try_put(std::span<const std::byte> value);
 
-  /// Read an object back (no verification — use scrub() for that).
+  /// Read an object back. With cfg.verify_on_read (default) every
+  /// consumed block is checksum-verified; mismatches heal in place
+  /// from the stripe's survivors, and an unhealable or quarantined
+  /// stripe yields nullopt — corrupt bytes are never returned as
+  /// clean. Logically const: healing restores sealed state.
   std::optional<std::vector<std::byte>> get(ObjectId id) const;
 
   /// Overwrite `bytes` at `offset` within the object, updating parity
@@ -87,6 +107,9 @@ class Pool {
   PoolStats stats() const;
   const PoolConfig& config() const { return cfg_; }
 
+  /// Stripes currently quarantined (heal failures past the cap).
+  std::size_t quarantined_stripes() const;
+
   /// Fault injection for tests/demos: flip one bit of a stored block.
   /// `block` indexes the stripe's k+m blocks.
   void inject_fault(ObjectId id, std::size_t stripe_of_object,
@@ -96,6 +119,8 @@ class Pool {
   struct Stripe {
     std::vector<simmem::Region> blocks;          // k + m, host-backed
     std::vector<std::uint64_t> checksums;        // k + m
+    std::size_t heal_attempts = 0;  ///< consecutive failed heals
+    bool quarantined = false;
   };
   struct Object {
     std::vector<std::size_t> stripes;  // indices into stripes_
@@ -106,12 +131,19 @@ class Pool {
   std::optional<std::size_t> new_stripe();
   void encode_stripe(Stripe& s);
   void reseal(Stripe& s);  // recompute checksums after a data change
+  std::uint64_t seal(const Stripe& s, std::size_t block) const;
+  /// Verify all k+m blocks, reconstruct the bad ones in place, and
+  /// confirm against the seals. On failure bumps heal_attempts and
+  /// quarantines past the cap. True when the stripe ends verified-clean.
+  bool heal_stripe(Stripe& s) const;
 
   PoolConfig cfg_;
   dialga::DialgaCodec codec_;
   ec::UpdateEngine updater_;
   simmem::AddressSpace space_;
-  std::vector<Stripe> stripes_;
+  // Mutable: get() is logically const but heals corrupt blocks back to
+  // their sealed bytes (and tracks quarantine state) as it reads.
+  mutable std::vector<Stripe> stripes_;
   std::vector<Object> objects_;
 };
 

@@ -157,31 +157,38 @@ RebuildProgress RunRebuild(
 
 ScrubReport ScrubStripes(const ec::Codec& codec, std::size_t block_size,
                          std::span<const ec::DecodeJob> jobs,
-                         std::size_t threads, std::size_t max_retries) {
+                         std::size_t threads, std::size_t max_retries,
+                         const std::function<bool(std::size_t)>& verify) {
   ScrubReport report;
   report.stripes = jobs.size();
 
   // Fold injected `repair.scrub` failures into a pass's real decode
   // failures: one injector consultation per job, in job order, so a
   // seeded schedule replays exactly. `real` is ascending (the
-  // ParallelDecode contract) and the result stays ascending.
-  const auto with_injected = [](const std::vector<std::size_t>& real,
-                                std::size_t count) {
+  // ParallelDecode contract) and the result stays ascending. Jobs that
+  // decoded "cleanly" but fail the caller's checksum verifier join the
+  // same set: wrong bytes are a failure whether or not the matrix
+  // algebra went through.
+  const auto with_injected = [&](const std::vector<std::size_t>& real,
+                                 std::size_t count,
+                                 const auto& job_index) {
     std::vector<std::size_t> merged;
     std::size_t ri = 0;
     for (std::size_t i = 0; i < count; ++i) {
       bool bad = ri < real.size() && real[ri] == i;
       if (bad) ++ri;
       if (fault::Fires("repair.scrub")) bad = true;
+      if (!bad && verify && !verify(job_index(i))) bad = true;
       if (bad) merged.push_back(i);
     }
     return merged;
   };
+  const auto identity = [](std::size_t i) { return i; };
 
   std::vector<std::size_t> failed;
   ec::ParallelDecode(codec, block_size, jobs, threads, &failed);
   report.attempts += jobs.size();
-  failed = with_injected(failed, jobs.size());
+  failed = with_injected(failed, jobs.size(), identity);
   report.failed_first_pass = failed.size();
 
   for (std::size_t round = 0; round < max_retries && !failed.empty();
@@ -194,7 +201,9 @@ ScrubReport ScrubStripes(const ec::Codec& codec, std::size_t block_size,
     std::vector<std::size_t> still_failed;
     ec::ParallelDecode(codec, block_size, subset, threads, &still_failed);
     report.attempts += subset.size();
-    still_failed = with_injected(still_failed, subset.size());
+    still_failed = with_injected(
+        still_failed, subset.size(),
+        [&](std::size_t i) { return failed[i]; });
     std::vector<std::size_t> next;
     next.reserve(still_failed.size());
     for (const std::size_t s : still_failed) next.push_back(failed[s]);

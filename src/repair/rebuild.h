@@ -87,9 +87,18 @@ struct ScrubReport {
 /// affected stripes, not a re-decode of the whole set. Stripes with
 /// more than m erasures stay in `unrecovered`. `threads` follows the
 /// ParallelEncode convention (0 = hardware concurrency, 1 = serial).
-ScrubReport ScrubStripes(const ec::Codec& codec, std::size_t block_size,
-                         std::span<const ec::DecodeJob> jobs,
-                         std::size_t threads = 0,
-                         std::size_t max_retries = 1);
+///
+/// `verify`, when set, is consulted per job after a successful decode
+/// (job index into `jobs`; return true for verified-clean). A decode
+/// can "succeed" and still hand back wrong bytes when a survivor was
+/// silently corrupt — the codec only sees erasures, not bit rot — so
+/// callers holding expected checksums pass a verifier here and a
+/// mismatch joins the retry subset like any decode failure, ending in
+/// `unrecovered` rather than being reported repaired.
+ScrubReport ScrubStripes(
+    const ec::Codec& codec, std::size_t block_size,
+    std::span<const ec::DecodeJob> jobs, std::size_t threads = 0,
+    std::size_t max_retries = 1,
+    const std::function<bool(std::size_t)>& verify = {});
 
 }  // namespace repair

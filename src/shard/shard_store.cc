@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <sstream>
@@ -10,6 +11,7 @@
 
 #include "aio/datapath.h"
 #include "fault/injector.h"
+#include "integrity/checksum.h"
 #include "obs/metrics.h"
 #include "pmpool/arena.h"
 #include "svc/stripe_service.h"
@@ -52,13 +54,18 @@ struct ShardMetrics {
 }  // namespace
 
 std::uint64_t Checksum(const std::byte* data, std::size_t n) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<std::uint64_t>(data[i]);
-    h *= 1099511628211ull;
-  }
-  return h;
+  return integrity::Fnv1a(data, n);
 }
+
+namespace {
+
+/// The manifest's algorithm applied to a byte range.
+std::uint64_t ShardSum(const Manifest& mf, const std::byte* data,
+                       std::size_t n) {
+  return integrity::Checksum(mf.algo, data, n);
+}
+
+}  // namespace
 
 std::string Status::message() const {
   std::string msg = detail.empty() ? std::string("ok") : detail;
@@ -92,10 +99,21 @@ std::string Manifest::serialize() const {
      << "k " << k << "\n"
      << "m " << m << "\n"
      << "block " << block_size << "\n"
-     << "size " << file_size << "\n";
+     << "size " << file_size << "\n"
+     << "algo " << integrity::algo_name(algo) << "\n";
   for (std::size_t i = 0; i < shard_checksums.size(); ++i) {
     os << "shard " << i << " " << shard_checksums[i] << "\n";
   }
+  // Self-checksum over every preceding byte (same algorithm as the
+  // table): a flipped bit anywhere above — including inside a checksum
+  // value — or a truncated tail fails parse() instead of feeding the
+  // verifier a wrong table.
+  const std::string body = os.str();
+  os << "manifestsum "
+     << integrity::Checksum(
+            algo, reinterpret_cast<const std::byte*>(body.data()),
+            body.size())
+     << "\n";
   return os.str();
 }
 
@@ -108,14 +126,67 @@ std::optional<Manifest> Manifest::parse(const std::string& text) {
   constexpr std::size_t kMaxShards = 4096;                  // k + m
   constexpr std::size_t kMaxBlock = std::size_t{1} << 30;   // 1 GiB
   constexpr std::uint64_t kMaxFile = std::uint64_t{1} << 50;  // 1 PiB
-  std::istringstream is(text);
+
+  // Versioned-format preamble, byte-oriented because the self-checksum
+  // covers an exact prefix: find the declared algorithm and the
+  // trailing manifestsum line, verify the sum over everything before
+  // it, and token-parse only the covered body. A manifest that
+  // declares an algorithm but lost its sum line (truncation) is
+  // rejected; so is any sum mismatch (bit flips, including inside the
+  // checksum table itself).
+  integrity::ChecksumAlgo algo = integrity::ChecksumAlgo::kFnv1a;
+  bool versioned = false;
+  std::string body = text;
+  {
+    if (const std::size_t apos = text.rfind("\nalgo ");
+        apos != std::string::npos) {
+      const std::size_t vstart = apos + 6;
+      const std::size_t eol = text.find('\n', vstart);
+      if (eol == std::string::npos) return std::nullopt;
+      const auto parsed = integrity::parse_algo(
+          std::string_view(text).substr(vstart, eol - vstart));
+      if (!parsed) return std::nullopt;
+      algo = *parsed;
+      versioned = true;
+    }
+    const std::size_t spos = text.rfind("\nmanifestsum ");
+    if (versioned && spos == std::string::npos) return std::nullopt;
+    if (spos != std::string::npos) {
+      const std::size_t line_start = spos + 1;
+      const std::size_t vstart = line_start + 12;  // "manifestsum "
+      const std::size_t eol = text.find('\n', vstart);
+      // The sum line must be terminal AND newline-complete: trailing
+      // bytes would escape the sum, and a missing newline means the
+      // tail was cut — a 1-byte truncation is still a truncation.
+      if (eol == std::string::npos || eol + 1 != text.size()) {
+        return std::nullopt;
+      }
+      const std::size_t vend = eol;
+      if (vstart >= vend) return std::nullopt;
+      const std::string val = text.substr(vstart, vend - vstart);
+      char* endp = nullptr;
+      const unsigned long long want = std::strtoull(val.c_str(), &endp, 10);
+      if (endp == nullptr || *endp != '\0') return std::nullopt;
+      const std::uint64_t got = integrity::Checksum(
+          algo, reinterpret_cast<const std::byte*>(text.data()), line_start);
+      if (got != static_cast<std::uint64_t>(want)) return std::nullopt;
+      body = text.substr(0, line_start);
+    }
+  }
+
+  std::istringstream is(body);
   std::string line;
   if (!std::getline(is, line) || line != "dialga-shard-v1") return std::nullopt;
   Manifest mf;
+  mf.algo = algo;
+  mf.versioned = versioned;
   std::vector<bool> seen;
   std::string key;
   while (is >> key) {
-    if (key == "k") {
+    if (key == "algo") {
+      std::string name;
+      if (!(is >> name) || !integrity::parse_algo(name)) return std::nullopt;
+    } else if (key == "k") {
       if (!(is >> mf.k) || mf.k == 0 || mf.k > kMaxShards) return std::nullopt;
     } else if (key == "m") {
       if (!(is >> mf.m) || mf.m == 0 || mf.m > kMaxShards) return std::nullopt;
@@ -167,9 +238,12 @@ fs::path ShardPath(const fs::path& dir, std::size_t index) {
 }
 
 /// The shard store's fault-site names, handed to the datapath so the
-/// same chaos schedules exercise both backends (aio/datapath.h).
+/// same chaos schedules exercise both backends (aio/datapath.h). The
+/// corruption site fires once per successful whole-shard read
+/// (ReadFileExact), identically on stdio and uring.
 constexpr aio::FaultSites kShardSites{
-    "shard.open", "shard.read", "shard.short_read", "shard.write"};
+    "shard.open", "shard.read", "shard.short_read", "shard.write",
+    "shard.read.corrupt"};
 
 /// Run `op`, retrying transient errnos (EINTR/EAGAIN) with the
 /// policy's jittered backoff — but never sleeping past the policy
@@ -420,6 +494,8 @@ Status ShardStore::encode_file(const fs::path& input,
   mf.m = m;
   mf.block_size = block_size_;
   mf.file_size = file_size;
+  mf.algo = algo_;
+  mf.versioned = true;
   const std::size_t stripes = mf.stripes();  // >= 1: empty files clamp
   const std::size_t shard_bytes = stripes * block_size_;
 
@@ -496,7 +572,7 @@ Status ShardStore::encode_file(const fs::path& input,
   // shards, each themselves whole) or the complete new generation —
   // never a manifest naming torn shards.
   for (std::size_t s = 0; s < k + m; ++s) {
-    mf.shard_checksums.push_back(Checksum(shards[s].data(), shard_bytes));
+    mf.shard_checksums.push_back(ShardSum(mf, shards[s].data(), shard_bytes));
     const auto st = aio::WriteFileDurable(xfer, ShardPath(dir, s), shards[s],
                                           kShardSites, /*sync_parent=*/false);
     if (!st.ok()) {
@@ -529,8 +605,10 @@ std::optional<Manifest> ShardStore::load_manifest(const fs::path& dir) const {
 void ShardStore::load_shards(aio::Transfer& xfer, const fs::path& dir,
                              const Manifest& mf,
                              const std::vector<std::span<std::byte>>& shards,
-                             std::vector<std::size_t>* damaged) const {
+                             std::vector<std::size_t>* damaged,
+                             std::vector<ShardState>* states) const {
   const std::size_t n = mf.k + mf.m;
+  if (states != nullptr) states->assign(n, ShardState::kIntact);
   for (std::size_t s = 0; s < n; ++s) {
     // Transient read errors retry before the shard is written off as
     // damaged; persistent failures degrade to "rebuild it from
@@ -540,13 +618,22 @@ void ShardStore::load_shards(aio::Transfer& xfer, const fs::path& dir,
       return aio::ReadFileExact(xfer, ShardPath(dir, s), shards[s],
                                 kShardSites);
     });
-    const bool intact = st.ok() &&
-                        Checksum(shards[s].data(), shards[s].size()) ==
-                            mf.shard_checksums[s];
-    if (!intact) {
+    ShardState state = ShardState::kIntact;
+    if (!st.ok()) {
+      state = ShardState::kMissing;
+    } else if (verify_on_read_) {
+      integrity::Metrics::Get().verify("shard");
+      if (ShardSum(mf, shards[s].data(), shards[s].size()) !=
+          mf.shard_checksums[s]) {
+        state = ShardState::kCorrupt;
+        integrity::Metrics::Get().corrupt("shard");
+      }
+    }
+    if (state != ShardState::kIntact) {
       damaged->push_back(s);
       std::fill(shards[s].begin(), shards[s].end(), std::byte{0});
     }
+    if (states != nullptr) (*states)[s] = state;
   }
 }
 
@@ -564,6 +651,24 @@ std::vector<std::size_t> ShardStore::verify(const fs::path& dir) const {
   return damaged;
 }
 
+VerifyReport ShardStore::verify_detailed(const fs::path& dir) const {
+  VerifyReport report;
+  const auto mf = load_manifest(dir);
+  if (!mf) return report;
+  report.manifest_ok = true;
+  pmpool::Arena arena;
+  std::vector<std::span<std::byte>> shards;
+  for (std::size_t s = 0; s < mf->k + mf->m; ++s) {
+    shards.push_back(arena.allocate(mf->shard_bytes()));
+  }
+  aio::Transfer xfer(aio::SelectBackend(aio_mode_), arena.iovecs());
+  load_shards(xfer, dir, *mf, shards, &report.damaged, &report.states);
+  for (std::size_t s = 0; s < report.states.size(); ++s) {
+    if (report.states[s] == ShardState::kCorrupt) report.corrupt.push_back(s);
+  }
+  return report;
+}
+
 RepairReport ShardStore::repair(const fs::path& dir) const {
   RepairReport report;
   const auto mf = load_manifest(dir);
@@ -574,20 +679,28 @@ RepairReport ShardStore::repair(const fs::path& dir) const {
     shards.push_back(arena.allocate(mf->shard_bytes()));
   }
   aio::Transfer xfer(aio::SelectBackend(aio_mode_), arena.iovecs());
-  load_shards(xfer, dir, *mf, shards, &report.damaged);
+  std::vector<ShardState> states;
+  load_shards(xfer, dir, *mf, shards, &report.damaged, &states);
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    if (states[s] == ShardState::kCorrupt) report.corrupt.push_back(s);
+  }
   if (report.damaged.empty()) return report;
   if (report.damaged.size() > mf->m) return report;  // unrecoverable
 
   report.status = decode_stripes(*mf, shards, report.damaged);
   if (!report.status.ok()) return report;
   for (const std::size_t s : report.damaged) {
-    if (Checksum(shards[s].data(), shards[s].size()) !=
+    if (ShardSum(*mf, shards[s].data(), shards[s].size()) !=
         mf->shard_checksums[s]) {
+      integrity::Metrics::Get().heal("shard", false);
       continue;  // rebuilt bytes do not match the manifest: refuse
     }
     if (aio::WriteFileDurable(xfer, ShardPath(dir, s), shards[s], kShardSites)
             .ok()) {
       report.repaired.push_back(s);
+      integrity::Metrics::Get().heal("shard", true);
+    } else {
+      integrity::Metrics::Get().heal("shard", false);
     }
   }
   return report;
@@ -627,6 +740,25 @@ Status ShardStore::decode_file(const fs::path& dir,
       // Anchor the stripe-level failure to the directory it concerns.
       if (st.path.empty()) st.path = dir;
       return st;
+    }
+    if (read_repair_) {
+      // Read-repair: the reconstruction already paid for the healed
+      // bytes, so write them back through the durable protocol and the
+      // next read starts clean. Only checksum-confirmed rebuilds land;
+      // a write failure leaves the old shard (temp→rename), so heal is
+      // strictly best-effort and never fails the decode.
+      for (const std::size_t s : damaged) {
+        if (ShardSum(*mf, shards[s].data(), shards[s].size()) !=
+            mf->shard_checksums[s]) {
+          integrity::Metrics::Get().heal("shard", false);
+          continue;
+        }
+        const bool wrote =
+            aio::WriteFileDurable(xfer, ShardPath(dir, s), shards[s],
+                                  kShardSites)
+                .ok();
+        integrity::Metrics::Get().heal("shard", wrote);
+      }
     }
   }
 

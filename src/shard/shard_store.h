@@ -6,10 +6,18 @@
 //
 // On-disk layout inside a shard directory:
 //   manifest.txt     human-readable header (format, k, m, block, size,
-//                    per-shard FNV-1a checksums)
+//                    checksum algorithm id, per-shard checksums, and a
+//                    trailing self-checksum line)
 //   shard_000 .. shard_{k+m-1}
 // Each shard holds its blocks of every stripe back to back; the file is
 // zero-padded to a whole number of stripes.
+//
+// Checksum versioning: new generations record `algo crc32c` (hardware-
+// dispatched, integrity/checksum.h) and end with a `manifestsum` line
+// covering every preceding byte, so a bit-flipped or truncated
+// manifest is a parse failure, never a silently-zero checksum table.
+// Manifests without the algo line are pre-versioning FNV-1a generations
+// and still verify and decode unchanged.
 #pragma once
 
 #include <chrono>
@@ -23,6 +31,7 @@
 
 #include "aio/datapath.h"
 #include "ec/codec.h"
+#include "integrity/checksum.h"
 #include "svc/retry.h"
 
 namespace pmpool {
@@ -80,6 +89,12 @@ struct Manifest {
   std::size_t m = 0;
   std::size_t block_size = 0;
   std::uint64_t file_size = 0;  ///< original (unpadded) byte count
+  /// Checksum algorithm of the table (and the manifestsum line). Old
+  /// manifests carry no `algo` line and parse as kFnv1a.
+  integrity::ChecksumAlgo algo = integrity::ChecksumAlgo::kFnv1a;
+  /// True when the manifest text declared `algo` (the versioned
+  /// format, which also requires the trailing manifestsum line).
+  bool versioned = false;
   std::vector<std::uint64_t> shard_checksums;  ///< k + m entries
 
   std::size_t stripes() const;
@@ -89,16 +104,36 @@ struct Manifest {
   static std::optional<Manifest> parse(const std::string& text);
 };
 
-/// FNV-1a over a byte range (the scrub checksum).
+/// FNV-1a over a byte range — the legacy scrub checksum, kept for
+/// pre-versioning generations; new code paths use the manifest's
+/// algorithm via integrity::Checksum.
 std::uint64_t Checksum(const std::byte* data, std::size_t n);
+
+/// Per-shard verification outcome (verify-on-read vocabulary).
+enum class ShardState : std::uint8_t {
+  kIntact = 0,
+  kMissing,  ///< unreadable / missing / wrong size
+  kCorrupt,  ///< read fine but the checksum disagrees with the manifest
+};
 
 struct RepairReport {
   std::vector<std::size_t> damaged;   ///< shard indices found bad
+  std::vector<std::size_t> corrupt;   ///< subset present but checksum-bad
   std::vector<std::size_t> repaired;  ///< subset successfully rebuilt
   /// Why reconstruction stopped early, when it did (deadline expiry or
   /// retry exhaustion on the service path); kOk otherwise.
   Status status = Status::Ok();
   bool ok() const { return damaged.size() == repaired.size(); }
+};
+
+/// verify_detailed() outcome: per-shard states plus the damaged list
+/// verify() would have returned.
+struct VerifyReport {
+  bool manifest_ok = false;
+  std::vector<ShardState> states;      ///< k + m entries when manifest_ok
+  std::vector<std::size_t> damaged;    ///< indices not kIntact
+  std::vector<std::size_t> corrupt;    ///< indices kCorrupt
+  bool clean() const { return manifest_ok && damaged.empty(); }
 };
 
 /// How the store uses an attached StripeService when the environment
@@ -143,6 +178,26 @@ class ShardStore {
   void set_aio_mode(aio::Mode mode) { aio_mode_ = mode; }
   aio::Mode aio_mode() const { return aio_mode_; }
 
+  /// Checksum algorithm stamped into manifests written by encode_file
+  /// (reads always honour whatever the manifest declares). Default:
+  /// hardware-dispatched CRC-32C.
+  void set_checksum_algo(integrity::ChecksumAlgo algo) { algo_ = algo; }
+  integrity::ChecksumAlgo checksum_algo() const { return algo_; }
+
+  /// Verify-on-read: every load checks shard checksums against the
+  /// manifest and treats mismatches as damage (the default). Turning
+  /// it off skips the checksum pass — the bench_svc_throughput
+  /// integrity series measures exactly this delta; production paths
+  /// should leave it on.
+  void set_verify_on_read(bool on) { verify_on_read_ = on; }
+  bool verify_on_read() const { return verify_on_read_; }
+
+  /// Read-repair: decode_file rewrites shards it had to reconstruct
+  /// (durably, temp→fsync→rename) when the rebuilt bytes match the
+  /// manifest checksum, so a read heals the generation in place.
+  void set_read_repair(bool on) { read_repair_ = on; }
+  bool read_repair() const { return read_repair_; }
+
   /// Encode `input` into `dir` (created if needed). kIoError with
   /// errno + path on filesystem failure.
   Status encode_file(const std::filesystem::path& input,
@@ -151,6 +206,10 @@ class ShardStore {
   /// Verify all shard checksums against the manifest.
   /// Returns the indices of damaged or missing shards.
   std::vector<std::size_t> verify(const std::filesystem::path& dir) const;
+
+  /// verify() with per-shard states (missing vs present-but-corrupt) —
+  /// what `eccli verify --heal` reports on.
+  VerifyReport verify_detailed(const std::filesystem::path& dir) const;
 
   /// Rebuild damaged/missing shards from the survivors (up to m).
   RepairReport repair(const std::filesystem::path& dir) const;
@@ -166,10 +225,12 @@ class ShardStore {
       const std::filesystem::path& dir) const;
   /// Read every shard into its preallocated span; unreadable or
   /// checksum-failing shards are zero-filled and flagged in `damaged`.
+  /// `states` (optional) records each shard's ShardState.
   void load_shards(aio::Transfer& xfer, const std::filesystem::path& dir,
                    const Manifest& mf,
                    const std::vector<std::span<std::byte>>& shards,
-                   std::vector<std::size_t>* damaged) const;
+                   std::vector<std::size_t>* damaged,
+                   std::vector<ShardState>* states = nullptr) const;
   /// Read a file with the policy's transient-errno retry (EINTR /
   /// EAGAIN back off and re-read; anything else fails immediately).
   bool read_file_retrying(const std::filesystem::path& path,
@@ -200,6 +261,9 @@ class ShardStore {
   svc::StripeService* service_ = nullptr;
   ServicePolicy policy_;
   aio::Mode aio_mode_ = aio::ModeFromEnv();
+  integrity::ChecksumAlgo algo_ = integrity::kDefaultAlgo;
+  bool verify_on_read_ = true;
+  bool read_repair_ = true;
 };
 
 }  // namespace shard

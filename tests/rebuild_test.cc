@@ -245,5 +245,42 @@ TEST(Scrub, RetryBudgetZeroReportsFirstPassFailures) {
   EXPECT_EQ(r.unrecovered, (std::vector<std::size_t>{0}));
 }
 
+TEST(Scrub, VerifierFailuresJoinTheRetrySubset) {
+  // A decode can "succeed" and still produce wrong bytes when a
+  // survivor was silently corrupt — the codec only sees declared
+  // erasures. A caller-supplied verifier must put such stripes through
+  // the retry loop and into `unrecovered`, not let them be reported
+  // repaired.
+  const ec::IsalCodec codec(4, 2);
+  const std::vector<std::size_t> erasures{1};
+  ScrubCorpus corpus(codec, 256, 8, erasures);
+  // Rot a *survivor* block of stripe 3: decode still succeeds
+  // algebraically, but the recovered bytes are wrong.
+  corpus.storage[3 * 6 + 2][10] ^= std::byte{0x40};
+  std::size_t verify_calls = 0;
+  const ScrubReport r = ScrubStripes(
+      codec, 256, corpus.jobs, 2, /*max_retries=*/1,
+      [&](std::size_t job) {
+        ++verify_calls;
+        return job != 3;  // stands in for a checksum mismatch
+      });
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.failed_first_pass, 1u);
+  EXPECT_EQ(r.unrecovered, (std::vector<std::size_t>{3}));
+  // Verified on the first pass (8 jobs) and again on the retry (1).
+  EXPECT_EQ(verify_calls, 9u);
+}
+
+TEST(Scrub, VerifierPassingKeepsThePassClean) {
+  const ec::IsalCodec codec(4, 2);
+  const std::vector<std::size_t> erasures{0, 5};
+  ScrubCorpus corpus(codec, 256, 5, erasures);
+  const ScrubReport r =
+      ScrubStripes(codec, 256, corpus.jobs, 2, /*max_retries=*/1,
+                   [](std::size_t) { return true; });
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.failed_first_pass, 0u);
+}
+
 }  // namespace
 }  // namespace repair

@@ -11,6 +11,8 @@
 #include <cstring>
 #include <random>
 
+#include "integrity/checksum.h"
+
 namespace {
 
 using cluster::Blob;
@@ -159,18 +161,55 @@ TEST(WireFuzzTest, HugeDeclaredBodyIsMalformedNotAllocated) {
 
 TEST(WireFuzzTest, HugeCountsInsideBodyRejected) {
   // Corrupt the placement count inside a valid frame to claim more
-  // entries than the body holds.
+  // entries than the body holds. The body checksum is recomputed after
+  // the mutation so the count-bound check itself is what rejects the
+  // frame, not the CRC.
   Frame f = SampleFrame();
   f.blocks.clear();
   auto bytes = EncodeFrame(f);
-  // Body starts at offset 8; placement count sits after seq(8) +
-  // stripe(8) + shard(4) + status(4) + aux(8) + geom(16) = offset 56.
-  const std::size_t count_off = 8 + 48;
+  // Body starts at offset 12 (v2 header); placement count sits after
+  // seq(8) + stripe(8) + shard(4) + status(4) + aux(8) + geom(16).
+  const std::size_t count_off = 12 + 48;
   ASSERT_LT(count_off + 4, bytes.size());
   const std::uint32_t huge = 0x7fffffffu;
   std::memcpy(bytes.data() + count_off, &huge, 4);
+  const std::uint32_t sum =
+      integrity::Crc32c(bytes.data() + 12, bytes.size() - 12);
+  std::memcpy(bytes.data() + 8, &sum, 4);
   Frame out;
   EXPECT_EQ(DecodeFrame(bytes, &out, nullptr), ParseStatus::kMalformed);
+}
+
+TEST(WireFuzzTest, BodyBitFlipFailsChecksum) {
+  // A single flipped bit anywhere in a v2 body — including deep inside
+  // a chunk's bytes, where no structural field would notice — must be
+  // kMalformed at the codec, never silently-wrong payload downstream.
+  const auto good = EncodeFrame(SampleFrame());
+  for (std::size_t bit : {0u, 1u, 7u}) {
+    for (std::size_t off = 12; off < good.size(); off += 37) {
+      auto bytes = good;
+      bytes[off] ^= std::byte{static_cast<unsigned char>(1u << bit)};
+      Frame out;
+      EXPECT_EQ(DecodeFrame(bytes, &out, nullptr), ParseStatus::kMalformed)
+          << "offset " << off << " bit " << bit;
+    }
+  }
+}
+
+TEST(WireTest, LegacyVersion1FrameStillParses) {
+  // Mixed-version interop: a v1 frame (8-byte header, no body CRC)
+  // built by an old peer must still decode.
+  const Frame f = SampleFrame();
+  const auto v2 = EncodeFrame(f);
+  std::vector<std::byte> v1;
+  v1.insert(v1.end(), v2.begin(), v2.begin() + 8);
+  v1[2] = std::byte{1};  // version
+  v1.insert(v1.end(), v2.begin() + 12, v2.end());  // body, sans CRC
+  Frame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(v1, &out, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(consumed, v1.size());
+  EXPECT_TRUE(FramesEqual(f, out));
 }
 
 TEST(WireFuzzTest, SeededRandomMutationsNeverCrash) {

@@ -20,7 +20,9 @@
 // work across separate invocations.
 //
 // Exit codes (see --help): 0 success, 1 damaged, 2 usage, 3 I/O,
-// 4 deadline exceeded / retry budget exhausted, 5 cluster quorum loss.
+// 4 deadline exceeded / retry budget exhausted, 5 cluster quorum loss,
+// 6 corruption detected and healed in place (verify --heal).
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -46,15 +48,22 @@ constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
 constexpr int kExitDeadline = 4;
 constexpr int kExitQuorum = 5;
+constexpr int kExitHealed = 6;
 
 void Usage() {
   std::cerr
       << "usage:\n"
          "  eccli encode --k K --m M [--block BYTES] <input> <shard-dir>\n"
-         "  eccli verify <shard-dir>\n"
+         "  eccli verify [--heal] <shard-dir>\n"
          "  eccli repair <shard-dir>\n"
          "  eccli decode <shard-dir> <output>\n"
          "options:\n"
+         "  --heal            verify only: rewrite checksum-failing "
+         "shards in place\n"
+         "                    from the survivors and report what was "
+         "healed; exits 6\n"
+         "                    when corruption was found and fully "
+         "healed\n"
          "  --serial          bypass the stripe service, encode/decode "
          "serially\n"
          "  --threads N       worker threads for the stripe service "
@@ -74,6 +83,12 @@ void Usage() {
          "svc.admission:nth=2+5'\n"
          "                    (also read from DIALGA_FAULT_PLAN / "
          "DIALGA_FAULT_SEED)\n"
+         "  --fault-plan-dump print the fully-resolved effective fault "
+         "plan (seed +\n"
+         "                    per-site specs, corruption modes included) "
+         "and exit —\n"
+         "                    feed it back to --fault-plan to reproduce "
+         "a run\n"
          "  --metrics-out F   dump the process metrics registry on exit; "
          "'.json'/'.jsonl'\n"
          "                    select JSON-lines, anything else Prometheus "
@@ -120,7 +135,11 @@ void Usage() {
          "  4  deadline exceeded or retry budget exhausted "
          "(--deadline-ms/--retries)\n"
          "  5  cluster quorum loss: fewer than k shard homes reachable "
-         "(--cluster-nodes)\n";
+         "(--cluster-nodes)\n"
+         "  6  corruption detected and healed in place (verify --heal); "
+         "the data is\n"
+         "     intact again but the run DID see damage — alert-worthy, "
+         "not an error\n";
 }
 
 struct Options {
@@ -132,6 +151,8 @@ struct Options {
   std::size_t retries = 0;
   bool strict_budget = false;  // --deadline-ms/--retries given
   bool serial = false;
+  bool heal = false;             // verify --heal
+  bool fault_plan_dump = false;  // print resolved plan and exit
   std::string fault_plan;
   std::string metrics_out;
   std::string trace_out;
@@ -190,6 +211,10 @@ bool Parse(int argc, char** argv, Options* opt) {
       if (!next_value(&opt->domains)) return false;
     } else if (arg == "--serial") {
       opt->serial = true;
+    } else if (arg == "--heal") {
+      opt->heal = true;
+    } else if (arg == "--fault-plan-dump") {
+      opt->fault_plan_dump = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else {
@@ -369,6 +394,21 @@ int RunClusterCommand(const std::string& cmd, const Options& opt) {
   c->coordinator().heartbeat();  // routing skips nuked node dirs
 
   if (cmd == "verify") {
+    // Plain verify is report-only: its reads must not write healed
+    // chunks back, or the damage report would erase its own evidence.
+    c->coordinator().set_read_repair(opt.heal);
+    // --heal first runs a scrub pass so missing/corrupt chunks are
+    // rewritten at their homes before the verification reads.
+    std::size_t healed = 0;
+    if (opt.heal) {
+      const auto rep = c->coordinator().scrub_pass();
+      healed = rep.repaired;
+      if (rep.unrecoverable > 0) {
+        std::cerr << "eccli: " << rep.unrecoverable
+                  << " chunk(s) unrecoverable (fewer than k survivors)\n";
+        return kExitQuorum;
+      }
+    }
     // Read every data block; report how many needed reconstruction.
     std::size_t degraded = 0;
     for (const std::uint64_t s : mf.stripes) {
@@ -380,6 +420,13 @@ int RunClusterCommand(const std::string& cmd, const Options& opt) {
       }
     }
     if (degraded == 0) {
+      if (healed > 0) {
+        std::cout << "healed " << healed << " chunk(s); all "
+                  << mf.stripes.size() << " stripe(s) healthy ("
+                  << c->coordinator().quarantined_stripes()
+                  << " quarantined)\n";
+        return kExitHealed;
+      }
       std::cout << "all " << mf.stripes.size() << " stripe(s) healthy\n";
       return kExitOk;
     }
@@ -492,15 +539,47 @@ int RunCommand(const std::string& cmd, const Options& opt) {
     attach(store);
 
     if (cmd == "verify") {
-      const auto damaged = store.verify(opt.positional[0]);
-      if (damaged.empty()) {
+      if (!opt.heal) {
+        const auto damaged = store.verify(opt.positional[0]);
+        if (damaged.empty()) {
+          std::cout << "all " << mf->k + mf->m << " shards intact\n";
+          return kExitOk;
+        }
+        std::cout << damaged.size() << " damaged shard(s):";
+        for (const std::size_t s : damaged) std::cout << " " << s;
+        std::cout << "\n";
+        return kExitDamaged;
+      }
+      // --heal: distinguish corrupt (present, wrong bytes) from missing,
+      // rewrite what parity can recover in place, and report the rest.
+      const auto detail = store.verify_detailed(opt.positional[0]);
+      if (detail.clean()) {
         std::cout << "all " << mf->k + mf->m << " shards intact\n";
         return kExitOk;
       }
-      std::cout << damaged.size() << " damaged shard(s):";
-      for (const std::size_t s : damaged) std::cout << " " << s;
+      const auto report = store.repair(opt.positional[0]);
+      if (!report.status.ok()) return Report(report.status);
+      std::cout << "healed " << report.repaired.size() << "/"
+                << detail.damaged.size() << " damaged shard(s) ("
+                << detail.corrupt.size() << " corrupt, "
+                << detail.damaged.size() - detail.corrupt.size()
+                << " missing):";
+      for (const std::size_t s : report.repaired) std::cout << " " << s;
       std::cout << "\n";
-      return kExitDamaged;
+      if (!report.ok()) {
+        std::cout << report.damaged.size() - report.repaired.size()
+                  << " shard(s) unhealable (beyond parity) — "
+                     "quarantined:";
+        for (const std::size_t s : report.damaged) {
+          if (std::find(report.repaired.begin(), report.repaired.end(),
+                        s) == report.repaired.end()) {
+            std::cout << " " << s;
+          }
+        }
+        std::cout << "\n";
+        return kExitDamaged;
+      }
+      return kExitHealed;
     }
     if (cmd == "repair") {
       const auto report = store.repair(opt.positional[0]);
@@ -550,6 +629,8 @@ int main(int argc, char** argv) {
     Usage();
     return kExitUsage;
   }
+  // `eccli --fault-plan-dump [...]` works without a subcommand.
+  if (cmd == "--fault-plan-dump") opt.fault_plan_dump = true;
 
   // Fault plans: environment first (CI harnesses), then the flag so an
   // explicit --fault-plan can extend or override it.
@@ -562,6 +643,17 @@ int main(int argc, char** argv) {
       !fault::Injector::Global().install_spec(opt.fault_plan, &plan_error)) {
     std::cerr << "eccli: bad --fault-plan: " << plan_error << "\n";
     return kExitUsage;
+  }
+  // Log the fully-resolved plan (seed + per-site specs) the moment the
+  // injector goes active, so a failing chaos run is reproducible from
+  // its log alone: feed the printed string back to --fault-plan.
+  if (fault::Injector::Global().active()) {
+    std::cerr << "eccli: fault plan: " << fault::Injector::Global().describe()
+              << "\n";
+  }
+  if (opt.fault_plan_dump) {
+    std::cout << fault::Injector::Global().describe() << "\n";
+    return kExitOk;
   }
 
   // ISA pin: DIALGA_ISA was applied at first kernel dispatch; --isa
