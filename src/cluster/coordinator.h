@@ -30,6 +30,7 @@
 #include "cluster/transport.h"
 #include "cluster/wire.h"
 #include "ec/codec.h"
+#include "svc/governor.h"
 #include "svc/retry.h"
 
 namespace cluster {
@@ -58,6 +59,12 @@ struct CoordinatorConfig {
   /// write-backs stop (reads still serve degraded; scrub_pass
   /// rehabilitates and lifts the quarantine).
   std::size_t heal_retry_cap = 3;
+  /// Optional pressure-aware bandwidth governor (non-owning; must
+  /// outlive the coordinator). When set, every scrub/rebuild/rebalance
+  /// throttle first applies the governor's rate scale to the byte-
+  /// denominated token buckets, so repair bandwidth clamps down while
+  /// DIALGA's pressure signals (or per-node reports) show contention.
+  svc::BandwidthGovernor* governor = nullptr;
 };
 
 struct OpResult {
@@ -160,7 +167,16 @@ class Coordinator {
   /// never mutates it.
   void set_read_repair(bool on) { cfg_.read_repair = on; }
 
+  /// Feed one node's contention bit into the governor's aggregated
+  /// per-node pressure (no-op without a governor). Any node under
+  /// pressure clamps the cluster-wide repair rate.
+  void report_node_pressure(NodeId node, bool contended);
+
  private:
+  /// Re-poll the governor and push its rate scale onto both repair
+  /// buckets; called at every throttle site so the clamp takes effect
+  /// mid-pass, not just between passes.
+  void ApplyPressure();
   enum class RepairKind { kScrub, kRebuild };
 
   int Call(NodeId to, const Frame& req, Frame* resp);

@@ -83,6 +83,30 @@ void Coordinator::update_pattern(const PatternInfo& pattern) {
   decide();
 }
 
+double Coordinator::UpdateBaseline(std::vector<double>& ring,
+                                   std::size_t& next, std::size_t& count,
+                                   double current_min,
+                                   double observation) const {
+  if (thr_.baseline_window == 0) {
+    // Legacy lifetime minimum, kept selectable for comparison runs.
+    return current_min < 0.0 ? observation
+                             : std::min(current_min, observation);
+  }
+  if (ring.size() != thr_.baseline_window) {
+    ring.assign(thr_.baseline_window, 0.0);
+    next = 0;
+    count = 0;
+  }
+  ring[next] = observation;
+  next = (next + 1) % ring.size();
+  count = std::min(count + 1, ring.size());
+  // O(window) scan at the 1 kHz sampling rate is negligible next to
+  // the window's worth of simulated memory traffic.
+  double min = ring[0];
+  for (std::size_t i = 1; i < count; ++i) min = std::min(min, ring[i]);
+  return min;
+}
+
 const Strategy& Coordinator::strategy(const simmem::MemorySystem& mem) {
   const double now = mem.max_clock();
   if (now - last_sample_time_ >= thr_.sample_interval_ns) {
@@ -112,14 +136,19 @@ void Coordinator::sample(const simmem::MemorySystem& mem, double now) {
     m.window_gbps.set(window_gbps);
   }
 
-  // Low-pressure baselines: the least-contended window seen so far
-  // (the paper calibrates them in a dedicated low-pressure phase).
-  if (baseline_latency_ns_ < 0.0 || window_latency < baseline_latency_ns_) {
-    baseline_latency_ns_ = window_latency;
-  }
-  if (baseline_useless_ < 0.0 || window_useless < baseline_useless_) {
-    baseline_useless_ = window_useless;
-  }
+  // Low-pressure baselines: the least-contended window among the last
+  // baseline_window samples (the paper calibrates them in a dedicated
+  // low-pressure phase). A lifetime minimum would let one anomalously
+  // quiet warm-up window keep contention_/inefficient_ asserted for
+  // the rest of the run; the sliding window forgets it.
+  baseline_latency_ns_ =
+      UpdateBaseline(baseline_lat_ring_, baseline_lat_next_,
+                     baseline_lat_count_, baseline_latency_ns_,
+                     window_latency);
+  baseline_useless_ =
+      UpdateBaseline(baseline_useless_ring_, baseline_useless_next_,
+                     baseline_useless_count_, baseline_useless_,
+                     window_useless);
 
   contention_ =
       window_latency > thr_.latency_contention_ratio * baseline_latency_ns_;

@@ -19,6 +19,9 @@
 //    widens the loop + caps the distance by Eq. 1 under high pressure.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "dialga/hill_climb.h"
 #include "dialga/policy.h"
 #include "simmem/memory_system.h"
@@ -62,10 +65,21 @@ class Coordinator {
   bool contention() const { return contention_; }
   bool prefetcher_inefficient() const { return inefficient_; }
   const HillClimber& climber() const { return climber_; }
+  /// Current low-pressure baselines (window minimum; -1 before the
+  /// first valid sample) — exposed so the regression test can pin the
+  /// sliding-window recovery behavior.
+  double baseline_latency_ns() const { return baseline_latency_ns_; }
+  double baseline_useless() const { return baseline_useless_; }
 
  private:
   void sample(const simmem::MemorySystem& mem, double now);
   void decide();
+  /// Push a window's observation into a baseline ring and return the
+  /// minimum over the retained window (lifetime minimum when
+  /// thr_.baseline_window == 0).
+  double UpdateBaseline(std::vector<double>& ring, std::size_t& next,
+                        std::size_t& count, double current_min,
+                        double observation) const;
 
   PatternInfo pattern_;
   Features feat_;
@@ -79,8 +93,17 @@ class Coordinator {
   double last_sample_time_ = 0.0;
   simmem::PmuCounters last_pmu_;
   std::size_t samples_ = 0;
-  double baseline_latency_ns_ = -1.0;   // low-pressure average
-  double baseline_useless_ = -1.0;      // low-pressure useless-pf delta
+  /// Low-pressure baselines: minimum over the last baseline_window
+  /// samples (rings below), not a lifetime minimum — see
+  /// Thresholds::baseline_window for why.
+  double baseline_latency_ns_ = -1.0;
+  double baseline_useless_ = -1.0;
+  std::vector<double> baseline_lat_ring_;
+  std::size_t baseline_lat_next_ = 0;
+  std::size_t baseline_lat_count_ = 0;
+  std::vector<double> baseline_useless_ring_;
+  std::size_t baseline_useless_next_ = 0;
+  std::size_t baseline_useless_count_ = 0;
   double last_window_gbps_ = -1.0;
   bool contention_ = false;
   bool inefficient_ = false;

@@ -86,6 +86,13 @@ struct Thresholds {
   /// Block size at which the HW prefetcher is fully effective and is
   /// always kept on (Observation 4).
   std::size_t large_block_bytes = 4096;
+  /// Sampling windows the low-pressure baselines (latency, useless
+  /// prefetches) take their minimum over. The baselines used to be
+  /// lifetime minima, which made one anomalously quiet warm-up window
+  /// pin contention_/inefficient_ on for the process lifetime; a
+  /// sliding window lets them recover once the quiet sample ages out.
+  /// 0 restores the legacy lifetime-minimum behavior.
+  std::size_t baseline_window = 64;
 };
 
 /// Which DIALGA mechanisms are active — the Fig. 18 breakdown axes.

@@ -31,6 +31,9 @@ struct Pending {
   /// Lifecycle trace span opened at admission; 0 when tracing is off
   /// or this request was sampled out (every downstream hook no-ops).
   std::uint64_t trace_id = 0;
+  /// Set by DispatchBatch; completion routes governor accounting to
+  /// in-flight (dispatched) vs queued (dropped undispatched) bytes.
+  bool dispatched = false;
 
   const StripeShape& shape() const {
     return op == OpClass::kEncode ? enc.shape : dec.shape;
@@ -45,6 +48,17 @@ struct Pending {
     return deadline != std::chrono::steady_clock::time_point{} &&
            now >= deadline;
   }
+  TrafficClass qos_class() const {
+    return op == OpClass::kEncode ? enc.qos_class : dec.qos_class;
+  }
+  /// Stripe footprint the governor accounts in: every class touches
+  /// the full k+m blocks (encode reads k and writes m; decode scans
+  /// the survivor set), so one uniform measure keeps byte accounting
+  /// comparable across classes.
+  std::uint64_t qos_bytes() const {
+    const StripeShape& s = shape();
+    return static_cast<std::uint64_t>(s.k + s.m) * s.block_size;
+  }
 };
 
 /// One dispatchable stripe batch: indices into the drained request run,
@@ -53,13 +67,24 @@ struct Batch {
   OpClass op = OpClass::kEncode;
   StripeShape shape;
   const ec::Codec* codec = nullptr;  ///< override; null = factory codec
+  TrafficClass qos_class = TrafficClass::kBulkEncode;
   std::vector<std::size_t> indices;  ///< submission order preserved
 };
 
+/// Governor-accounted bytes of one batch (stripes x full-stripe
+/// footprint).
+inline std::uint64_t BatchBytes(const Batch& b) {
+  return static_cast<std::uint64_t>(b.indices.size()) *
+         static_cast<std::uint64_t>(b.shape.k + b.shape.m) *
+         b.shape.block_size;
+}
+
 /// Group `reqs` into batches. Requests keep their relative submission
-/// order inside a batch; a (op, shape, codec) group larger than
+/// order inside a batch; a (op, shape, codec, class) group larger than
 /// max_batch splits into consecutive batches so one giant burst cannot
-/// monopolize the pool. max_batch == 0 means unbounded.
+/// monopolize the pool. max_batch == 0 means unbounded. The traffic
+/// class joins the key so the governor can defer a bulk batch without
+/// holding latency-class requests hostage inside it.
 std::vector<Batch> FormBatches(std::span<const Pending> reqs,
                                std::size_t max_batch);
 

@@ -4,6 +4,7 @@
 // depth high-water mark for the service stats snapshot.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -11,6 +12,11 @@
 #include <utility>
 
 namespace svc {
+
+/// Outcome of a timed pop: distinguishes "nothing yet, retry" from
+/// "closed and drained, stop" — the dispatcher holding deferred
+/// batches needs the difference.
+enum class QueuePop { kItem, kTimeout, kClosed };
 
 template <typename T>
 class BoundedQueue {
@@ -40,6 +46,21 @@ class BoundedQueue {
     *out = std::move(items_.front());
     items_.pop_front();
     return true;
+  }
+
+  /// Timed pop: waits up to `d` for an item. kTimeout lets a caller
+  /// with deferred work (the governor's held-back batches) come back
+  /// and retry them instead of blocking until the next arrival.
+  template <class Rep, class Period>
+  QueuePop pop_for(T* out, std::chrono::duration<Rep, Period> d) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ready_.wait_for(lk, d, [this] { return closed_ || !items_.empty(); });
+    if (!items_.empty()) {
+      *out = std::move(items_.front());
+      items_.pop_front();
+      return QueuePop::kItem;
+    }
+    return closed_ ? QueuePop::kClosed : QueuePop::kTimeout;
   }
 
   /// Non-blocking drain companion to pop(), used to coalesce whatever

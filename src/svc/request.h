@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ec/codec.h"
+#include "svc/traffic_class.h"
 
 namespace svc {
 
@@ -37,6 +38,10 @@ struct EncodeRequest {
   /// request still queued when its deadline passes completes with
   /// kDeadlineExceeded (admission rejects one already expired).
   std::chrono::nanoseconds timeout{0};
+  /// Bandwidth-governor traffic class. Encodes default to bulk; the
+  /// cluster tier tags scrub/rebuild encodes explicitly. Ignored when
+  /// the service runs without a governor.
+  TrafficClass qos_class = TrafficClass::kBulkEncode;
 };
 
 /// Reconstruct the erased blocks of one stripe in place.
@@ -46,6 +51,9 @@ struct DecodeRequest {
   std::vector<std::size_t> erasures;
   const ec::Codec* codec = nullptr;
   std::chrono::nanoseconds timeout{0};  ///< see EncodeRequest::timeout
+  /// Decodes default to the latency-sensitive degraded-read class;
+  /// scrub verification reads re-tag themselves kScrub.
+  TrafficClass qos_class = TrafficClass::kDegradedRead;
 };
 
 }  // namespace svc

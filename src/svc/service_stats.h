@@ -35,6 +35,8 @@ struct ServiceStats {
   std::uint64_t admitted_decode = 0;
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_class_limit = 0;
+  /// Governor byte backstop (only with a BandwidthGovernor attached).
+  std::uint64_t rejected_bandwidth = 0;
   std::uint64_t rejected_shutdown = 0;
   std::uint64_t invalid = 0;
 

@@ -16,6 +16,7 @@ enum class StatusCode {
   kCodecError,          ///< codec body threw; whole batch untrusted
   kInvalidArgument,     ///< malformed request (pointer counts, erasures)
   kDeadlineExceeded,    ///< request deadline passed before completion
+  kRejectedBandwidth,   ///< governor byte backstop for a bulk class
 };
 
 inline const char* to_string(StatusCode c) {
@@ -38,6 +39,8 @@ inline const char* to_string(StatusCode c) {
       return "invalid-argument";
     case StatusCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case StatusCode::kRejectedBandwidth:
+      return "rejected-bandwidth";
   }
   return "?";
 }
@@ -47,7 +50,8 @@ inline const char* to_string(StatusCode c) {
 /// run inline (ShardStore falls back to the serial codec path).
 inline bool IsRejection(StatusCode c) {
   return c == StatusCode::kRejectedQueueFull ||
-         c == StatusCode::kRejectedClassLimit;
+         c == StatusCode::kRejectedClassLimit ||
+         c == StatusCode::kRejectedBandwidth;
 }
 
 /// True for statuses a bounded retry-with-backoff loop may resubmit

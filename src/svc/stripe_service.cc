@@ -32,6 +32,7 @@ struct SvcMetrics {
   obs::Counter& admitted_decode;
   obs::Counter& rejected_queue_full;
   obs::Counter& rejected_class_limit;
+  obs::Counter& rejected_bandwidth;
   obs::Counter& rejected_shutdown;
   obs::Counter& invalid;
   obs::Counter& completed_ok;
@@ -54,6 +55,7 @@ struct SvcMetrics {
         reg.counter("dialga_svc_rejected_total", {{"reason", "queue_full"}},
                     "Requests rejected at admission"),
         reg.counter("dialga_svc_rejected_total", {{"reason", "class_limit"}}),
+        reg.counter("dialga_svc_rejected_total", {{"reason", "bandwidth"}}),
         reg.counter("dialga_svc_rejected_total", {{"reason", "shutdown"}}),
         reg.counter("dialga_svc_invalid_total", {},
                     "Malformed requests (pointer counts, erasures)"),
@@ -118,6 +120,13 @@ void StripeService::Init() {
   }
   latency_ring_.resize(std::max<std::size_t>(1, cfg_.latency_window));
   pattern_ring_.resize(std::max<std::size_t>(1, cfg_.pattern_window));
+  // Instantiate the QoS metric families even for ungoverned services
+  // so scrapes expose them before (or without) any governed traffic.
+  BandwidthGovernor::RegisterMetrics();
+  if (cfg_.latency_pool_threads > 0) {
+    latency_pool_ =
+        std::make_unique<ec::ThreadPool>(cfg_.latency_pool_threads);
+  }
   pool_baseline_ = pool_->stats();
   dispatcher_ = std::thread(&StripeService::DispatcherLoop, this);
 }
@@ -220,6 +229,15 @@ std::future<Result> StripeService::admit(Pending&& p) {
       SvcMetrics::Get().rejected_class_limit.inc();
       return Immediate(std::move(p), StatusCode::kRejectedClassLimit);
     }
+    // Byte-denominated backstop: the governor rejects a throttled
+    // class whose queued + in-flight bytes would exceed its cap — the
+    // count limits above stay on as the coarse backstop.
+    if (cfg_.governor != nullptr &&
+        !cfg_.governor->try_admit(p.qos_class(), p.qos_bytes())) {
+      ++counters_.rejected_bandwidth;
+      SvcMetrics::Get().rejected_bandwidth.inc();
+      return Immediate(std::move(p), StatusCode::kRejectedBandwidth);
+    }
     // Count the admission before the push: a dispatched completion may
     // decrement the class counter at any point after the push lands.
     ++counters_.admitted;
@@ -243,6 +261,9 @@ std::future<Result> StripeService::admit(Pending&& p) {
     // Full — or closed by a racing shutdown; roll the admission back
     // and report which. (The pattern-ring entry is left in place: one
     // phantom shape in the window is noise.)
+    if (cfg_.governor != nullptr) {
+      cfg_.governor->on_drop(p.qos_class(), p.qos_bytes());
+    }
     std::lock_guard<std::mutex> lk(mu_);
     --counters_.admitted;
     if (op == OpClass::kEncode) {
@@ -276,8 +297,20 @@ std::future<Result> StripeService::admit(Pending&& p) {
 }
 
 void StripeService::DispatcherLoop() {
-  Pending first;
-  while (queue_.pop(&first)) {
+  // With deferred batches parked, the dispatcher polls instead of
+  // blocking so headroom recovery (or aging) re-opens the tap without
+  // waiting for the next arrival.
+  constexpr auto kDeferRetry = std::chrono::microseconds(200);
+  for (;;) {
+    ReleaseDeferred(/*flush=*/false);
+    Pending first;
+    if (deferred_.empty()) {
+      if (!queue_.pop(&first)) break;
+    } else {
+      const QueuePop r = queue_.pop_for(&first, kDeferRetry);
+      if (r == QueuePop::kClosed) break;
+      if (r == QueuePop::kTimeout) continue;
+    }
     auto run = std::make_shared<std::vector<Pending>>();
     run->push_back(std::move(first));
     // Coalesce the burst behind the head item, bounded so one drain
@@ -322,26 +355,89 @@ void StripeService::DispatcherLoop() {
     if (run->empty()) continue;
 
     std::vector<Batch> batches = FormBatches(*run, max_batch_);
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      counters_.batches += batches.size();
-      counters_.dispatched_stripes += run->size();
-      for (const Batch& b : batches) {
-        ++counters_.batch_size_log2[ServiceStats::BatchBucketIndex(
-            b.indices.size())];
-      }
-      inflight_batches_ += batches.size();
-    }
-    {
-      auto& m = SvcMetrics::Get();
-      m.batches.inc(batches.size());
-      m.dispatched_stripes.inc(run->size());
-      for (const Batch& b : batches) {
-        m.batch_stripes.observe(static_cast<double>(b.indices.size()));
-      }
-    }
-    for (Batch& b : batches) DispatchBatch(run, std::move(b));
+    const auto dispatch_now = std::chrono::steady_clock::now();
+    for (Batch& b : batches) TryDispatchBatch(run, std::move(b), dispatch_now);
   }
+  // Queue closed and drained; whatever the governor still holds back
+  // is flushed (drain shutdown) or cancelled (cancel shutdown).
+  ReleaseDeferred(/*flush=*/true);
+}
+
+void StripeService::TryDispatchBatch(
+    const std::shared_ptr<std::vector<Pending>>& reqs, Batch&& batch,
+    std::chrono::steady_clock::time_point now) {
+  if (cfg_.governor != nullptr &&
+      !cfg_.governor->try_dispatch(batch.qos_class, BatchBytes(batch))) {
+    deferred_.push_back(Deferred{reqs, std::move(batch), now});
+    return;
+  }
+  DispatchBatch(reqs, std::move(batch));
+}
+
+void StripeService::ReleaseDeferred(bool flush) {
+  if (deferred_.empty()) return;
+  bool cancel = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cancel = cancel_queued_;
+  }
+  if (cancel) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Deferred& d : deferred_) {
+      for (const std::size_t i : d.batch.indices) {
+        RecordCompletion((*d.reqs)[i], StatusCode::kCancelled);
+      }
+    }
+    deferred_.clear();
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const auto max_defer =
+      cfg_.governor != nullptr
+          ? std::chrono::nanoseconds(cfg_.governor->max_defer_ns())
+          : std::chrono::nanoseconds(0);
+  std::vector<Deferred> still;
+  for (Deferred& d : deferred_) {
+    // Expiry sweep inside the parked batch: members whose deadline
+    // passed while deferred complete now instead of dispatching.
+    std::vector<std::size_t> live;
+    std::vector<std::size_t> dead;
+    for (const std::size_t i : d.batch.indices) {
+      ((*d.reqs)[i].expired(now) ? dead : live).push_back(i);
+    }
+    if (!dead.empty()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (const std::size_t i : dead) {
+        RecordCompletion((*d.reqs)[i], StatusCode::kDeadlineExceeded);
+      }
+      d.batch.indices = std::move(live);
+    }
+    if (d.batch.indices.empty()) continue;
+    const std::uint64_t bytes = BatchBytes(d.batch);
+    const bool aged = flush || (max_defer.count() > 0 &&
+                                now - d.since >= max_defer);
+    bool dispatch = true;
+    if (cfg_.governor == nullptr) {
+      // Governor detached mid-flight never happens (config is const);
+      // defensive: just dispatch.
+    } else if (cfg_.governor->try_dispatch(d.batch.qos_class, bytes)) {
+      // granted — accounting done inside try_dispatch
+    } else if (aged) {
+      cfg_.governor->force_dispatch(d.batch.qos_class, bytes);
+    } else {
+      dispatch = false;
+    }
+    if (dispatch) {
+      if (cfg_.governor != nullptr) {
+        cfg_.governor->observe_defer(
+            std::chrono::duration<double>(now - d.since).count());
+      }
+      DispatchBatch(d.reqs, std::move(d.batch));
+    } else {
+      still.push_back(std::move(d));
+    }
+  }
+  deferred_ = std::move(still);
 }
 
 const ec::Codec* StripeService::ResolveCodec(const Batch& batch) {
@@ -357,6 +453,26 @@ const ec::Codec* StripeService::ResolveCodec(const Batch& batch) {
 
 void StripeService::DispatchBatch(std::shared_ptr<std::vector<Pending>> reqs,
                                   Batch&& batch) {
+  // Per-batch bookkeeping happens at actual dispatch (not batch
+  // formation) so deferred batches never inflate the in-flight count
+  // the shutdown wait drains.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counters_.batches;
+    counters_.dispatched_stripes += batch.indices.size();
+    ++counters_.batch_size_log2[ServiceStats::BatchBucketIndex(
+        batch.indices.size())];
+    ++inflight_batches_;
+  }
+  {
+    auto& m = SvcMetrics::Get();
+    m.batches.inc();
+    m.dispatched_stripes.inc(batch.indices.size());
+    m.batch_stripes.observe(static_cast<double>(batch.indices.size()));
+  }
+  // Dispatcher-thread write, read at completion after the pool's own
+  // synchronization — routes the governor's completion accounting.
+  for (const std::size_t i : batch.indices) (*reqs)[i].dispatched = true;
   const ec::Codec* codec = ResolveCodec(batch);
   auto shared_batch = std::make_shared<Batch>(std::move(batch));
   auto failed = std::make_shared<std::vector<unsigned char>>(
@@ -370,7 +486,14 @@ void StripeService::DispatchBatch(std::shared_ptr<std::vector<Pending>> reqs,
       }
     }
   }
-  pool_->run_async(
+  // Latency-class batches take the side pool when one is configured:
+  // their stripes never sit in a worker deque behind bulk/scrub/
+  // rebuild work the governor already admitted.
+  ec::ThreadPool& target =
+      (latency_pool_ != nullptr && !IsThrottledClass(shared_batch->qos_class))
+          ? *latency_pool_
+          : *pool_;
+  target.run_async(
       shared_batch->indices.size(),
       [reqs, shared_batch, failed, codec, block](std::size_t j) {
         // Fault site: a firing plan throws InjectedFault from the
@@ -457,6 +580,15 @@ void StripeService::RecordCompletion(Pending& p, StatusCode status) {
   } else {
     --inflight_decode_;
   }
+  if (cfg_.governor != nullptr) {
+    // Dispatched requests release in-flight bytes; ones that died
+    // queued (cancel, expiry) release their queued bytes instead.
+    if (p.dispatched) {
+      cfg_.governor->on_complete(p.qos_class(), p.qos_bytes());
+    } else {
+      cfg_.governor->on_drop(p.qos_class(), p.qos_bytes());
+    }
+  }
   if (status == StatusCode::kOk || status == StatusCode::kDecodeFailed) {
     seconds = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - p.submitted)
@@ -464,6 +596,9 @@ void StripeService::RecordCompletion(Pending& p, StatusCode status) {
     latency_ring_[latency_next_] = seconds;
     latency_next_ = (latency_next_ + 1) % latency_ring_.size();
     m.latency.observe(seconds);
+    if (cfg_.governor != nullptr) {
+      cfg_.governor->observe_latency(p.qos_class(), seconds);
+    }
   }
   obs::Tracer::Global().finish(p.trace_id, to_string(status));
   p.done.set_value(Result{status, seconds});

@@ -41,6 +41,7 @@
 #include "ec/thread_pool.h"
 #include "svc/batcher.h"
 #include "svc/bounded_queue.h"
+#include "svc/governor.h"
 #include "svc/request.h"
 #include "svc/service_stats.h"
 #include "svc/status.h"
@@ -60,6 +61,14 @@ class StripeService {
     /// Worker threads of the owned pool (ignored when an external pool
     /// is supplied); 0 = ec::ThreadPool::DefaultWorkerCount().
     std::size_t pool_threads = 0;
+    /// Worker threads of a dedicated side pool for the latency-
+    /// sensitive classes (interactive/degraded reads); 0 = none, every
+    /// batch shares the main pool. With a side pool, a degraded read
+    /// never queues behind bulk/scrub/rebuild stripes already handed
+    /// to the workers — the dispatch-side half of the QoS story (the
+    /// governor paces what the throttled classes may occupy; the side
+    /// pool keeps the latency classes' queueing independent of it).
+    std::size_t latency_pool_threads = 0;
     /// Completions kept for the p50/p99 latency window.
     std::size_t latency_window = 4096;
     /// Admissions kept for the rolling PatternInfo.
@@ -70,6 +79,12 @@ class StripeService {
     std::function<std::unique_ptr<const ec::Codec>(std::size_t k,
                                                    std::size_t m)>
         codec_factory;
+    /// Optional pressure-aware bandwidth governor (non-owning; must
+    /// outlive the service). When set, admission adds a per-class byte
+    /// backstop (kRejectedBandwidth) and the dispatcher defers
+    /// throttled-class batches by the governor's watermark/headroom
+    /// policy. Null keeps the count-cap-only behavior bit-identical.
+    BandwidthGovernor* governor = nullptr;
   };
 
   StripeService();  ///< all-defaults Config
@@ -130,11 +145,28 @@ class StripeService {
 
   ec::ThreadPool& pool() { return *pool_; }
   std::size_t max_batch() const { return max_batch_; }
+  BandwidthGovernor* governor() const { return cfg_.governor; }
 
  private:
+  /// A throttled-class batch the governor held back, parked on the
+  /// dispatcher thread until headroom returns, the backlog watermark
+  /// forces a drain, or the batch ages past the governor's bound.
+  struct Deferred {
+    std::shared_ptr<std::vector<Pending>> reqs;
+    Batch batch;
+    std::chrono::steady_clock::time_point since;
+  };
+
   void Init();
   std::future<Result> admit(Pending&& p);
   void DispatcherLoop();
+  void TryDispatchBatch(const std::shared_ptr<std::vector<Pending>>& reqs,
+                        Batch&& batch,
+                        std::chrono::steady_clock::time_point now);
+  /// Retry deferred batches: sweep expired members, re-ask the
+  /// governor, force-dispatch aged ones. `flush` dispatches (or, under
+  /// a cancel shutdown, cancels) everything still held.
+  void ReleaseDeferred(bool flush);
   void DispatchBatch(std::shared_ptr<std::vector<Pending>> reqs,
                      Batch&& batch);
   void CompleteBatch(const std::shared_ptr<std::vector<Pending>>& reqs,
@@ -148,11 +180,14 @@ class StripeService {
   Config cfg_;
   std::unique_ptr<ec::ThreadPool> owned_pool_;
   ec::ThreadPool* pool_ = nullptr;
+  /// Side pool for latency classes (Config::latency_pool_threads).
+  std::unique_ptr<ec::ThreadPool> latency_pool_;
   std::size_t max_batch_ = 0;
   ec::ThreadPoolStats pool_baseline_;
 
   BoundedQueue<Pending> queue_;
   std::thread dispatcher_;
+  std::vector<Deferred> deferred_;  ///< dispatcher thread only
   std::mutex shutdown_mu_;  ///< serializes the dispatcher join
 
   mutable std::mutex mu_;

@@ -1,0 +1,46 @@
+// Traffic classes the bandwidth governor schedules between. Every
+// request entering svc::StripeService carries one; the default is
+// derived from the op (encode => bulk, decode => degraded read) so
+// existing callers keep their behavior, while the cluster tier tags
+// its scrub/rebuild traffic explicitly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace svc {
+
+enum class TrafficClass : std::uint8_t {
+  kInteractiveRead = 0,  ///< healthy-path reads a client is waiting on
+  kDegradedRead,         ///< reconstruction reads a client is waiting on
+  kBulkEncode,           ///< ingest/encode throughput traffic
+  kScrub,                ///< background verification reads
+  kRebuild,              ///< background reconstruction / rebalance
+};
+
+inline constexpr std::size_t kTrafficClassCount = 5;
+
+inline const char* to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kInteractiveRead:
+      return "interactive_read";
+    case TrafficClass::kDegradedRead:
+      return "degraded_read";
+    case TrafficClass::kBulkEncode:
+      return "bulk_encode";
+    case TrafficClass::kScrub:
+      return "scrub";
+    case TrafficClass::kRebuild:
+      return "rebuild";
+  }
+  return "?";
+}
+
+/// Classes the governor may defer, drain by watermark, or clamp under
+/// pressure. Latency-sensitive classes are never held back.
+inline bool IsThrottledClass(TrafficClass c) {
+  return c == TrafficClass::kBulkEncode || c == TrafficClass::kScrub ||
+         c == TrafficClass::kRebuild;
+}
+
+}  // namespace svc

@@ -180,6 +180,94 @@ TEST(Coordinator, DetectsContentionFromLatencyRegression) {
   EXPECT_TRUE(c.contention());
 }
 
+// Regression for the stale low-pressure baseline: one anomalously
+// quiet calibration window used to pin the lifetime-minimum baseline
+// forever, reporting contention for the rest of the run even when the
+// workload settled into a steady (higher-latency but uncontended)
+// state. The sliding-window baseline forgets the outlier once it ages
+// out of the ring.
+TEST(Coordinator, BaselineRecoversAfterAnomalouslyQuietWindow) {
+  const PatternInfo p{12, 4, 1024, 8};
+  Thresholds thr;
+  thr.sample_interval_ns = 100.0;
+  thr.baseline_window = 4;
+  Coordinator c(p, Features::all(), thr, kBuffer);
+
+  simmem::SimConfig cfg;
+  simmem::MemorySystem mem(cfg, 1);
+
+  // Window 1: unrepresentatively cheap (all L1 hits after the first)
+  // — the anomalous calibration window.
+  mem.load(0, simmem::kDramBase);
+  for (int i = 0; i < 100; ++i) mem.load(0, simmem::kDramBase + 32);
+  mem.advance_to(0, 200.0);
+  c.strategy(mem);
+  ASSERT_EQ(c.samples_taken(), 1u);
+
+  // Every later window is the workload's steady state: cold PM misses,
+  // far above the quiet window but stable from window to window.
+  auto steady_window = [&](int w) {
+    for (int i = 0; i < 100; ++i) {
+      mem.load(0, simmem::kPmBase +
+                      static_cast<std::size_t>(w * 100 + i) *
+                          simmem::kPageBytes);
+    }
+    mem.advance_to(0, 200.0 + w * 150.0);
+    c.strategy(mem);
+  };
+
+  steady_window(1);
+  ASSERT_EQ(c.samples_taken(), 2u);
+  EXPECT_TRUE(c.contention())
+      << "right after the quiet window, steady-state latency reads as "
+         "contention — expected";
+  const double stale_baseline = c.baseline_latency_ns();
+
+  // Run enough steady windows for the quiet observation to age out of
+  // the 4-sample ring; the baseline then reflects the steady state and
+  // the contention bit clears.
+  for (int w = 2; w <= 6; ++w) steady_window(w);
+  EXPECT_GT(c.baseline_latency_ns(), stale_baseline)
+      << "baseline must forget the quiet window once it leaves the ring";
+  EXPECT_FALSE(c.contention())
+      << "steady uncontended traffic must stop reading as contention "
+         "once the anomalous baseline ages out";
+}
+
+// The legacy lifetime-minimum behavior stays available behind
+// baseline_window = 0 — and pins the stale baseline forever, which is
+// exactly the bug the sliding window fixes.
+TEST(Coordinator, LegacyLifetimeBaselineStaysPinned) {
+  const PatternInfo p{12, 4, 1024, 8};
+  Thresholds thr;
+  thr.sample_interval_ns = 100.0;
+  thr.baseline_window = 0;  // legacy: lifetime minimum
+  Coordinator c(p, Features::all(), thr, kBuffer);
+
+  simmem::SimConfig cfg;
+  simmem::MemorySystem mem(cfg, 1);
+
+  mem.load(0, simmem::kDramBase);
+  for (int i = 0; i < 100; ++i) mem.load(0, simmem::kDramBase + 32);
+  mem.advance_to(0, 200.0);
+  c.strategy(mem);
+  const double quiet_baseline = c.baseline_latency_ns();
+
+  for (int w = 1; w <= 10; ++w) {
+    for (int i = 0; i < 100; ++i) {
+      mem.load(0, simmem::kPmBase +
+                      static_cast<std::size_t>(w * 100 + i) *
+                          simmem::kPageBytes);
+    }
+    mem.advance_to(0, 200.0 + w * 150.0);
+    c.strategy(mem);
+  }
+  EXPECT_DOUBLE_EQ(c.baseline_latency_ns(), quiet_baseline)
+      << "lifetime minimum never forgets";
+  EXPECT_TRUE(c.contention())
+      << "with the pinned baseline the contention bit never clears";
+}
+
 TEST(Coordinator, AdaptiveDistanceFollowsClimber) {
   const PatternInfo p{12, 4, 1024, 1};
   Thresholds thr;

@@ -1,0 +1,98 @@
+// Pins eccli's three renditions of the exit-code contract to each
+// other: the kExit* constants (what the tool actually returns), the
+// --help table in cli/eccli_usage.h (what the tool tells the user),
+// and the markdown table in docs/usage.md (what the docs promise).
+// The table had drifted once — the help text stopped at 4 while the
+// tool exited 5 and 6 — and this test is what keeps that from
+// happening again: adding an exit code without updating both tables
+// fails here, not in a user's script.
+#include "cli/eccli_usage.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+constexpr int kAllCodes[] = {
+    cli::kExitOk,     cli::kExitDamaged,  cli::kExitUsage, cli::kExitIo,
+    cli::kExitDeadline, cli::kExitQuorum, cli::kExitHealed,
+};
+
+// The codes are a dense 0..6 range — scripts rely on `6` meaning
+// healed, so renumbering is a breaking change this test makes loud.
+TEST(EccliHelp, ExitCodesAreDenseAndStable) {
+  std::set<int> seen(std::begin(kAllCodes), std::end(kAllCodes));
+  ASSERT_EQ(seen.size(), std::size(kAllCodes)) << "duplicate exit codes";
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 6);
+  EXPECT_EQ(cli::kExitOk, 0);
+  EXPECT_EQ(cli::kExitDamaged, 1);
+  EXPECT_EQ(cli::kExitUsage, 2);
+  EXPECT_EQ(cli::kExitIo, 3);
+  EXPECT_EQ(cli::kExitDeadline, 4);
+  EXPECT_EQ(cli::kExitQuorum, 5);
+  EXPECT_EQ(cli::kExitHealed, 6);
+}
+
+// Every constant has a `  <code>  <meaning>` line in the help table,
+// and the table has no codes the tool never returns.
+TEST(EccliHelp, UsageTableCoversEveryExitCode) {
+  std::istringstream in(cli::kUsageExitCodes);
+  std::set<int> documented;
+  std::string line;
+  while (std::getline(in, line)) {
+    // A table row is exactly "  <digit>  ..." — continuation lines
+    // (wrapped meanings) are indented deeper and skipped.
+    if (line.size() >= 5 && line[0] == ' ' && line[1] == ' ' &&
+        line[2] >= '0' && line[2] <= '9' && line[3] == ' ' &&
+        line[4] == ' ') {
+      documented.insert(line[2] - '0');
+    }
+  }
+  for (const int code : kAllCodes) {
+    EXPECT_TRUE(documented.count(code))
+        << "exit code " << code << " missing from kUsageExitCodes";
+  }
+  EXPECT_EQ(documented.size(), std::size(kAllCodes))
+      << "kUsageExitCodes documents a code eccli never returns";
+}
+
+// The usage text advertises the flags this PR added; a help header
+// that silently loses them is as much drift as a stale exit table.
+TEST(EccliHelp, UsageTextMentionsHelpAndQos) {
+  const std::string text = cli::kUsageText;
+  EXPECT_NE(text.find("--help"), std::string::npos);
+  EXPECT_NE(text.find("--qos"), std::string::npos);
+  EXPECT_NE(text.find("docs/qos.md"), std::string::npos);
+}
+
+// docs/usage.md's markdown table must carry a `| <code> |` row for
+// every constant. Path injected by the build (DIALGA_DOCS_USAGE) so
+// the test runs from any working directory.
+TEST(EccliHelp, DocsUsageTableCoversEveryExitCode) {
+#ifndef DIALGA_DOCS_USAGE
+  GTEST_SKIP() << "DIALGA_DOCS_USAGE not defined by the build";
+#else
+  std::ifstream in(DIALGA_DOCS_USAGE);
+  ASSERT_TRUE(in) << "cannot open " << DIALGA_DOCS_USAGE;
+  std::set<int> documented;
+  std::string line;
+  while (std::getline(in, line)) {
+    for (const int code : kAllCodes) {
+      const std::string row = "| " + std::to_string(code) + " |";
+      if (line.rfind(row, 0) == 0) documented.insert(code);
+    }
+  }
+  for (const int code : kAllCodes) {
+    EXPECT_TRUE(documented.count(code))
+        << "exit code " << code << " missing from docs/usage.md table";
+  }
+#endif
+}
+
+}  // namespace

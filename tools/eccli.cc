@@ -31,6 +31,7 @@
 #include <string>
 
 #include "aio/datapath.h"
+#include "cli/eccli_usage.h"
 #include "cluster/local_cluster.h"
 #include "dialga/dialga.h"
 #include "fault/injector.h"
@@ -38,109 +39,25 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "shard/shard_store.h"
+#include "svc/governor.h"
 #include "svc/stripe_service.h"
 
 namespace {
 
-constexpr int kExitOk = 0;
-constexpr int kExitDamaged = 1;
-constexpr int kExitUsage = 2;
-constexpr int kExitIo = 3;
-constexpr int kExitDeadline = 4;
-constexpr int kExitQuorum = 5;
-constexpr int kExitHealed = 6;
+using cli::kExitDamaged;
+using cli::kExitDeadline;
+using cli::kExitHealed;
+using cli::kExitIo;
+using cli::kExitOk;
+using cli::kExitQuorum;
+using cli::kExitUsage;
 
-void Usage() {
-  std::cerr
-      << "usage:\n"
-         "  eccli encode --k K --m M [--block BYTES] <input> <shard-dir>\n"
-         "  eccli verify [--heal] <shard-dir>\n"
-         "  eccli repair <shard-dir>\n"
-         "  eccli decode <shard-dir> <output>\n"
-         "options:\n"
-         "  --heal            verify only: rewrite checksum-failing "
-         "shards in place\n"
-         "                    from the survivors and report what was "
-         "healed; exits 6\n"
-         "                    when corruption was found and fully "
-         "healed\n"
-         "  --serial          bypass the stripe service, encode/decode "
-         "serially\n"
-         "  --threads N       worker threads for the stripe service "
-         "(default: hardware)\n"
-         "  --deadline-ms N   per-stripe service deadline; expiry fails "
-         "the command\n"
-         "                    with exit 4 instead of falling back to the "
-         "serial path\n"
-         "  --retries N       bounded backoff-retry budget for rejected "
-         "stripe\n"
-         "                    submissions and transient read errors "
-         "(EINTR/EAGAIN);\n"
-         "                    exhaustion fails with exit 4\n"
-         "  --fault-plan S    install a deterministic fault-injection "
-         "plan, e.g.\n"
-         "                    'seed=7;shard.read:p=0.01,err=EINTR;"
-         "svc.admission:nth=2+5'\n"
-         "                    (also read from DIALGA_FAULT_PLAN / "
-         "DIALGA_FAULT_SEED)\n"
-         "  --fault-plan-dump print the fully-resolved effective fault "
-         "plan (seed +\n"
-         "                    per-site specs, corruption modes included) "
-         "and exit —\n"
-         "                    feed it back to --fault-plan to reproduce "
-         "a run\n"
-         "  --metrics-out F   dump the process metrics registry on exit; "
-         "'.json'/'.jsonl'\n"
-         "                    select JSON-lines, anything else Prometheus "
-         "text\n"
-         "                    (also read from DIALGA_METRICS_OUT)\n"
-         "  --trace-out F     enable stripe-lifecycle tracing and dump "
-         "completed spans\n"
-         "                    as JSON-lines on exit (also read from "
-         "DIALGA_TRACE_OUT)\n"
-         "  --isa LEVEL       pin the GF region-kernel backend: scalar, "
-         "ssse3, avx2,\n"
-         "                    avx512, or gfni (also read from DIALGA_ISA; "
-         "unsupported\n"
-         "                    levels clamp to the best available with a "
-         "warning)\n"
-         "  --aio MODE        file-I/O backend: uring, stdio, or auto "
-         "(default; also\n"
-         "                    read from DIALGA_AIO; a forced uring on a "
-         "kernel without\n"
-         "                    io_uring falls back to stdio with a warning)\n"
-         "cluster mode:\n"
-         "  --cluster-nodes N run the command against an in-process "
-         "cluster of N\n"
-         "                    storage nodes persisted under <shard-dir>/"
-         "n<i>;\n"
-         "                    encode writes a cluster.txt manifest so "
-         "verify/repair/\n"
-         "                    decode in later invocations rebuild the "
-         "same placement\n"
-         "  --local L         LRC local-parity count (one XOR parity per "
-         "local group;\n"
-         "                    degraded reads are served inside the group "
-         "first);\n"
-         "                    0 (default) = plain RS(k, m)\n"
-         "  --domains D       spread the nodes over D failure domains "
-         "(round-robin);\n"
-         "                    0 (default) = one domain per node\n"
-         "exit codes:\n"
-         "  0  success\n"
-         "  1  data damaged beyond what parity can repair\n"
-         "  2  usage error\n"
-         "  3  I/O error (errno reported on stderr; environmental, worth "
-         "retrying)\n"
-         "  4  deadline exceeded or retry budget exhausted "
-         "(--deadline-ms/--retries)\n"
-         "  5  cluster quorum loss: fewer than k shard homes reachable "
-         "(--cluster-nodes)\n"
-         "  6  corruption detected and healed in place (verify --heal); "
-         "the data is\n"
-         "     intact again but the run DID see damage — alert-worthy, "
-         "not an error\n";
-}
+/// Full help text: usage + options + the exit-code table. The text
+/// lives in cli/eccli_usage.h so tests/eccli_help_test.cc can pin it
+/// to the kExit* constants and to docs/usage.md.
+void PrintHelp(std::ostream& os) { os << cli::kUsageText << cli::kUsageExitCodes; }
+
+void Usage() { PrintHelp(std::cerr); }
 
 struct Options {
   std::size_t k = 8;
@@ -151,6 +68,8 @@ struct Options {
   std::size_t retries = 0;
   bool strict_budget = false;  // --deadline-ms/--retries given
   bool serial = false;
+  bool qos = false;              // bandwidth governor on the service
+  bool help = false;             // --help/-h: print help, exit 0
   bool heal = false;             // verify --heal
   bool fault_plan_dump = false;  // print resolved plan and exit
   std::string fault_plan;
@@ -211,6 +130,10 @@ bool Parse(int argc, char** argv, Options* opt) {
       if (!next_value(&opt->domains)) return false;
     } else if (arg == "--serial") {
       opt->serial = true;
+    } else if (arg == "--qos") {
+      opt->qos = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opt->help = true;
     } else if (arg == "--heal") {
       opt->heal = true;
     } else if (arg == "--fault-plan-dump") {
@@ -492,10 +415,18 @@ int RunCommand(const std::string& cmd, const Options& opt) {
   // user opted out with --serial. With an explicit --deadline-ms or
   // --retries the budget is strict: exhaustion surfaces as exit 4
   // instead of silently falling back to the serial path.
+  std::optional<svc::BandwidthGovernor> governor;  // outlives service
   std::optional<svc::StripeService> service;
   if (!opt.serial) {
     svc::StripeService::Config cfg;
     cfg.pool_threads = opt.threads;
+    if (opt.qos) {
+      governor.emplace(svc::GovernorConfig{});
+      cfg.governor = &*governor;
+      // One side-pool worker keeps degraded reads from queueing
+      // behind governed bulk stripes already handed to the workers.
+      cfg.latency_pool_threads = 1;
+    }
     service.emplace(std::move(cfg));
   }
   shard::ServicePolicy policy;
@@ -624,10 +555,21 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
   const std::string cmd = argv[1];
+  // `eccli --help` / `eccli -h` / `eccli help` print on stdout, exit 0
+  // — the one dash-leading argv[1] besides --fault-plan-dump that is a
+  // command of its own rather than a usage error.
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    PrintHelp(std::cout);
+    return kExitOk;
+  }
   Options opt;
   if (!Parse(argc, argv, &opt)) {
     Usage();
     return kExitUsage;
+  }
+  if (opt.help) {  // `eccli <cmd> --help` is help, not the command
+    PrintHelp(std::cout);
+    return kExitOk;
   }
   // `eccli --fault-plan-dump [...]` works without a subcommand.
   if (cmd == "--fault-plan-dump") opt.fault_plan_dump = true;
