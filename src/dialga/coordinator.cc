@@ -60,20 +60,73 @@ struct CoordMetrics {
 Coordinator::Coordinator(const PatternInfo& pattern, const Features& features,
                          const Thresholds& thresholds,
                          std::size_t pm_buffer_bytes)
+    : Coordinator(pattern, features, thresholds, pm_buffer_bytes,
+                  SelectorOptions{}) {}
+
+Coordinator::Coordinator(const PatternInfo& pattern, const Features& features,
+                         const Thresholds& thresholds,
+                         std::size_t pm_buffer_bytes,
+                         const SelectorOptions& selector)
     : pattern_(pattern),
       feat_(features),
       thr_(thresholds),
       pm_buffer_bytes_(pm_buffer_bytes),
       climber_(std::clamp(pattern.k, kMinDistance, kMaxDistance),
                kMinDistance, kMaxDistance) {
+  // Register the selector/plan-cache metric families even when learned
+  // selection never engages, so a scrape always sees them (at zero).
+  TouchSelectorMetrics();
+  if (selector.enabled && feat_.adaptive && feat_.sw_prefetch) {
+    selector_ = std::make_unique<StrategySelector>(selector);
+    consult_selector();  // a warm plan cache decides the first stripe
+  }
   decide();
+}
+
+WindowFeatures Coordinator::make_features() const {
+  WindowFeatures f;
+  f.k = pattern_.k;
+  f.m = pattern_.m;
+  f.block_size = pattern_.block_size;
+  f.nthreads = pattern_.nthreads;
+  f.latency_ratio = last_latency_ratio_;
+  f.useless_ratio = last_useless_ratio_;
+  f.contention = contention_;
+  f.inefficient = inefficient_;
+  f.service_load = service_load_;
+  return f;
+}
+
+void Coordinator::consult_selector() {
+  if (!selector_) return;
+  sel_ = selector_->decide(make_features());
+  if (!sel_.valid || sel_.fallback) {
+    last_source_ = sel_.valid ? DecisionSource::kExplore
+                              : DecisionSource::kHeuristic;
+  } else {
+    last_source_ = sel_.from_cache ? DecisionSource::kCacheHit
+                                   : DecisionSource::kPredicted;
+  }
+}
+
+void Coordinator::observe_service_load(double load) {
+  service_load_ = std::clamp(load, 0.0, 1.0);
+}
+
+void Coordinator::flush_plan_cache() {
+  if (selector_) selector_->flush();
 }
 
 void Coordinator::update_pattern(const PatternInfo& pattern) {
   if (pattern == pattern_) return;
   const bool k_changed = pattern.k != pattern_.k;
   pattern_ = pattern;
-  if (k_changed && !climber_.converged()) {
+  // Re-consult the selector at the shape boundary: a plan-cache hit or
+  // a confident prediction switches the strategy on the very next
+  // stripe instead of waiting out a re-search (this is what makes the
+  // phase-shift recovery O(1) windows).
+  consult_selector();
+  if ((!sel_.valid || sel_.fallback) && k_changed && !climber_.converged()) {
     // The distance search seed tracks k; restart an unconverged search
     // from the new shape's seed rather than let it finish climbing a
     // stale landscape. A converged distance is kept — the fluctuation
@@ -156,8 +209,23 @@ void Coordinator::sample(const simmem::MemorySystem& mem, double now) {
                                       std::max(baseline_useless_, 16.0);
   CoordMetrics::Get().contention.set(contention_ ? 1.0 : 0.0);
   CoordMetrics::Get().inefficient.set(inefficient_ ? 1.0 : 0.0);
+  last_latency_ratio_ = baseline_latency_ns_ > 0.0
+                            ? window_latency / baseline_latency_ns_
+                            : 1.0;
+  last_useless_ratio_ =
+      window_useless / std::max(baseline_useless_, 16.0);
 
-  if (feat_.sw_prefetch && feat_.adaptive) {
+  if (selector_) {
+    // Close the previous window's episode: the observed throughput is
+    // the reward for whatever strategy ran it (predicted, cached, or
+    // explorer-chosen — all train the model).
+    selector_->credit(window_gbps);
+    // Open the next one.
+    consult_selector();
+  }
+
+  const bool selector_drives = sel_.valid && !sel_.fallback;
+  if (feat_.sw_prefetch && feat_.adaptive && !selector_drives) {
     // Throughput fluctuation restarts the distance search (paper: 10 %).
     if (last_window_gbps_ > 0.0 && climber_.converged()) {
       const double swing =
@@ -169,6 +237,23 @@ void Coordinator::sample(const simmem::MemorySystem& mem, double now) {
   last_window_gbps_ = window_gbps;
 
   decide();
+
+  if (selector_) {
+    // Tell the selector what was actually put in force (the decide()
+    // ladder may have shaped or overridden its suggestion) — this is
+    // the label its next credit() trains against.
+    selector_->note_applied(strat_);
+    // An explorer convergence during fallback is a finished search:
+    // commit the converged plan for this shape to the cache.
+    if (sel_.valid && sel_.fallback && climber_.converged()) {
+      selector_->commit(make_features(), strat_);
+    }
+    selector_->maybe_flush();
+  }
+  if (record_windows_) {
+    windows_.push_back(
+        {window_gbps, window_latency, strat_.key(), last_source_});
+  }
 }
 
 void Coordinator::decide() {
@@ -188,9 +273,30 @@ void Coordinator::decide() {
 
   Strategy s;
 
+  const bool selector_drives = sel_.valid && !sel_.fallback;
+
+  // --- Plan-cache replay ----------------------------------------------
+  // A cached plan is a full converged Strategy; replay it verbatim so a
+  // warm process lands on the known-good configuration on the first
+  // stripe. Only the feature gates still apply.
+  if (selector_drives && sel_.from_cache) {
+    s = sel_.cached;
+    if (!feat_.hw_prefetch) s.hw_prefetch = false;
+    if (!feat_.sw_prefetch) {
+      s.sw_distance = 0;
+      s.xpline_first_distance = 0;
+      s.sw_tail_offset = 0;
+    }
+    strat_ = s;
+    return;
+  }
+
   // --- Hardware prefetcher -------------------------------------------
   if (!feat_.hw_prefetch) {
     s.hw_prefetch = false;
+  } else if (selector_drives) {
+    // Learned prediction replaces the threshold ladder.
+    s.hw_prefetch = sel_.hw_prefetch;
   } else if (pattern_.k > thr_.wide_stripe_k) {
     // Wide stripes exceed the streamer's tracking capacity; it loses
     // confidence and shuts down on its own — no need to pay the
@@ -211,17 +317,21 @@ void Coordinator::decide() {
     std::size_t d = feat_.adaptive
                         ? climber_.current()
                         : std::clamp(pattern_.k, kMinDistance, kMaxDistance);
+    if (selector_drives) d = sel_.sw_distance;
     const bool high_pressure =
         pattern_.nthreads > thr_.thread_threshold || contention_;
     // 4 KiB-aligned blocks on trackable stripes: the streamer covers the
     // whole block at peak efficiency and never crosses the page, so
     // software prefetching only adds issue overhead and traffic
     // (section 4.1 "I/O Access Pattern"; Fig. 12's limited 4 KiB gains).
+    // A learned prediction expresses "hw only" as distance 0 instead.
     const bool streamer_at_peak =
-        s.hw_prefetch && pattern_.k <= thr_.wide_stripe_k &&
+        !selector_drives && s.hw_prefetch &&
+        pattern_.k <= thr_.wide_stripe_k &&
         pattern_.block_size >= thr_.large_block_bytes &&
         pattern_.block_size % thr_.large_block_bytes == 0;
-    if (streamer_at_peak && !high_pressure) {
+    if ((streamer_at_peak && !high_pressure) ||
+        (selector_drives && d == 0)) {
       strat_ = s;  // hw-only strategy
       return;
     }

@@ -20,10 +20,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dialga/hill_climb.h"
 #include "dialga/policy.h"
+#include "dialga/selector.h"
 #include "simmem/memory_system.h"
 
 namespace dialga {
@@ -38,10 +41,37 @@ struct PatternInfo {
   friend bool operator==(const PatternInfo&, const PatternInfo&) = default;
 };
 
+/// How the strategy currently in force was chosen — recorded per
+/// sampling window when window recording is on (the --phase-shift
+/// bench and the selector tests read the sequence back).
+enum class DecisionSource : std::uint8_t {
+  kHeuristic,  ///< threshold ladder + hill-climb explorer (or selector off)
+  kExplore,    ///< selector engaged but fell back to the explorer
+  kPredicted,  ///< learned predictor, confidence above margin
+  kCacheHit,   ///< plan-cache strategy replayed verbatim
+};
+
+/// One sampling window's outcome, for replay verification.
+struct WindowRecord {
+  double gbps = 0.0;
+  double latency_ns = 0.0;
+  std::uint64_t strategy_key = 0;
+  DecisionSource source = DecisionSource::kHeuristic;
+};
+
 class Coordinator {
  public:
   Coordinator(const PatternInfo& pattern, const Features& features,
               const Thresholds& thresholds, std::size_t pm_buffer_bytes);
+
+  /// As above, plus learned strategy selection: when
+  /// `selector.enabled` (and the feature set is adaptive + sw-prefetch)
+  /// a StrategySelector fronts the threshold ladder — plan-cache hit or
+  /// confident prediction decides the window directly, and the hill
+  /// climber only runs windows the selector defers.
+  Coordinator(const PatternInfo& pattern, const Features& features,
+              const Thresholds& thresholds, std::size_t pm_buffer_bytes,
+              const SelectorOptions& selector);
 
   /// Strategy to use for the next stripe. Samples the PMU when the
   /// simulated clock has advanced past the sampling interval.
@@ -60,6 +90,22 @@ class Coordinator {
 
   const PatternInfo& pattern() const { return pattern_; }
 
+  /// Service-side pressure in [0, 1] (queue occupancy fraction from
+  /// svc::StripeService); forwarded into the selector's feature vector
+  /// at the next sampling window.
+  void observe_service_load(double load);
+
+  /// Learned selector, when one was configured (nullptr otherwise).
+  const StrategySelector* selector() const { return selector_.get(); }
+  StrategySelector* selector() { return selector_.get(); }
+  /// Persist the selector's plan cache now (graceful shutdown).
+  void flush_plan_cache();
+
+  /// Record per-window outcomes into windows() — off by default; the
+  /// phase-shift bench and replay tests turn it on.
+  void set_record_windows(bool on) { record_windows_ = on; }
+  const std::vector<WindowRecord>& windows() const { return windows_; }
+
   // Introspection (tests, EXPERIMENTS.md traces).
   std::size_t samples_taken() const { return samples_; }
   bool contention() const { return contention_; }
@@ -74,6 +120,11 @@ class Coordinator {
  private:
   void sample(const simmem::MemorySystem& mem, double now);
   void decide();
+  /// Current window, featurized for the selector.
+  WindowFeatures make_features() const;
+  /// Ask the selector for the next window's decision (no-op without
+  /// one); refreshes sel_ and last_source_.
+  void consult_selector();
   /// Push a window's observation into a baseline ring and return the
   /// minimum over the retained window (lifetime minimum when
   /// thr_.baseline_window == 0).
@@ -107,6 +158,19 @@ class Coordinator {
   double last_window_gbps_ = -1.0;
   bool contention_ = false;
   bool inefficient_ = false;
+
+  // Learned selection (tentpole of ROADMAP item 1). selector_ is null
+  // unless SelectorOptions.enabled and the feature set is adaptive;
+  // everything below is inert in that case, so a Coordinator built
+  // through the 4-arg constructor behaves exactly as before.
+  std::unique_ptr<StrategySelector> selector_;
+  SelectorDecision sel_;
+  DecisionSource last_source_ = DecisionSource::kHeuristic;
+  double service_load_ = 0.0;
+  double last_latency_ratio_ = 1.0;
+  double last_useless_ratio_ = 0.0;
+  bool record_windows_ = false;
+  std::vector<WindowRecord> windows_;
 };
 
 }  // namespace dialga

@@ -6,12 +6,17 @@ DialgaPlanProvider::DialgaPlanProvider(PlanFactory factory,
                                        const PatternInfo& pattern,
                                        const Features& features,
                                        const Thresholds& thresholds,
-                                       std::size_t pm_buffer_bytes)
+                                       std::size_t pm_buffer_bytes,
+                                       const SelectorOptions& selector)
     : factory_(std::move(factory)),
-      coord_(pattern, features, thresholds, pm_buffer_bytes) {}
+      coord_(pattern, features, thresholds, pm_buffer_bytes, selector) {}
 
 void DialgaPlanProvider::observe_pattern(const PatternInfo& pattern) {
   coord_.update_pattern(pattern);
+}
+
+void DialgaPlanProvider::observe_service_load(double load) {
+  coord_.observe_service_load(load);
 }
 
 const ec::EncodePlan& DialgaPlanProvider::next_plan(
@@ -29,26 +34,62 @@ DialgaCodec::DialgaCodec(std::size_t k, std::size_t m, ec::SimdWidth simd,
                          Features features, Thresholds thresholds)
     : inner_(k, m, simd), features_(features), thresholds_(thresholds) {}
 
-void DialgaCodec::encode(std::size_t block_size,
-                         std::span<const std::byte* const> data,
-                         std::span<std::byte* const> parity) const {
+DialgaCodec::~DialgaCodec() {
+  // Graceful-shutdown flush of host-face plan memoizations.
+  if (!selector_opts_.plan_cache_path.empty() && selector_opts_.learn &&
+      host_cache_.dirty()) {
+    host_cache_.flush(selector_opts_.plan_cache_path);
+  }
+}
+
+void DialgaCodec::set_selector_options(const SelectorOptions& opts) {
+  std::lock_guard<std::mutex> lock(host_mu_);
+  selector_opts_ = opts;
+  host_cache_loaded_ = false;
+}
+
+ec::HostKernelOptions DialgaCodec::host_options(std::size_t block_size) const {
+  const PatternInfo pattern{params().k, params().m, block_size, 1};
+  if (selector_opts_.enabled) {
+    WindowFeatures f;
+    f.k = pattern.k;
+    f.m = pattern.m;
+    f.block_size = pattern.block_size;
+    f.nthreads = pattern.nthreads;
+    std::lock_guard<std::mutex> lock(host_mu_);
+    if (!host_cache_loaded_) {
+      host_cache_loaded_ = true;
+      if (!selector_opts_.plan_cache_path.empty()) {
+        host_cache_.load_warn_if_corrupt(selector_opts_.plan_cache_path);
+      }
+    }
+    if (const PlanCache::Entry* e = host_cache_.lookup(f.shape_key())) {
+      return Strategy::from_key(e->strategy_key).to_host_options();
+    }
+    const Coordinator coord(pattern, features_, thresholds_, 0);
+    const Strategy s = coord.initial_strategy();
+    if (selector_opts_.learn) host_cache_.insert(f.shape_key(), {s.key(), 0.0});
+    return s.to_host_options();
+  }
   // Host execution takes the coordinator's initial strategy for this
   // pattern: its software-prefetch distance feeds the fused driver's
   // branchless prefetch-pointer array (output stays bit-identical to
   // plain ISA-L — scheduling only moves cache fills).
-  const PatternInfo pattern{params().k, params().m, block_size, 1};
   const Coordinator coord(pattern, features_, thresholds_, 0);
-  inner_.encode_with(block_size, data, parity,
-                     coord.initial_strategy().to_host_options());
+  return coord.initial_strategy().to_host_options();
+}
+
+void DialgaCodec::encode(std::size_t block_size,
+                         std::span<const std::byte* const> data,
+                         std::span<std::byte* const> parity) const {
+  inner_.encode_with(block_size, data, parity, host_options(block_size));
 }
 
 bool DialgaCodec::decode(std::size_t block_size,
                          std::span<std::byte* const> blocks,
                          std::span<const std::size_t> erasures) const {
-  const PatternInfo pattern{params().k, params().m, block_size, 1};
-  const Coordinator coord(pattern, features_, thresholds_, 0);
   return inner_.decode_with(block_size, blocks, erasures,
-                            coord.initial_strategy().to_host_options());
+                            host_options(block_size));
 }
 
 ec::EncodePlan DialgaCodec::encode_plan(
@@ -77,7 +118,8 @@ std::unique_ptr<DialgaPlanProvider> DialgaCodec::make_encode_provider(
       [inner, cost, block_size](const ec::IsalPlanOptions& opts) {
         return inner->encode_plan_with(block_size, cost, opts);
       },
-      pattern, features_, thresholds_, cfg.pm_read_buffer_total());
+      pattern, features_, thresholds_, cfg.pm_read_buffer_total(),
+      selector_opts_);
 }
 
 std::unique_ptr<DialgaPlanProvider> DialgaCodec::make_decode_provider(
@@ -91,7 +133,8 @@ std::unique_ptr<DialgaPlanProvider> DialgaCodec::make_decode_provider(
           const ec::IsalPlanOptions& opts) {
         return inner->decode_plan_with(block_size, cost, erasures, opts);
       },
-      pattern, features_, thresholds_, cfg.pm_read_buffer_total());
+      pattern, features_, thresholds_, cfg.pm_read_buffer_total(),
+      selector_opts_);
 }
 
 }  // namespace dialga

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "dialga/coordinator.h"
@@ -35,7 +36,8 @@ class DialgaPlanProvider : public ec::PlanProvider {
 
   DialgaPlanProvider(PlanFactory factory, const PatternInfo& pattern,
                      const Features& features, const Thresholds& thresholds,
-                     std::size_t pm_buffer_bytes);
+                     std::size_t pm_buffer_bytes,
+                     const SelectorOptions& selector = {});
 
   const ec::EncodePlan& next_plan(std::size_t tid,
                                   simmem::MemorySystem& mem) override;
@@ -47,7 +49,12 @@ class DialgaPlanProvider : public ec::PlanProvider {
   /// the cache is keyed by realized strategy, not by pattern.
   void observe_pattern(const PatternInfo& pattern);
 
+  /// Forward the front-end's queue-occupancy fraction [0, 1] into the
+  /// coordinator (and from there the selector's feature vector).
+  void observe_service_load(double load);
+
   const Coordinator& coordinator() const { return coord_; }
+  Coordinator& coordinator() { return coord_; }
   /// Number of distinct strategies materialized so far.
   std::size_t plans_built() const { return cache_.size(); }
 
@@ -64,6 +71,14 @@ class DialgaCodec : public ec::Codec {
               ec::SimdWidth simd = ec::SimdWidth::kAvx512,
               Features features = Features::all(),
               Thresholds thresholds = Thresholds{});
+  ~DialgaCodec() override;
+
+  /// Enable learned strategy selection: providers built afterwards get
+  /// a StrategySelector, and the host encode/decode face consults (and
+  /// populates) the persistent plan cache through a shape-keyed memo
+  /// instead of re-deriving the initial strategy per call.
+  void set_selector_options(const SelectorOptions& opts);
+  const SelectorOptions& selector_options() const { return selector_opts_; }
 
   std::string name() const override { return "DIALGA"; }
   ec::CodeParams params() const override { return inner_.params(); }
@@ -95,9 +110,18 @@ class DialgaCodec : public ec::Codec {
   const ec::IsalCodec& inner() const { return inner_; }
 
  private:
+  /// Host-face strategy for this block size: plan-cache hit when the
+  /// selector is on (memoized under host_mu_), the coordinator's
+  /// initial strategy otherwise.
+  ec::HostKernelOptions host_options(std::size_t block_size) const;
+
   ec::IsalCodec inner_;
   Features features_;
   Thresholds thresholds_;
+  SelectorOptions selector_opts_;
+  mutable std::mutex host_mu_;
+  mutable PlanCache host_cache_;
+  mutable bool host_cache_loaded_ = false;
 };
 
 }  // namespace dialga

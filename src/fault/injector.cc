@@ -1,6 +1,8 @@
 #include "fault/injector.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <iomanip>
 #include <sstream>
@@ -398,7 +400,22 @@ std::string Injector::describe() const {
 
 bool Injector::install_from_env(std::string* error_out) {
   if (const char* seed = std::getenv("DIALGA_FAULT_SEED")) {
-    set_seed(std::strtoull(seed, nullptr, 10));
+    // Strict full-string parse: a malformed seed used to silently
+    // become 0 via strtoull, which makes two differently-typo'd CI
+    // legs run the same schedule. Warn and keep the current seed
+    // instead (the reject-with-clamp convention of dialga::Env*).
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(seed, &end, 10);
+    if (*seed == '\0' || *seed == '-' || end == seed || *end != '\0' ||
+        errno == ERANGE) {
+      std::fprintf(stderr,
+                   "fault: DIALGA_FAULT_SEED='%s' is not a valid unsigned "
+                   "integer; keeping seed %llu\n",
+                   seed, static_cast<unsigned long long>(this->seed()));
+    } else {
+      set_seed(static_cast<std::uint64_t>(v));
+    }
   }
   if (const char* plan = std::getenv("DIALGA_FAULT_PLAN")) {
     return install_spec(plan, error_out);

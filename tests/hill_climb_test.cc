@@ -103,5 +103,69 @@ TEST(HillClimber, NoisyPlateauTerminates) {
   EXPECT_TRUE(hc.converged()) << "flat objective must still terminate";
 }
 
+// --- Edge cases the selector's fallback-explorer path depends on ------
+
+TEST(HillClimber, SinglePointSpaceConvergesImmediately) {
+  // lo == hi: there is nothing to search. The climber must converge at
+  // the only legal distance (and clamp an out-of-range init to it)
+  // without ever proposing anything else.
+  HillClimber hc(40, 7, 7, 16);
+  EXPECT_EQ(hc.current(), 7u);
+  std::size_t steps = 0;
+  while (!hc.converged() && steps < 100) {
+    EXPECT_EQ(hc.current(), 7u) << "single-point space proposed off-point";
+    hc.observe(1.0);
+    ++steps;
+  }
+  EXPECT_TRUE(hc.converged());
+  EXPECT_EQ(hc.current(), 7u);
+}
+
+TEST(HillClimber, NonImprovingNeighborhoodKeepsIncumbent) {
+  // An objective where every neighbor ties the incumbent: the strict-<
+  // round election must re-elect the incumbent and converge there,
+  // not drift across the plateau.
+  HillClimber hc(64, 4, 256, 16);
+  std::size_t steps = 0;
+  while (!hc.converged() && steps < 1000) {
+    hc.observe(3.0);
+    ++steps;
+  }
+  EXPECT_TRUE(hc.converged());
+  EXPECT_EQ(hc.current(), 64u) << "tied neighborhood moved the incumbent";
+}
+
+TEST(HillClimber, RestartAfterFluctuationReopensSearch) {
+  // Converge on one landscape, then restart (what the coordinator does
+  // on a >10 % throughput fluctuation): the climber must probe again
+  // and track the moved optimum.
+  HillClimber hc(40, 4, 256, 16);
+  Converge(hc, Convex);
+  ASSERT_TRUE(hc.converged());
+  const std::size_t before = hc.current();
+
+  hc.restart(hc.current());
+  EXPECT_FALSE(hc.converged()) << "restart must reopen probing";
+
+  const auto moved = [](std::size_t d) {
+    const double x = static_cast<double>(d) - 96.0;
+    return x * x;
+  };
+  for (std::size_t step = 0; step < 2000 && !hc.converged(); ++step) {
+    hc.observe(moved(hc.current()));
+  }
+  EXPECT_TRUE(hc.converged());
+  EXPECT_EQ(hc.current(), 96u);
+  EXPECT_NE(hc.current(), before);
+}
+
+TEST(HillClimber, RestartClampsOutOfRangeInit) {
+  HillClimber hc(40, 4, 256, 16);
+  hc.restart(10000);
+  EXPECT_LE(hc.current(), 256u);
+  hc.restart(0);
+  EXPECT_GE(hc.current(), 4u);
+}
+
 }  // namespace
 }  // namespace dialga

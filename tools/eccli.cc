@@ -76,6 +76,8 @@ struct Options {
   std::string metrics_out;
   std::string trace_out;
   std::string isa;
+  std::string plan_cache;  // --plan-cache PATH (or DIALGA_PLAN_CACHE)
+  bool no_learn = false;   // --no-learn: replay plans, never update them
   aio::Mode aio = aio::ModeFromEnv();
   std::size_t cluster_nodes = 0;  // 0 = single-process shard store
   std::size_t local = 0;          // LRC local parities (cluster mode)
@@ -117,6 +119,11 @@ bool Parse(int argc, char** argv, Options* opt) {
     } else if (arg == "--isa") {
       if (i + 1 >= argc) return false;
       opt->isa = argv[++i];
+    } else if (arg == "--plan-cache") {
+      if (i + 1 >= argc) return false;
+      opt->plan_cache = argv[++i];
+    } else if (arg == "--no-learn") {
+      opt->no_learn = true;
     } else if (arg == "--aio") {
       if (i + 1 >= argc) return false;
       const auto mode = aio::ParseMode(argv[++i]);
@@ -145,6 +152,20 @@ bool Parse(int argc, char** argv, Options* opt) {
     }
   }
   return true;
+}
+
+/// Learned-selection configuration for the codec: environment first
+/// (DIALGA_PLAN_CACHE, DIALGA_SELECTOR*), then the explicit flags —
+/// --plan-cache PATH enables the selector with that cache file and
+/// --no-learn freezes it (replay committed plans, never update them).
+dialga::SelectorOptions SelectorFromOptions(const Options& opt) {
+  dialga::SelectorOptions sel = dialga::SelectorOptions::FromEnv();
+  if (!opt.plan_cache.empty()) {
+    sel.plan_cache_path = opt.plan_cache;
+    sel.enabled = true;
+  }
+  if (opt.no_learn) sel.learn = false;
+  return sel;
 }
 
 /// The manifest pins (k, m); commands other than encode read it so the
@@ -444,7 +465,8 @@ int RunCommand(const std::string& cmd, const Options& opt) {
       Usage();
       return kExitUsage;
     }
-    const dialga::DialgaCodec codec(opt.k, opt.m);
+    dialga::DialgaCodec codec(opt.k, opt.m);
+    codec.set_selector_options(SelectorFromOptions(opt));
     shard::ShardStore store(codec, opt.block);
     attach(store);
     const shard::Status st =
@@ -465,7 +487,8 @@ int RunCommand(const std::string& cmd, const Options& opt) {
     shard::Status mf_status;
     const auto mf = ManifestOf(opt.positional[0], &mf_status);
     if (!mf) return Report(mf_status);
-    const dialga::DialgaCodec codec(mf->k, mf->m);
+    dialga::DialgaCodec codec(mf->k, mf->m);
+    codec.set_selector_options(SelectorFromOptions(opt));
     shard::ShardStore store(codec, mf->block_size);
     attach(store);
 
